@@ -1,0 +1,78 @@
+// Measured mini versions of the paper's §V flow cases (cylinder DNS,
+// Suboff, urban wind, plus the framework's lid cavity): host MLUPS, the
+// modeled core-group MLUPS for the same block, and a key observable per
+// case.  These are the "who wins, what's the magnitude" measured rows
+// behind Figs. 12/18/19.
+#include <iostream>
+
+#include "app/cases.hpp"
+#include "core/observables.hpp"
+#include "core/profiler.hpp"
+#include "perf/report.hpp"
+#include "perf/scaling.hpp"
+
+using namespace swlb;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::string size;
+  double mlups;
+  std::string observable;
+};
+
+Row runCase(const std::string& config, int steps, const std::string& obsName) {
+  std::istringstream in(config);
+  app::Case c = app::build_case(app::Config::parse(in));
+  const Grid& g = c.solver->grid();
+  StepProfiler prof(static_cast<double>(g.interiorVolume()));
+  for (int s = 0; s < steps; ++s)
+    prof.step([&] { c.solver->step(); });
+
+  Row row;
+  row.name = c.name;
+  row.size = std::to_string(g.nx) + "x" + std::to_string(g.ny) + "x" +
+             std::to_string(g.nz);
+  row.mlups = prof.mlups();
+  if (c.obstacleId != 0) {
+    const Vec3 f = momentum_exchange_force<D3Q19>(
+        c.solver->f(), c.solver->mask(), c.solver->materials(), c.obstacleId);
+    row.observable = obsName + " = " + perf::Table::num(f.x, 5);
+  } else {
+    const Vec3 u = c.solver->velocity(g.nx / 2, g.ny / 2, g.nz / 2);
+    row.observable = obsName + " = " + perf::Table::num(u.x, 5);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  perf::printHeading("Measured flow cases (host, D3Q19 fused kernel)");
+  perf::Table t({"case", "cells", "host MLUPS", "observable"});
+
+  const Row rows[] = {
+      runCase("case = cavity\nnx = 32\nny = 32\nnz = 32\nomega = 1.6\n", 150,
+              "u_x(centre)"),
+      runCase("case = channel\nnx = 8\nny = 24\nnz = 8\nbody_force = 1e-6\n",
+              400, "u_x(centre)"),
+      runCase(
+          "case = cylinder\nnx = 96\nny = 48\nnz = 8\ndiameter = 10\n"
+          "omega = 1.4\ninlet_velocity = 0.05\n",
+          300, "drag F_x"),
+      runCase("case = tgv\nnx = 48\nny = 48\nomega = 1.0\n", 300, "u_x(centre)"),
+  };
+  for (const Row& r : rows)
+    t.addRow({r.name, r.size, perf::Table::num(r.mlups, 2), r.observable});
+  t.print();
+
+  // Modeled per-core-group rate for comparison: what one SW26010 CG would
+  // sustain on the same kernel (90.4 MLUPS bound x efficiency).
+  perf::ScalingSimulator sim(sw::MachineSpec::sw26010(), perf::LbmCostModel{});
+  const auto cost = sim.cgStepCost({500, 700, 100}, 1);
+  std::cout << "\nmodeled SW26010 core group on its 35M-cell block: "
+            << perf::Table::num(35.0e6 / cost.stepSeconds / 1e6, 1)
+            << " MLUPS (bound 90.4)\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Collision-operator cost comparison: BGK (the paper's choice), TRT, MRT
+// and BGK+Smagorinsky-LES on the fused D3Q19 kernel.  LBM stays
+// memory-bound on Sunway regardless (the extra flops hide under DMA),
+// but on a cache-fed host the operator cost is visible — this bench
+// quantifies what the CPEs' dual pipelines have to hide.
+#include <benchmark/benchmark.h>
+
+#include "core/kernels.hpp"
+
+namespace {
+
+using namespace swlb;
+using D = D3Q19;
+
+struct OpBench {
+  Grid grid;
+  PopulationField src, dst;
+  MaskField mask;
+  MaterialTable mats;
+
+  explicit OpBench(int n)
+      : grid(n, n, n),
+        src(grid, D::Q),
+        dst(grid, D::Q),
+        mask(grid, MaterialTable::kFluid) {
+    Real feq[D::Q];
+    equilibria<D>(1.0, {0.02, 0.01, -0.01}, feq);
+    for (int q = 0; q < D::Q; ++q)
+      for (int z = -1; z <= grid.nz; ++z)
+        for (int y = -1; y <= grid.ny; ++y)
+          for (int x = -1; x <= grid.nx; ++x) src(q, x, y, z) = feq[q];
+    fill_halo_mask(mask, Periodicity{true, true, true}, MaterialTable::kSolid);
+  }
+
+  void run(benchmark::State& state, const CollisionConfig& cfg) {
+    for (auto _ : state) {
+      stream_collide_fused<D>(src, dst, mask, mats, cfg, grid.interior());
+      benchmark::DoNotOptimize(dst.data());
+    }
+    state.counters["MLUPS"] = benchmark::Counter(
+        static_cast<double>(grid.interiorVolume()) *
+            static_cast<double>(state.iterations()) / 1e6,
+        benchmark::Counter::kIsRate);
+  }
+};
+
+void BM_CollideBGK(benchmark::State& state) {
+  OpBench b(static_cast<int>(state.range(0)));
+  CollisionConfig cfg;
+  cfg.omega = 1.5;
+  b.run(state, cfg);
+}
+BENCHMARK(BM_CollideBGK)->Arg(24);
+
+void BM_CollideTRT(benchmark::State& state) {
+  OpBench b(static_cast<int>(state.range(0)));
+  CollisionConfig cfg;
+  cfg.omega = 1.5;
+  cfg.op = CollisionOp::TRT;
+  b.run(state, cfg);
+}
+BENCHMARK(BM_CollideTRT)->Arg(24);
+
+void BM_CollideMRT(benchmark::State& state) {
+  OpBench b(static_cast<int>(state.range(0)));
+  CollisionConfig cfg;
+  cfg.omega = 1.5;
+  cfg.op = CollisionOp::MRT;
+  b.run(state, cfg);
+}
+BENCHMARK(BM_CollideMRT)->Arg(24);
+
+void BM_CollideBgkLes(benchmark::State& state) {
+  OpBench b(static_cast<int>(state.range(0)));
+  CollisionConfig cfg;
+  cfg.omega = 1.5;
+  cfg.les = true;
+  cfg.smagorinskyCs = 0.16;
+  b.run(state, cfg);
+}
+BENCHMARK(BM_CollideBgkLes)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

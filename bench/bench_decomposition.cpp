@@ -1,0 +1,80 @@
+// §IV-C1 ablation: why SunwayLB uses a 2-D xy decomposition.
+// "the 1D decomposition scheme cannot expose enough parallelism for
+// 160000 MPEs ... the 3D decomposition scheme will bring much more
+// complicated communications" — this table quantifies both effects for
+// the paper's meshes.
+#include <iostream>
+
+#include "perf/report.hpp"
+#include "runtime/decomposition.hpp"
+
+using namespace swlb;
+using runtime::Decomposition;
+
+namespace {
+
+void tryScheme(perf::Table& t, const char* name, const Int3& global,
+               const Int3& grid, int neighbours) {
+  try {
+    Decomposition d(global, grid);
+    t.addRow({name,
+              std::to_string(grid.x) + "x" + std::to_string(grid.y) + "x" +
+                  std::to_string(grid.z),
+              std::to_string(d.rankCount()),
+              perf::Table::eng(static_cast<double>(d.totalHaloArea()), "cells"),
+              perf::Table::num(d.imbalance(), 3), std::to_string(neighbours)});
+  } catch (const Error& e) {
+    t.addRow({name,
+              std::to_string(grid.x) + "x" + std::to_string(grid.y) + "x" +
+                  std::to_string(grid.z),
+              "-", std::string("infeasible: ") + e.what(), "-", "-"});
+  }
+}
+
+}  // namespace
+
+int main() {
+  perf::printHeading(
+      "Decomposition schemes for the Fig. 13 mesh (200000x280000x100 cells"
+      ", 160000 ranks)");
+  // Weak-scaling global mesh: 400x400 CGs of 500x700x100.
+  const Int3 weak{500 * 400, 700 * 400, 100};
+  perf::Table t({"scheme", "process grid", "ranks", "total halo area",
+                 "imbalance", "neighbours/rank"});
+  // 1-D: fails outright — z (100) and even y cannot host 160000 cuts...
+  tryScheme(t, "1-D (z)", weak, {1, 1, 160000}, 2);
+  tryScheme(t, "1-D (x)", weak, {160000, 1, 1}, 2);
+  tryScheme(t, "2-D xy (paper)", weak, {400, 400, 1}, 8);
+  tryScheme(t, "3-D", weak, {100, 80, 20}, 26);
+  t.print();
+
+  perf::printHeading(
+      "Strong-scaling mesh 10000x10000x5000 on 160000 ranks");
+  const Int3 strong{10000, 10000, 5000};
+  perf::Table s({"scheme", "process grid", "ranks", "total halo area",
+                 "imbalance", "neighbours/rank"});
+  tryScheme(s, "1-D (x)", strong, {160000, 1, 1}, 2);
+  tryScheme(s, "2-D xy (paper)", strong, {400, 400, 1}, 8);
+  tryScheme(s, "3-D", strong, {80, 80, 25}, 26);
+  s.print();
+  std::cout << "3-D cuts the halo area further but triples the neighbour "
+               "count (26 vs 8 messages per step) and complicates the\n"
+               "on-the-fly overlap; the paper picks 2-D xy with the full z "
+               "axis per subdomain (§IV-C1)\n";
+
+  perf::printHeading("Auto-chosen grids (halo-minimizing, pz = 1)");
+  perf::Table a({"ranks", "mesh", "chosen grid", "halo area"});
+  for (int ranks : {64, 1024, 16384}) {
+    for (const Int3& mesh : {Int3{4000, 4000, 1000}, Int3{200000, 1000, 1500}}) {
+      const Int3 g = Decomposition::choose(ranks, mesh);
+      Decomposition d(mesh, g);
+      a.addRow({std::to_string(ranks),
+                std::to_string(mesh.x) + "x" + std::to_string(mesh.y) + "x" +
+                    std::to_string(mesh.z),
+                std::to_string(g.x) + "x" + std::to_string(g.y),
+                perf::Table::eng(static_cast<double>(d.totalHaloArea()), "cells")});
+    }
+  }
+  a.print();
+  return 0;
+}

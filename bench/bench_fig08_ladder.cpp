@@ -1,0 +1,93 @@
+// Fig. 8: speedup of the major kernels of SunwayLB as the optimization
+// strategies are applied on Sunway TaihuLight.  Paper: one time step of
+// the largest Re=3900 DNS drops from 73.6 s (MPE only) to 0.426 s — 172x.
+//
+// The modeled ladder is complemented by the emulator: a small core-group
+// block is actually executed in every configuration, and its metered
+// DMA/fabric traffic shows *why* each stage helps.
+#include <iostream>
+
+#include "core/kernels.hpp"
+#include "perf/ladder.hpp"
+#include "perf/report.hpp"
+#include "sw/sw_kernels.hpp"
+
+using namespace swlb;
+
+namespace {
+
+void printModeledLadder() {
+  const auto stages =
+      perf::taihulight_ladder(sw::MachineSpec::sw26010(), perf::LbmCostModel{});
+  perf::printHeading(
+      "Fig. 8 — optimization ladder, 500x700x100 cells/CG (modeled)");
+  perf::Table t({"stage", "s/step", "speedup vs baseline", "gain vs prev"});
+  for (const auto& s : stages)
+    t.addRow({s.name, perf::Table::num(s.stepSeconds, 3),
+              perf::Table::num(s.speedup, 1) + "x",
+              perf::Table::num(s.gainOverPrev, 2) + "x"});
+  t.print();
+  std::cout << "paper: baseline 73.6 s -> 0.426 s, 172x; CPE stage >75x, "
+               "on-the-fly ~10%, fusion ~30%\n";
+}
+
+void printEmulatedAblation() {
+  // Execute a real (small) block on the emulated CPE cluster in the same
+  // configurations and show the metered traffic ladder.
+  const int nx = 48, ny = 64, nz = 8;
+  Grid grid(nx, ny, nz);
+  PopulationField src(grid, D3Q19::Q), dst(grid, D3Q19::Q);
+  MaskField mask(grid, MaterialTable::kFluid);
+  MaterialTable mats;
+  fill_halo_mask(mask, Periodicity{true, true, true}, MaterialTable::kSolid);
+  apply_periodic(mask, Periodicity{true, true, true});
+  Real feq[D3Q19::Q];
+  equilibria<D3Q19>(1.0, {0.02, 0, 0}, feq);
+  for (int q = 0; q < D3Q19::Q; ++q)
+    for (int z = -1; z <= nz; ++z)
+      for (int y = -1; y <= ny; ++y)
+        for (int x = -1; x <= nx; ++x) src(q, x, y, z) = feq[q];
+
+  struct Config {
+    const char* name;
+    sw::SwBlocking blocking;
+    bool reuse, share;
+  };
+  const Config configs[] = {
+      {"per-cell DMA (no blocking)", sw::SwBlocking::PerCell, false, false},
+      {"row blocking", sw::SwBlocking::Rows, false, false},
+      {"+ z-window reuse (Fig 5(3))", sw::SwBlocking::Rows, true, false},
+      {"+ regcomm sharing (Fig 5(4))", sw::SwBlocking::Rows, true, true},
+  };
+
+  perf::printHeading("Emulated CPE traffic ladder, 48x64x8 block (measured "
+                     "on the SW26010 emulator)");
+  perf::Table t({"configuration", "DMA B/cell", "DMA transactions",
+                 "fabric KiB", "modeled DMA ms", "speedup"});
+  double base = 0;
+  for (const auto& c : configs) {
+    sw::CpeCluster cluster(sw::MachineSpec::sw26010().cg);
+    sw::SwKernelConfig cfg;
+    cfg.collision.omega = 1.6;
+    cfg.blocking = c.blocking;
+    cfg.reuseZWindow = c.reuse;
+    cfg.shareBoundary = c.share;
+    const auto rep =
+        sw::sw_stream_collide<D3Q19>(cluster, src, dst, mask, mats, cfg);
+    if (base == 0) base = rep.dmaSeconds;
+    t.addRow({c.name, perf::Table::num(rep.dmaBytesPerCell(), 1),
+              std::to_string(rep.dma.transactions()),
+              perf::Table::num(rep.fabric.bytes / 1024.0, 1),
+              perf::Table::num(rep.dmaSeconds * 1e3, 3),
+              perf::Table::num(base / rep.dmaSeconds, 1) + "x"});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  printModeledLadder();
+  printEmulatedAblation();
+  return 0;
+}

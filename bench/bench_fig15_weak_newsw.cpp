@@ -1,0 +1,30 @@
+// Fig. 15: weak scaling on the new Sunway supercomputer (SW26010-Pro) —
+// 1000x700x100 cells per CG, 6,000 -> 60,000 CGs (390k -> 3.9M cores).
+// Paper: 4.2T cells, 6,583 GLUPS, 81.4% bandwidth utilization, 2.76 PFlops.
+#include <iostream>
+
+#include "perf/report.hpp"
+#include "perf/scaling.hpp"
+
+using namespace swlb;
+
+int main() {
+  perf::ScalingSimulator sim(sw::MachineSpec::sw26010pro(), perf::LbmCostModel{});
+  const Int3 block{1000, 700, 100};
+  const std::vector<std::pair<int, int>> grids = {
+      {100, 60}, {150, 80}, {200, 100}, {240, 150}, {300, 200}};
+
+  perf::printHeading("Fig. 15 — weak scaling, new Sunway supercomputer (modeled)");
+  perf::Table t({"core groups", "cores", "cells", "GLUPS", "PFlops",
+                 "efficiency", "BW util"});
+  for (const auto& p : sim.weakScaling(block, grids)) {
+    t.addRow({std::to_string(p.nCg), std::to_string(p.cores),
+              perf::Table::eng(p.cells, "", 2), perf::Table::num(p.glups, 1),
+              perf::Table::num(p.pflops, 2), perf::Table::pct(p.efficiency),
+              perf::Table::pct(p.bwUtilization)});
+  }
+  t.print();
+  std::cout << "paper @60000 CGs: 6583 GLUPS, 2.76 PFlops, 81.4% bandwidth "
+               "utilization\n";
+  return 0;
+}

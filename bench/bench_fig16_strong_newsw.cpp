@@ -1,0 +1,43 @@
+// Fig. 16: strong scaling of three simulations on the new Sunway
+// supercomputer: wind field (4000x4000x1000, 13k -> 130k cores), wake
+// (200000x1000x1500, 65k -> 1.17M cores), flow past cylinder
+// (10000x7000x5000, 390k -> 3.9M cores, 72.2% efficiency).
+#include <iostream>
+
+#include "perf/report.hpp"
+#include "perf/scaling.hpp"
+
+using namespace swlb;
+
+namespace {
+
+void printCase(const char* name, const Int3& global,
+               const std::vector<std::pair<int, int>>& grids,
+               const perf::ScalingSimulator& sim) {
+  perf::printHeading(std::string("Fig. 16 — strong scaling, ") + name + " " +
+                     std::to_string(global.x) + "x" + std::to_string(global.y) +
+                     "x" + std::to_string(global.z) + " (modeled)");
+  perf::Table t({"core groups", "cores", "block/CG", "GLUPS", "efficiency"});
+  for (const auto& p : sim.strongScaling(global, grids)) {
+    t.addRow({std::to_string(p.nCg), std::to_string(p.cores),
+              std::to_string(p.block.x) + "x" + std::to_string(p.block.y) + "x" +
+                  std::to_string(p.block.z),
+              perf::Table::num(p.glups, 1), perf::Table::pct(p.efficiency)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  perf::ScalingSimulator sim(sw::MachineSpec::sw26010pro(), perf::LbmCostModel{});
+  printCase("wind field simulation", {4000, 4000, 1000},
+            {{20, 10}, {25, 20}, {40, 25}, {50, 40}}, sim);
+  printCase("wake simulation", {200000, 1000, 1500},
+            {{500, 2}, {1000, 3}, {2000, 4}, {3600, 5}}, sim);
+  printCase("flow past cylinder", {10000, 7000, 5000},
+            {{100, 60}, {150, 80}, {200, 150}, {300, 200}}, sim);
+  std::cout << "\npaper: cylinder case 72.2% parallel efficiency at 3.9M "
+               "cores; Suboff on the new system 84.6%\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 17: strong scaling on the GPU cluster — experimental wind-field
+// simulation (1400x2800x100 cells), 1 node (8 GPUs) to 8 nodes (64 GPUs).
+// Paper: 86.3% strong-scaling efficiency at 8 nodes.
+#include <iostream>
+
+#include "perf/gpu_model.hpp"
+#include "perf/report.hpp"
+
+using namespace swlb;
+
+int main() {
+  perf::GpuClusterModel gpu;
+  perf::printHeading("Fig. 17 — GPU cluster strong scaling (modeled)");
+  perf::Table t({"nodes", "GPUs", "s/step", "GLUPS", "efficiency"});
+  for (const auto& p : gpu.strongScaling()) {
+    t.addRow({std::to_string(p.nodes), std::to_string(p.gpus),
+              perf::Table::num(p.stepSeconds, 5), perf::Table::num(p.glups, 1),
+              perf::Table::pct(p.efficiency)});
+  }
+  t.print();
+  std::cout << "paper: 86.3% strong-scaling efficiency at 8 nodes / 64 GPUs\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Head-to-head machine comparison table: the hardware context of §III
+// (SW26010 vs SW26010-Pro vs a GPU node) and what each implies for the
+// memory-bound D3Q19 kernel.
+#include <iostream>
+
+#include "perf/cost_model.hpp"
+#include "perf/gpu_model.hpp"
+#include "perf/report.hpp"
+#include "sw/spec.hpp"
+
+using namespace swlb;
+
+int main() {
+  perf::LbmCostModel cost;
+  const auto tl = sw::MachineSpec::sw26010();
+  const auto pro = sw::MachineSpec::sw26010pro();
+  const sw::GpuNodeSpec gpu;
+
+  perf::printHeading("Compute devices (paper §III-B / §IV-E)");
+  perf::Table t({"device", "peak flops", "mem BW", "B/F", "LDM/cache",
+                 "fast on-chip comm", "bound MLUPS (D3Q19)"});
+  t.addRow({"SW26010 core group", perf::Table::eng(tl.cg.peakFlops(), "F/s"),
+            perf::Table::eng(tl.cg.dma.peakBandwidth, "B/s"),
+            perf::Table::num(tl.cg.dma.peakBandwidth / tl.cg.peakFlops(), 3),
+            "64 KB LDM x 64 CPEs", "register buses (row/col)",
+            perf::Table::num(cost.lupsUpperBound(tl.cg.dma.peakBandwidth) / 1e6, 1)});
+  t.addRow({"SW26010-Pro core group", perf::Table::eng(pro.cg.peakFlops(), "F/s"),
+            perf::Table::eng(pro.cg.dma.peakBandwidth, "B/s"),
+            perf::Table::num(pro.cg.dma.peakBandwidth / pro.cg.peakFlops(), 3),
+            "256 KB LDM x 64 CPEs", "RMA (any pair + bcast)",
+            perf::Table::num(cost.lupsUpperBound(pro.cg.dma.peakBandwidth) / 1e6, 1)});
+  const perf::LbmCostModel fp32 = perf::GpuClusterModel::fp32Cost();
+  t.addRow({"RTX 3090 (FP32 kernel)", "35.6 TF/s",
+            perf::Table::eng(gpu.gpuMemBandwidth, "B/s"),
+            perf::Table::num(gpu.gpuMemBandwidth / 35.6e12, 3), "6 MB L2",
+            "NCCL P2P",
+            perf::Table::num(fp32.lupsUpperBound(gpu.gpuMemBandwidth) / 1e6, 1)});
+  t.print();
+
+  perf::printHeading("Full systems at the paper's scales");
+  perf::Table s({"system", "units", "aggregate BW", "bound GLUPS",
+                 "paper-measured GLUPS", "utilization"});
+  s.addRow({"Sunway TaihuLight", "160000 CGs",
+            perf::Table::eng(160000.0 * tl.cg.dma.peakBandwidth, "B/s"),
+            perf::Table::num(cost.lupsUpperBound(tl.cg.dma.peakBandwidth) * 160000 / 1e9, 0),
+            "11245",
+            perf::Table::pct(cost.bandwidthUtilization(11245e9 / 160000,
+                                                       tl.cg.dma.peakBandwidth))});
+  s.addRow({"new Sunway", "60000 CGs",
+            perf::Table::eng(60000.0 * pro.cg.dma.peakBandwidth, "B/s"),
+            perf::Table::num(cost.lupsUpperBound(pro.cg.dma.peakBandwidth) * 60000 / 1e9, 0),
+            "6583",
+            perf::Table::pct(cost.bandwidthUtilization(6583e9 / 60000,
+                                                       pro.cg.dma.peakBandwidth))});
+  s.addRow({"GPU cluster", "8 nodes x 8 GPUs",
+            perf::Table::eng(64.0 * gpu.gpuMemBandwidth, "B/s"),
+            perf::Table::num(fp32.lupsUpperBound(gpu.gpuMemBandwidth) * 64 / 1e9, 0),
+            "~225 (modeled)", perf::Table::pct(0.838)});
+  s.print();
+  std::cout << "GPUs win on per-device bandwidth; the Sunway systems win on "
+               "scale (paper Conclusion)\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: 3-D lid-driven cavity with the SunwayLB-reproduction API.
+//
+//   * build a Solver over a closed box (default boundary = no-slip walls)
+//   * mark the top layer as a moving wall (the lid)
+//   * run, report MLUPS, and write PPM / VTK output
+//
+// Usage: quickstart [N] [steps]   (default 48^3, 400 steps)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/observables.hpp"
+#include "core/solver.hpp"
+#include "core/units.hpp"
+#include "io/ppm.hpp"
+#include "io/vtk.hpp"
+
+using namespace swlb;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 48;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 400;
+
+  // Physical setup: a 1 m cavity of glycerine-like fluid, lid at 1 m/s,
+  // Re = 100.  The converter derives the lattice parameters and checks
+  // stability.
+  UnitConverter units(/*L=*/1.0, /*U=*/1.0, /*nu=*/0.01, /*rho=*/1260.0,
+                      /*resolution=*/n, /*uLattice=*/0.08);
+  std::cout << "Lid-driven cavity, Re = " << units.reynolds()
+            << ", tau = " << units.tau() << ", " << n << "^3 cells\n";
+
+  CollisionConfig collision;
+  collision.omega = units.omega();
+
+  Solver<D3Q19> solver(Grid(n, n, n), collision);
+  const auto lid =
+      solver.materials().addMovingWall({units.latticeVelocity(), 0, 0});
+  solver.paint({{0, 0, n - 1}, {n, n, n}}, lid);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0, 0, 0});
+
+  const double mlups = solver.runMeasured(steps);
+  std::cout << "Ran " << steps << " steps at " << mlups << " MLUPS\n";
+
+  // Post-processing: velocity magnitude on the mid-plane + full VTK dump.
+  ScalarField rho(solver.grid());
+  VectorField u(solver.grid());
+  solver.computeMacroscopic(rho, u);
+
+  io::write_ppm_velocity_slice("cavity_midplane.ppm", u, n / 2,
+                               units.latticeVelocity());
+  io::VtkWriter vtk(solver.grid(), units.dx());
+  vtk.addScalar("density", rho);
+  vtk.addVector("velocity", u);
+  vtk.write("cavity.vtk");
+
+  // The primary cavity vortex: fluid below the lid moves with it, the
+  // return flow at the bottom runs against it.
+  const Vec3 nearLid = solver.velocity(n / 2, n / 2, n - 2);
+  const Vec3 nearBottom = solver.velocity(n / 2, n / 2, 1);
+  std::cout << "u_x under lid:   " << units.toPhysVelocity(nearLid.x) << " m/s\n"
+            << "u_x near bottom: " << units.toPhysVelocity(nearBottom.x)
+            << " m/s\n"
+            << "Wrote cavity_midplane.ppm and cavity.vtk\n";
+  return nearLid.x > 0 && nearBottom.x < 0 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Built-in simulation cases for the CLI driver: the "outline described
+// directly inside SunwayLB" path — each case sets up geometry, boundary
+// conditions and initial state from a Config.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "app/config.hpp"
+#include "core/solver.hpp"
+
+namespace swlb::app {
+
+/// A configured, ready-to-run simulation.
+struct Case {
+  std::string name;
+  std::unique_ptr<Solver<D3Q19>> solver;
+  /// Obstacle material id for force probes (0 when the case has none).
+  std::uint8_t obstacleId = 0;
+  /// Characteristic velocity (for output scaling).
+  Real uRef = 0.05;
+};
+
+/// Build a case from its config.  Recognized `case` values:
+/// cavity | channel | cylinder | tgv | suboff | urban.  Throws Error for
+/// unknown cases or invalid parameters.
+Case build_case(const Config& cfg);
+
+/// The collision setup shared by all cases (omega/tau/operator/LES keys).
+CollisionConfig collision_from_config(const Config& cfg);
+
+}  // namespace swlb::app

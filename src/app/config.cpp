@@ -1,0 +1,105 @@
+#include "app/config.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace swlb::app {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+Config Config::parse(std::istream& in) {
+  Config cfg;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw Error("Config: line " + std::to_string(lineNo) +
+                  " is not 'key = value': '" + t + "'");
+    }
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty()) {
+      throw Error("Config: empty key on line " + std::to_string(lineNo));
+    }
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("Config: cannot open '" + path + "'");
+  return parse(in);
+}
+
+std::string Config::getString(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) throw Error("Config: missing key '" + key + "'");
+  return it->second;
+}
+
+std::string Config::getString(const std::string& key,
+                              const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Config::getInt(const std::string& key) const {
+  const std::string v = getString(key);
+  try {
+    std::size_t pos = 0;
+    const long r = std::stol(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    throw Error("Config: key '" + key + "' is not an integer: '" + v + "'");
+  }
+}
+
+long Config::getInt(const std::string& key, long fallback) const {
+  return has(key) ? getInt(key) : fallback;
+}
+
+double Config::getReal(const std::string& key) const {
+  const std::string v = getString(key);
+  try {
+    std::size_t pos = 0;
+    const double r = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    throw Error("Config: key '" + key + "' is not a number: '" + v + "'");
+  }
+}
+
+double Config::getReal(const std::string& key, double fallback) const {
+  return has(key) ? getReal(key) : fallback;
+}
+
+bool Config::getBool(const std::string& key, bool fallback) const {
+  if (!has(key)) return fallback;
+  std::string v = getString(key);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw Error("Config: key '" + key + "' is not a boolean: '" + v + "'");
+}
+
+}  // namespace swlb::app

@@ -1,0 +1,47 @@
+// Simple key = value configuration files for the CLI driver — the
+// "outline described directly inside SunwayLB" input path of the paper's
+// pre-processing module (§IV-B).
+//
+// Format: one `key = value` per line; '#' starts a comment; keys are
+// case-sensitive.  Typed getters validate on access.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "core/common.hpp"
+
+namespace swlb::app {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from a stream/file; throws Error on malformed lines.
+  static Config parse(std::istream& in);
+  static Config load(const std::string& path);
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Typed getters: the defaulted forms return `fallback` when the key is
+  /// absent; the strict forms throw.
+  std::string getString(const std::string& key) const;
+  std::string getString(const std::string& key, const std::string& fallback) const;
+  long getInt(const std::string& key) const;
+  long getInt(const std::string& key, long fallback) const;
+  double getReal(const std::string& key) const;
+  double getReal(const std::string& key, double fallback) const;
+  bool getBool(const std::string& key, bool fallback) const;
+
+  void set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace swlb::app

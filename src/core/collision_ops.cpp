@@ -1,0 +1,101 @@
+#include "core/collision_ops.hpp"
+
+namespace swlb {
+
+namespace {
+
+/// Build the 19 orthogonal moment rows from their defining polynomials in
+/// (cx, cy, cz) — evaluated over *our* velocity ordering, which avoids
+/// transcription errors against tables using a different ordering.
+struct MatrixData {
+  int m[19][19];
+  int norm[19];
+
+  MatrixData() {
+    for (int i = 0; i < 19; ++i) {
+      const int cx = D3Q19::c[i][0];
+      const int cy = D3Q19::c[i][1];
+      const int cz = D3Q19::c[i][2];
+      const int c2 = cx * cx + cy * cy + cz * cz;
+      int col[19];
+      col[0] = 1;                                      // rho
+      col[1] = 19 * c2 - 30;                           // e
+      col[2] = (21 * c2 * c2 - 53 * c2 + 24) / 2;      // epsilon
+      col[3] = cx;                                     // jx
+      col[4] = (5 * c2 - 9) * cx;                      // qx
+      col[5] = cy;                                     // jy
+      col[6] = (5 * c2 - 9) * cy;                      // qy
+      col[7] = cz;                                     // jz
+      col[8] = (5 * c2 - 9) * cz;                      // qz
+      col[9] = 3 * cx * cx - c2;                       // 3 pxx
+      col[10] = (3 * c2 - 5) * (3 * cx * cx - c2);     // 3 pi_xx
+      col[11] = cy * cy - cz * cz;                     // p_ww
+      col[12] = (3 * c2 - 5) * (cy * cy - cz * cz);    // pi_ww
+      col[13] = cx * cy;                               // p_xy
+      col[14] = cy * cz;                               // p_yz
+      col[15] = cx * cz;                               // p_xz
+      col[16] = (cy * cy - cz * cz) * cx;              // m_x
+      col[17] = (cz * cz - cx * cx) * cy;              // m_y
+      col[18] = (cx * cx - cy * cy) * cz;              // m_z
+      for (int row = 0; row < 19; ++row) m[row][i] = col[row];
+    }
+    for (int row = 0; row < 19; ++row) {
+      norm[row] = 0;
+      for (int i = 0; i < 19; ++i) norm[row] += m[row][i] * m[row][i];
+    }
+  }
+};
+
+const MatrixData& matrixData() {
+  static const MatrixData data;
+  return data;
+}
+
+}  // namespace
+
+const int (&MrtD3Q19::matrix())[19][19] { return matrixData().m; }
+const int (&MrtD3Q19::rowNorms())[19] { return matrixData().norm; }
+
+void MrtD3Q19::collide(Real* f, const Rates& rates, Real& rho_out, Vec3& u_out) {
+  using D = D3Q19;
+  const MatrixData& M = matrixData();
+
+  Real rho;
+  Vec3 mom;
+  moments<D>(f, rho, mom);
+  const Real inv_rho = Real(1) / rho;
+  const Vec3 u{mom.x * inv_rho, mom.y * inv_rho, mom.z * inv_rho};
+
+  Real feq[D::Q];
+  equilibria<D>(rho, u, feq);
+
+  // Per-moment relaxation rates (conserved moments stay untouched).
+  const Real s[19] = {0,          rates.s_e, rates.s_eps, 0,         rates.s_q,
+                      0,          rates.s_q, 0,           rates.s_q, rates.s_nu,
+                      rates.s_pi, rates.s_nu, rates.s_pi, rates.s_nu, rates.s_nu,
+                      rates.s_nu, rates.s_m, rates.s_m,   rates.s_m};
+
+  // Moment-space relaxation: delta_m[k] = s[k] * (M feq - M f)[k].
+  Real dm[19];
+  for (int k = 0; k < 19; ++k) {
+    if (s[k] == 0) {
+      dm[k] = 0;
+      continue;
+    }
+    Real mk = 0;
+    for (int i = 0; i < 19; ++i) mk += M.m[k][i] * (feq[i] - f[i]);
+    dm[k] = s[k] * mk / M.norm[k];
+  }
+  // Back-transform with the orthogonal inverse: f += M^T diag(1/norm) dm
+  // (the 1/norm is already folded into dm above).
+  for (int i = 0; i < 19; ++i) {
+    Real df = 0;
+    for (int k = 0; k < 19; ++k) df += M.m[k][i] * dm[k];
+    f[i] += df;
+  }
+
+  rho_out = rho;
+  u_out = u;
+}
+
+}  // namespace swlb

@@ -1,0 +1,73 @@
+// Common types and error handling for the SunwayLB reproduction.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace swlb {
+
+/// Floating-point type used for all lattice quantities (the paper runs
+/// double precision on the CPE clusters).
+using Real = double;
+
+/// Recoverable error (bad input files, invalid configuration, resource
+/// plans that exceed hardware limits such as LDM capacity).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+#define SWLB_ASSERT(cond) assert(cond)
+
+/// Integer 3-vector (grid coordinates, lattice velocities).
+struct Int3 {
+  int x = 0, y = 0, z = 0;
+
+  friend constexpr bool operator==(const Int3&, const Int3&) = default;
+  constexpr Int3 operator+(const Int3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Int3 operator-(const Int3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+};
+
+/// Real 3-vector (velocities, forces, physical coordinates).
+struct Vec3 {
+  Real x = 0, y = 0, z = 0;
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(Real s) const { return {x * s, y * s, z * s}; }
+  constexpr Real dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Real norm2() const { return dot(*this); }
+};
+
+/// Half-open axis-aligned box of cells: [lo, hi) in each axis.
+struct Box3 {
+  Int3 lo;
+  Int3 hi;
+
+  constexpr long long volume() const {
+    if (hi.x <= lo.x || hi.y <= lo.y || hi.z <= lo.z) return 0;
+    return static_cast<long long>(hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z);
+  }
+  constexpr bool contains(const Int3& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+  constexpr bool empty() const { return volume() == 0; }
+  friend constexpr bool operator==(const Box3&, const Box3&) = default;
+};
+
+/// Intersection of two boxes (empty box when disjoint).
+constexpr Box3 intersect(const Box3& a, const Box3& b) {
+  Box3 r;
+  r.lo = {std::max(a.lo.x, b.lo.x), std::max(a.lo.y, b.lo.y), std::max(a.lo.z, b.lo.z)};
+  r.hi = {std::min(a.hi.x, b.hi.x), std::min(a.hi.y, b.hi.y), std::min(a.hi.z, b.hi.z)};
+  return r;
+}
+
+}  // namespace swlb

@@ -1,0 +1,14 @@
+#include "core/derived_fields.hpp"
+
+namespace swlb {
+
+void compute_pressure(const ScalarField& rho, ScalarField& p, Real rho0) {
+  const Grid& g = rho.grid();
+  SWLB_ASSERT(p.grid() == g);
+  for (int z = 0; z < g.nz; ++z)
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x)
+        p(x, y, z) = lattice_pressure(rho(x, y, z), rho0);
+}
+
+}  // namespace swlb

@@ -1,0 +1,85 @@
+// Derived macroscopic fields beyond (rho, u): pressure and the deviatoric
+// (viscous) stress tensor recovered from the non-equilibrium populations
+// — what the paper's post-processing plots as "pressure field" and what
+// resistance analyses of the Suboff case need (§V-B).
+#pragma once
+
+#include "core/collision.hpp"
+#include "core/field.hpp"
+#include "core/kernels.hpp"
+
+namespace swlb {
+
+/// Lattice pressure: p = cs^2 (rho - rho0) (gauge pressure about rho0).
+inline Real lattice_pressure(Real rho, Real rho0 = 1.0) {
+  return kCs2 * (rho - rho0);
+}
+
+/// Fill a pressure field from a density field.
+void compute_pressure(const ScalarField& rho, ScalarField& p, Real rho0 = 1.0);
+
+/// Symmetric 3x3 tensor stored as (xx, yy, zz, xy, xz, yz).
+struct SymTensor {
+  Real xx = 0, yy = 0, zz = 0, xy = 0, xz = 0, yz = 0;
+
+  Real component(int a, int b) const {
+    if (a > b) std::swap(a, b);
+    if (a == 0 && b == 0) return xx;
+    if (a == 1 && b == 1) return yy;
+    if (a == 2 && b == 2) return zz;
+    if (a == 0 && b == 1) return xy;
+    if (a == 0 && b == 2) return xz;
+    return yz;
+  }
+};
+
+/// Deviatoric (viscous) stress of one cell from its *pre-collision*
+/// (post-streaming) populations:
+///   sigma_ab = -(1 - omega/2) sum_i (f_i - feq_i) c_ia c_ib
+/// (second-order accurate for the BGK operator).  Post-collision
+/// populations carry fneq scaled by (1 - omega) and would give the wrong
+/// stress — use cell_stress(), which regathers the incoming populations.
+template <class D>
+SymTensor deviatoric_stress(const Real* f, Real omega) {
+  Real rho;
+  Vec3 mom;
+  moments<D>(f, rho, mom);
+  const Real invRho = Real(1) / rho;
+  Real feq[D::Q];
+  equilibria<D>(rho, {mom.x * invRho, mom.y * invRho, mom.z * invRho}, feq);
+
+  SymTensor s;
+  for (int i = 0; i < D::Q; ++i) {
+    const Real fneq = f[i] - feq[i];
+    const Real cx = D::c[i][0], cy = D::c[i][1], cz = D::c[i][2];
+    s.xx += fneq * cx * cx;
+    s.yy += fneq * cy * cy;
+    s.zz += fneq * cz * cz;
+    s.xy += fneq * cx * cy;
+    s.xz += fneq * cx * cz;
+    s.yz += fneq * cy * cz;
+  }
+  const Real pref = -(Real(1) - Real(0.5) * omega);
+  s.xx *= pref;
+  s.yy *= pref;
+  s.zz *= pref;
+  s.xy *= pref;
+  s.xz *= pref;
+  s.yz *= pref;
+  return s;
+}
+
+/// Deviatoric stress at a grid cell of the solver's current (post-
+/// collision) field: regathers the incoming populations of the *next*
+/// step — the pre-collision state the formula needs — exactly as the
+/// kernel would, including bounce-back at walls.
+template <class D>
+SymTensor cell_stress(const PopulationField& f, const MaskField& mask,
+                      const MaterialTable& mats, int x, int y, int z,
+                      Real omega) {
+  Real fin[D::Q];
+  gather_incoming<D>(f, mask, mats, x, y, z, fin);
+  return deviatoric_stress<D>(fin, omega);
+}
+
+}  // namespace swlb

@@ -1,0 +1,41 @@
+// Second-order Maxwell-Boltzmann equilibrium for the LBGK model (paper Eq. 1).
+#pragma once
+
+#include "core/common.hpp"
+#include "core/lattice.hpp"
+
+namespace swlb {
+
+/// Equilibrium distribution in direction i:
+///   f_i^eq = w_i rho (1 + 3 (c_i.u) + 4.5 (c_i.u)^2 - 1.5 u^2)
+template <class D>
+constexpr Real equilibrium(int i, Real rho, const Vec3& u) {
+  const Real cu = D::c[i][0] * u.x + D::c[i][1] * u.y + D::c[i][2] * u.z;
+  const Real u2 = u.norm2();
+  return D::w[i] * rho * (Real(1) + Real(3) * cu + Real(4.5) * cu * cu - Real(1.5) * u2);
+}
+
+/// All Q equilibria at once (shared u^2 term).
+template <class D>
+constexpr void equilibria(Real rho, const Vec3& u, Real* out) {
+  const Real u2term = Real(1.5) * u.norm2();
+  for (int i = 0; i < D::Q; ++i) {
+    const Real cu = D::c[i][0] * u.x + D::c[i][1] * u.y + D::c[i][2] * u.z;
+    out[i] = D::w[i] * rho * (Real(1) + Real(3) * cu + Real(4.5) * cu * cu - u2term);
+  }
+}
+
+/// Density and momentum moments of a population vector.
+template <class D>
+constexpr void moments(const Real* f, Real& rho, Vec3& mom) {
+  rho = 0;
+  mom = {0, 0, 0};
+  for (int i = 0; i < D::Q; ++i) {
+    rho += f[i];
+    mom.x += f[i] * D::c[i][0];
+    mom.y += f[i] * D::c[i][1];
+    mom.z += f[i] * D::c[i][2];
+  }
+}
+
+}  // namespace swlb

@@ -1,0 +1,168 @@
+// Population and scalar fields over a halo-padded Cartesian grid.
+//
+// The production layout is structure-of-arrays (SoA): all populations of
+// one direction are contiguous, which is what makes the DMA transfers of
+// the CPE kernels contiguous (paper §IV-A/C).  An array-of-structures
+// (AoS) field is provided as the baseline the paper argues against.
+#pragma once
+
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace swlb {
+
+/// Local Cartesian grid: nx*ny*nz interior cells plus a halo layer of
+/// configurable width on every side.  Interior coordinates run over
+/// [0, n); halo cells have coordinates in [-halo, 0) or [n, n+halo).
+struct Grid {
+  int nx = 0, ny = 0, nz = 0;
+  int halo = 1;
+
+  constexpr Grid() = default;
+  constexpr Grid(int nx_, int ny_, int nz_, int halo_ = 1)
+      : nx(nx_), ny(ny_), nz(nz_), halo(halo_) {}
+
+  constexpr int sx() const { return nx + 2 * halo; }
+  constexpr int sy() const { return ny + 2 * halo; }
+  constexpr int sz() const { return nz + 2 * halo; }
+  constexpr std::size_t volume() const {
+    return static_cast<std::size_t>(sx()) * sy() * sz();
+  }
+  constexpr std::size_t interiorVolume() const {
+    return static_cast<std::size_t>(nx) * ny * nz;
+  }
+
+  /// Linear index of cell (x, y, z); x is the fastest-varying axis.
+  constexpr std::size_t idx(int x, int y, int z) const {
+    SWLB_ASSERT(x >= -halo && x < nx + halo);
+    SWLB_ASSERT(y >= -halo && y < ny + halo);
+    SWLB_ASSERT(z >= -halo && z < nz + halo);
+    return (static_cast<std::size_t>(z + halo) * sy() + (y + halo)) * sx() +
+           (x + halo);
+  }
+
+  constexpr Box3 interior() const { return {{0, 0, 0}, {nx, ny, nz}}; }
+  constexpr Box3 withHalo() const {
+    return {{-halo, -halo, -halo}, {nx + halo, ny + halo, nz + halo}};
+  }
+  friend constexpr bool operator==(const Grid&, const Grid&) = default;
+};
+
+/// SoA population field: f[q] is one contiguous block over the grid.
+class PopulationField {
+ public:
+  PopulationField() = default;
+  PopulationField(const Grid& grid, int q)
+      : grid_(grid), q_(q), data_(grid.volume() * q, Real(0)) {}
+
+  const Grid& grid() const { return grid_; }
+  int q() const { return q_; }
+
+  Real& operator()(int q, int x, int y, int z) {
+    return data_[slab(q) + grid_.idx(x, y, z)];
+  }
+  Real operator()(int q, int x, int y, int z) const {
+    return data_[slab(q) + grid_.idx(x, y, z)];
+  }
+  Real& at(int q, std::size_t cell) { return data_[slab(q) + cell]; }
+  Real at(int q, std::size_t cell) const { return data_[slab(q) + cell]; }
+
+  /// Start offset of direction q's slab in the linear data array.
+  std::size_t slab(int q) const {
+    SWLB_ASSERT(q >= 0 && q < q_);
+    return static_cast<std::size_t>(q) * grid_.volume();
+  }
+
+  Real* data() { return data_.data(); }
+  const Real* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+  std::size_t bytes() const { return data_.size() * sizeof(Real); }
+
+  void fill(Real v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  Grid grid_;
+  int q_ = 0;
+  std::vector<Real> data_;
+};
+
+/// AoS population field: all Q populations of one cell are adjacent.
+/// Baseline layout only — used by the layout-ablation benchmarks/tests.
+class PopulationFieldAoS {
+ public:
+  PopulationFieldAoS() = default;
+  PopulationFieldAoS(const Grid& grid, int q)
+      : grid_(grid), q_(q), data_(grid.volume() * q, Real(0)) {}
+
+  const Grid& grid() const { return grid_; }
+  int q() const { return q_; }
+
+  Real& operator()(int q, int x, int y, int z) {
+    return data_[grid_.idx(x, y, z) * q_ + q];
+  }
+  Real operator()(int q, int x, int y, int z) const {
+    return data_[grid_.idx(x, y, z) * q_ + q];
+  }
+
+  Real* data() { return data_.data(); }
+  const Real* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  Grid grid_;
+  int q_ = 0;
+  std::vector<Real> data_;
+};
+
+/// Scalar field over the same halo-padded grid (density, Q-criterion, ...).
+template <typename T>
+class CellField {
+ public:
+  CellField() = default;
+  explicit CellField(const Grid& grid, T init = T())
+      : grid_(grid), data_(grid.volume(), init) {}
+
+  const Grid& grid() const { return grid_; }
+  T& operator()(int x, int y, int z) { return data_[grid_.idx(x, y, z)]; }
+  T operator()(int x, int y, int z) const { return data_[grid_.idx(x, y, z)]; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  Grid grid_;
+  std::vector<T> data_;
+};
+
+using ScalarField = CellField<Real>;
+using MaskField = CellField<std::uint8_t>;
+
+/// Vector field stored as three scalar slabs (SoA).
+class VectorField {
+ public:
+  VectorField() = default;
+  explicit VectorField(const Grid& grid)
+      : x_(grid), y_(grid), z_(grid) {}
+
+  const Grid& grid() const { return x_.grid(); }
+  ScalarField& x() { return x_; }
+  ScalarField& y() { return y_; }
+  ScalarField& z() { return z_; }
+  const ScalarField& x() const { return x_; }
+  const ScalarField& y() const { return y_; }
+  const ScalarField& z() const { return z_; }
+
+  Vec3 at(int x, int y, int z) const { return {x_(x, y, z), y_(x, y, z), z_(x, y, z)}; }
+  void set(int x, int y, int z, const Vec3& v) {
+    x_(x, y, z) = v.x;
+    y_(x, y, z) = v.y;
+    z_(x, y, z) = v.z;
+  }
+
+ private:
+  ScalarField x_, y_, z_;
+};
+
+}  // namespace swlb

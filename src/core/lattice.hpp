@@ -1,0 +1,115 @@
+// Lattice descriptors for the DnQm velocity sets used by SunwayLB.
+//
+// The paper's solver uses D3Q19 (Fig. 3); D2Q9 is the standard 2-D model
+// and D3Q15/D3Q27 are provided for completeness and cross-validation.
+// All descriptors carry 3-component velocities so that a single kernel
+// code path covers 2-D (cz == 0, NZ == 1) and 3-D lattices.
+//
+// Index convention: population 0 is the rest population; the remaining
+// populations are stored in opposite pairs (2k-1, 2k), so
+// opp(i) = i odd ? i+1 : i-1 for i >= 1.  Tests verify this invariant.
+#pragma once
+
+#include "core/common.hpp"
+
+namespace swlb {
+
+/// Speed of sound squared (lattice units) — identical for all DnQm sets here.
+inline constexpr Real kCs2 = 1.0 / 3.0;
+
+namespace detail {
+/// Opposite index under the pair-ordering convention.
+constexpr int pair_opposite(int i) { return i == 0 ? 0 : (i % 2 == 1 ? i + 1 : i - 1); }
+}  // namespace detail
+
+struct D2Q9 {
+  static constexpr int dim = 2;
+  static constexpr int Q = 9;
+  static constexpr int c[Q][3] = {
+      {0, 0, 0},
+      {1, 0, 0},  {-1, 0, 0},  {0, 1, 0},  {0, -1, 0},
+      {1, 1, 0},  {-1, -1, 0}, {1, -1, 0}, {-1, 1, 0},
+  };
+  static constexpr Real w[Q] = {
+      4.0 / 9.0,
+      1.0 / 9.0,  1.0 / 9.0,  1.0 / 9.0,  1.0 / 9.0,
+      1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+  };
+  static constexpr int opp(int i) { return detail::pair_opposite(i); }
+  static constexpr const char* name() { return "D2Q9"; }
+};
+
+struct D3Q15 {
+  static constexpr int dim = 3;
+  static constexpr int Q = 15;
+  static constexpr int c[Q][3] = {
+      {0, 0, 0},
+      {1, 0, 0},  {-1, 0, 0},  {0, 1, 0},  {0, -1, 0},  {0, 0, 1},  {0, 0, -1},
+      {1, 1, 1},  {-1, -1, -1}, {1, 1, -1}, {-1, -1, 1},
+      {1, -1, 1}, {-1, 1, -1},  {1, -1, -1}, {-1, 1, 1},
+  };
+  static constexpr Real w[Q] = {
+      2.0 / 9.0,
+      1.0 / 9.0,  1.0 / 9.0,  1.0 / 9.0,  1.0 / 9.0,  1.0 / 9.0,  1.0 / 9.0,
+      1.0 / 72.0, 1.0 / 72.0, 1.0 / 72.0, 1.0 / 72.0,
+      1.0 / 72.0, 1.0 / 72.0, 1.0 / 72.0, 1.0 / 72.0,
+  };
+  static constexpr int opp(int i) { return detail::pair_opposite(i); }
+  static constexpr const char* name() { return "D3Q15"; }
+};
+
+/// The production lattice of SunwayLB (paper Fig. 3).
+struct D3Q19 {
+  static constexpr int dim = 3;
+  static constexpr int Q = 19;
+  static constexpr int c[Q][3] = {
+      {0, 0, 0},
+      {1, 0, 0},  {-1, 0, 0},  {0, 1, 0},  {0, -1, 0},  {0, 0, 1},  {0, 0, -1},
+      {1, 1, 0},  {-1, -1, 0}, {1, -1, 0}, {-1, 1, 0},
+      {1, 0, 1},  {-1, 0, -1}, {1, 0, -1}, {-1, 0, 1},
+      {0, 1, 1},  {0, -1, -1}, {0, 1, -1}, {0, -1, 1},
+  };
+  static constexpr Real w[Q] = {
+      1.0 / 3.0,
+      1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0,
+      1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+      1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+      1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+  };
+  static constexpr int opp(int i) { return detail::pair_opposite(i); }
+  static constexpr const char* name() { return "D3Q19"; }
+};
+
+struct D3Q27 {
+  static constexpr int dim = 3;
+  static constexpr int Q = 27;
+  static constexpr int c[Q][3] = {
+      {0, 0, 0},
+      {1, 0, 0},  {-1, 0, 0},  {0, 1, 0},  {0, -1, 0},  {0, 0, 1},  {0, 0, -1},
+      {1, 1, 0},  {-1, -1, 0}, {1, -1, 0}, {-1, 1, 0},
+      {1, 0, 1},  {-1, 0, -1}, {1, 0, -1}, {-1, 0, 1},
+      {0, 1, 1},  {0, -1, -1}, {0, 1, -1}, {0, -1, 1},
+      {1, 1, 1},  {-1, -1, -1}, {1, 1, -1}, {-1, -1, 1},
+      {1, -1, 1}, {-1, 1, -1},  {1, -1, -1}, {-1, 1, 1},
+  };
+  static constexpr Real w[Q] = {
+      8.0 / 27.0,
+      2.0 / 27.0,  2.0 / 27.0,  2.0 / 27.0,  2.0 / 27.0,  2.0 / 27.0,  2.0 / 27.0,
+      1.0 / 54.0,  1.0 / 54.0,  1.0 / 54.0,  1.0 / 54.0,
+      1.0 / 54.0,  1.0 / 54.0,  1.0 / 54.0,  1.0 / 54.0,
+      1.0 / 54.0,  1.0 / 54.0,  1.0 / 54.0,  1.0 / 54.0,
+      1.0 / 216.0, 1.0 / 216.0, 1.0 / 216.0, 1.0 / 216.0,
+      1.0 / 216.0, 1.0 / 216.0, 1.0 / 216.0, 1.0 / 216.0,
+  };
+  static constexpr int opp(int i) { return detail::pair_opposite(i); }
+  static constexpr const char* name() { return "D3Q27"; }
+};
+
+/// Relaxation time tau from lattice kinematic viscosity: nu = (2*tau - 1)/6.
+constexpr Real tau_from_viscosity(Real nu) { return 3.0 * nu + 0.5; }
+/// Lattice viscosity from relaxation time.
+constexpr Real viscosity_from_tau(Real tau) { return (2.0 * tau - 1.0) / 6.0; }
+/// Collision frequency omega = 1/tau.
+constexpr Real omega_from_tau(Real tau) { return 1.0 / tau; }
+
+}  // namespace swlb

@@ -1,0 +1,89 @@
+// Macroscopic moments (density, velocity) of a population field.
+#pragma once
+
+#include "core/boundary.hpp"
+#include "core/collision.hpp"
+#include "core/field.hpp"
+
+namespace swlb {
+
+/// Density and velocity of one cell.  When `cfg` carries a body force the
+/// velocity includes the Guo half-force shift, matching what the collision
+/// kernel used.
+template <class D>
+inline void cell_macroscopic(const PopulationField& f, int x, int y, int z,
+                             const CollisionConfig& cfg, Real& rho, Vec3& u) {
+  Real fi[D::Q];
+  for (int i = 0; i < D::Q; ++i) fi[i] = f(i, x, y, z);
+  Vec3 mom;
+  moments<D>(fi, rho, mom);
+  const Real inv = Real(1) / rho;
+  u = {mom.x * inv, mom.y * inv, mom.z * inv};
+  if (cfg.hasForce()) {
+    u.x += Real(0.5) * cfg.bodyForce.x * inv;
+    u.y += Real(0.5) * cfg.bodyForce.y * inv;
+    u.z += Real(0.5) * cfg.bodyForce.z * inv;
+  }
+}
+
+/// Fill density and velocity fields over the interior.  Non-fluid cells get
+/// rho = material rho and u = material u (walls: zero).
+template <class D>
+void compute_macroscopic(const PopulationField& f, const MaskField& mask,
+                         const MaterialTable& mats, const CollisionConfig& cfg,
+                         ScalarField& rho, VectorField& u) {
+  const Grid& g = f.grid();
+  for (int z = 0; z < g.nz; ++z)
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x) {
+        const Material& m = mats[mask(x, y, z)];
+        if (m.cls == CellClass::Fluid || m.cls == CellClass::VelocityInlet ||
+            m.cls == CellClass::Outflow) {
+          Real r;
+          Vec3 v;
+          cell_macroscopic<D>(f, x, y, z, cfg, r, v);
+          rho(x, y, z) = r;
+          u.set(x, y, z, v);
+        } else {
+          rho(x, y, z) = m.rho;
+          u.set(x, y, z, m.u);
+        }
+      }
+}
+
+/// Total mass over the interior fluid cells (conservation checks).
+template <class D>
+Real total_mass(const PopulationField& f, const MaskField& mask,
+                const MaterialTable& mats) {
+  const Grid& g = f.grid();
+  Real sum = 0;
+  for (int z = 0; z < g.nz; ++z)
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x) {
+        if (mats[mask(x, y, z)].cls != CellClass::Fluid) continue;
+        for (int i = 0; i < D::Q; ++i) sum += f(i, x, y, z);
+      }
+  return sum;
+}
+
+/// Total momentum over the interior fluid cells.
+template <class D>
+Vec3 total_momentum(const PopulationField& f, const MaskField& mask,
+                    const MaterialTable& mats) {
+  const Grid& g = f.grid();
+  Vec3 sum{0, 0, 0};
+  for (int z = 0; z < g.nz; ++z)
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x) {
+        if (mats[mask(x, y, z)].cls != CellClass::Fluid) continue;
+        for (int i = 0; i < D::Q; ++i) {
+          const Real fi = f(i, x, y, z);
+          sum.x += fi * D::c[i][0];
+          sum.y += fi * D::c[i][1];
+          sum.z += fi * D::c[i][2];
+        }
+      }
+  return sum;
+}
+
+}  // namespace swlb

@@ -1,0 +1,89 @@
+#include "core/observables.hpp"
+
+#include <cmath>
+
+namespace swlb {
+
+namespace {
+
+/// One-sided/central difference of component `get` along axis `axis` at
+/// (x, y, z), over the grid interior.
+template <typename Get>
+Real diff(const Get& get, const Grid& g, int axis, int x, int y, int z) {
+  const int n = axis == 0 ? g.nx : axis == 1 ? g.ny : g.nz;
+  const int c = axis == 0 ? x : axis == 1 ? y : z;
+  auto at = [&](int v) {
+    const int xx = axis == 0 ? v : x;
+    const int yy = axis == 1 ? v : y;
+    const int zz = axis == 2 ? v : z;
+    return get(xx, yy, zz);
+  };
+  if (n == 1) return 0;
+  if (c == 0) return at(1) - at(0);
+  if (c == n - 1) return at(n - 1) - at(n - 2);
+  return Real(0.5) * (at(c + 1) - at(c - 1));
+}
+
+struct Gradient {
+  // grad[i][j] = d u_i / d x_j
+  Real g[3][3];
+};
+
+Gradient velocity_gradient(const VectorField& u, int x, int y, int z) {
+  const Grid& grid = u.grid();
+  Gradient out{};
+  const ScalarField* comp[3] = {&u.x(), &u.y(), &u.z()};
+  for (int i = 0; i < 3; ++i) {
+    auto get = [&](int xx, int yy, int zz) { return (*comp[i])(xx, yy, zz); };
+    for (int j = 0; j < 3; ++j) out.g[i][j] = diff(get, grid, j, x, y, z);
+  }
+  return out;
+}
+
+}  // namespace
+
+Real kinetic_energy(const ScalarField& rho, const VectorField& u,
+                    const MaskField& mask, const MaterialTable& mats) {
+  const Grid& g = rho.grid();
+  Real e = 0;
+  for (int z = 0; z < g.nz; ++z)
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x) {
+        if (mats[mask(x, y, z)].cls != CellClass::Fluid) continue;
+        e += Real(0.5) * rho(x, y, z) * u.at(x, y, z).norm2();
+      }
+  return e;
+}
+
+void vorticity(const VectorField& u, VectorField& curl) {
+  const Grid& g = u.grid();
+  for (int z = 0; z < g.nz; ++z)
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x) {
+        const Gradient d = velocity_gradient(u, x, y, z);
+        curl.set(x, y, z,
+                 {d.g[2][1] - d.g[1][2],   // dw/dy - dv/dz
+                  d.g[0][2] - d.g[2][0],   // du/dz - dw/dx
+                  d.g[1][0] - d.g[0][1]}); // dv/dx - du/dy
+      }
+}
+
+void q_criterion(const VectorField& u, ScalarField& q) {
+  const Grid& g = u.grid();
+  for (int z = 0; z < g.nz; ++z)
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x) {
+        const Gradient d = velocity_gradient(u, x, y, z);
+        Real s2 = 0, o2 = 0;
+        for (int i = 0; i < 3; ++i)
+          for (int j = 0; j < 3; ++j) {
+            const Real s = Real(0.5) * (d.g[i][j] + d.g[j][i]);
+            const Real o = Real(0.5) * (d.g[i][j] - d.g[j][i]);
+            s2 += s * s;
+            o2 += o * o;
+          }
+        q(x, y, z) = Real(0.5) * (o2 - s2);
+      }
+}
+
+}  // namespace swlb

@@ -1,0 +1,181 @@
+// Single-block LBM solver: owns the A-B population fields, the material
+// mask, and the time loop (paper §IV-A: pull scheme, SoA, A-B pattern).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "core/kernels.hpp"
+#include "core/macroscopic.hpp"
+
+namespace swlb {
+
+/// Which stream/collide implementation the solver drives each step.
+enum class KernelVariant {
+  Fused,     ///< production path: optimized SoA fused pull kernel
+  Generic,   ///< portable fused pull kernel (reference implementation)
+  TwoStep,   ///< separate stream + collide (fusion ablation baseline)
+  Push,      ///< fused collide + push streaming (layout ablation baseline)
+};
+
+template <class D>
+class Solver {
+ public:
+  Solver(const Grid& grid, const CollisionConfig& collision,
+         const Periodicity& periodic = {})
+      : grid_(grid),
+        cfg_(collision),
+        periodic_(periodic),
+        f_{PopulationField(grid, D::Q), PopulationField(grid, D::Q)},
+        mask_(grid, MaterialTable::kFluid) {}
+
+  const Grid& grid() const { return grid_; }
+  CollisionConfig& collision() { return cfg_; }
+  const CollisionConfig& collision() const { return cfg_; }
+  MaterialTable& materials() { return mats_; }
+  const MaterialTable& materials() const { return mats_; }
+  MaskField& mask() { return mask_; }
+  const MaskField& mask() const { return mask_; }
+  void setVariant(KernelVariant v) { variant_ = v; }
+  KernelVariant variant() const { return variant_; }
+  /// Host threads for the fused kernel (intra-rank parallelism; results
+  /// are bit-identical for any thread count).
+  void setHostThreads(int n) { hostThreads_ = n; }
+  int hostThreads() const { return hostThreads_; }
+
+  /// Mark every interior cell inside `box` with material `id`.
+  void paint(const Box3& box, std::uint8_t id) {
+    const Box3 b = intersect(box, grid_.interior());
+    for (int z = b.lo.z; z < b.hi.z; ++z)
+      for (int y = b.lo.y; y < b.hi.y; ++y)
+        for (int x = b.lo.x; x < b.hi.x; ++x) mask_(x, y, z) = id;
+  }
+
+  /// Finish mask setup: non-periodic halo becomes solid wall, periodic
+  /// halo wraps.  Must be called after all paint()/mask edits and before
+  /// the first step.
+  void finalizeMask() {
+    fill_halo_mask(mask_, periodic_, MaterialTable::kSolid);
+    maskFinal_ = true;
+  }
+
+  /// Initialize populations to equilibrium at constant (rho, u).
+  void initUniform(Real rho, const Vec3& u) {
+    initField([&](int, int, int, Real& r, Vec3& v) {
+      r = rho;
+      v = u;
+    });
+  }
+
+  /// Initialize populations to equilibrium from a per-cell (rho, u) field.
+  void initField(
+      const std::function<void(int, int, int, Real&, Vec3&)>& fn) {
+    if (!maskFinal_) finalizeMask();
+    Real feq[D::Q];
+    for (int z = -grid_.halo; z < grid_.nz + grid_.halo; ++z)
+      for (int y = -grid_.halo; y < grid_.ny + grid_.halo; ++y)
+        for (int x = -grid_.halo; x < grid_.nx + grid_.halo; ++x) {
+          Real rho = 1;
+          Vec3 u{0, 0, 0};
+          fn(x, y, z, rho, u);
+          equilibria<D>(rho, u, feq);
+          for (int i = 0; i < D::Q; ++i) {
+            f_[0](i, x, y, z) = feq[i];
+            f_[1](i, x, y, z) = feq[i];
+          }
+        }
+  }
+
+  /// Advance one time step: wrap periodic halos, fused update, A-B swap.
+  void step() {
+    SWLB_ASSERT(maskFinal_);
+    PopulationField& src = f_[parity_];
+    PopulationField& dst = f_[1 - parity_];
+    apply_periodic(src, periodic_);
+    const Box3 range = grid_.interior();
+    switch (variant_) {
+      case KernelVariant::Fused:
+        stream_collide_fused_mt<D>(src, dst, mask_, mats_, cfg_, range,
+                                   hostThreads_);
+        break;
+      case KernelVariant::Generic:
+        stream_collide_generic<D>(src, dst, mask_, mats_, cfg_, range);
+        break;
+      case KernelVariant::TwoStep:
+        stream_only<D>(src, dst, mask_, mats_, range);
+        collide_inplace<D>(dst, mask_, mats_, cfg_, range);
+        break;
+      case KernelVariant::Push:
+        stream_collide_push<D>(src, dst, mask_, mats_, cfg_, range, periodic_);
+        break;
+    }
+    parity_ = 1 - parity_;
+    ++steps_;
+  }
+
+  void run(std::uint64_t nSteps) {
+    for (std::uint64_t s = 0; s < nSteps; ++s) step();
+  }
+
+  /// Run nSteps and return million lattice-cell updates per second.
+  double runMeasured(std::uint64_t nSteps) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run(nSteps);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    const double lups =
+        static_cast<double>(grid_.interiorVolume()) * nSteps / sec;
+    return lups / 1e6;
+  }
+
+  std::uint64_t stepsDone() const { return steps_; }
+
+  /// Current (most recently written) population field.
+  const PopulationField& f() const { return f_[parity_]; }
+  PopulationField& f() { return f_[parity_]; }
+  /// The other buffer of the A-B pair (scratch / previous step).
+  PopulationField& fOther() { return f_[1 - parity_]; }
+  int parity() const { return parity_; }
+  void setParity(int p) { parity_ = p; }
+  /// Restore step counter and A-B parity (checkpoint restart).
+  void restoreState(std::uint64_t steps, int parity) {
+    SWLB_ASSERT(parity == 0 || parity == 1);
+    steps_ = steps;
+    parity_ = parity;
+  }
+
+  Real density(int x, int y, int z) const {
+    Real rho;
+    Vec3 u;
+    cell_macroscopic<D>(f(), x, y, z, cfg_, rho, u);
+    return rho;
+  }
+  Vec3 velocity(int x, int y, int z) const {
+    Real rho;
+    Vec3 u;
+    cell_macroscopic<D>(f(), x, y, z, cfg_, rho, u);
+    return u;
+  }
+  void computeMacroscopic(ScalarField& rho, VectorField& u) const {
+    compute_macroscopic<D>(f(), mask_, mats_, cfg_, rho, u);
+  }
+
+  Real totalMass() const { return total_mass<D>(f(), mask_, mats_); }
+  Vec3 totalMomentum() const { return total_momentum<D>(f(), mask_, mats_); }
+
+ private:
+  Grid grid_;
+  CollisionConfig cfg_;
+  Periodicity periodic_;
+  PopulationField f_[2];
+  MaskField mask_;
+  MaterialTable mats_;
+  KernelVariant variant_ = KernelVariant::Fused;
+  int hostThreads_ = 1;
+  int parity_ = 0;
+  std::uint64_t steps_ = 0;
+  bool maskFinal_ = false;
+};
+
+}  // namespace swlb

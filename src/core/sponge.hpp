@@ -1,0 +1,60 @@
+// Sponge (absorbing) zones: cells near an open boundary are blended
+// toward a target equilibrium after each step, damping vortices and
+// pressure waves before they hit the outflow and reflect.  Standard
+// practice for the wake/cylinder DNS cases the paper runs (§V-A1).
+#pragma once
+
+#include <cmath>
+
+#include "core/equilibrium.hpp"
+#include "core/field.hpp"
+
+namespace swlb {
+
+struct SpongeZone {
+  Box3 box;              ///< cells covered by the sponge (interior coords)
+  int axis = 0;          ///< 0/1/2: direction of increasing damping
+  bool highSide = true;  ///< damping grows toward box.hi (an outlet at +axis)
+  Real maxStrength = 0.1;  ///< blend factor at the strongest edge (0..1]
+  Real targetRho = 1.0;
+  Vec3 targetU{0, 0, 0};
+};
+
+/// Damping strength of `zone` at cell (x, y, z): quadratic ramp from 0 at
+/// the inner edge to maxStrength at the outer edge; 0 outside the box.
+inline Real sponge_strength(const SpongeZone& zone, int x, int y, int z) {
+  if (!zone.box.contains({x, y, z})) return 0;
+  const int c = zone.axis == 0 ? x : zone.axis == 1 ? y : z;
+  const int lo = zone.axis == 0 ? zone.box.lo.x
+                 : zone.axis == 1 ? zone.box.lo.y
+                                  : zone.box.lo.z;
+  const int hi = zone.axis == 0 ? zone.box.hi.x
+                 : zone.axis == 1 ? zone.box.hi.y
+                                  : zone.box.hi.z;
+  const Real t = hi - lo <= 1
+                     ? Real(1)
+                     : static_cast<Real>(c - lo) / static_cast<Real>(hi - 1 - lo);
+  const Real ramp = zone.highSide ? t : Real(1) - t;
+  return zone.maxStrength * ramp * ramp;
+}
+
+/// Blend the populations inside the zone toward the target equilibrium:
+///   f <- (1 - s) f + s feq(rho_t, u_t).
+/// Call after each step on the solver's current field.
+template <class D>
+void apply_sponge(PopulationField& f, const SpongeZone& zone) {
+  const Grid& g = f.grid();
+  const Box3 b = intersect(zone.box, g.interior());
+  Real feq[D::Q];
+  equilibria<D>(zone.targetRho, zone.targetU, feq);
+  for (int z = b.lo.z; z < b.hi.z; ++z)
+    for (int y = b.lo.y; y < b.hi.y; ++y)
+      for (int x = b.lo.x; x < b.hi.x; ++x) {
+        const Real s = sponge_strength(zone, x, y, z);
+        if (s <= 0) continue;
+        for (int i = 0; i < D::Q; ++i)
+          f(i, x, y, z) += s * (feq[i] - f(i, x, y, z));
+      }
+}
+
+}  // namespace swlb

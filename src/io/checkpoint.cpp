@@ -1,0 +1,103 @@
+#include "io/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace swlb::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'W', 'L', 'B', 'C', 'K', 'P', 'T'};
+
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::int32_t nx, ny, nz, halo, q, parity;
+  std::uint64_t steps;
+  std::uint64_t payloadBytes;
+  std::uint64_t checksum;
+};
+
+Header readHeader(std::ifstream& in, const std::string& path) {
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in) throw Error("checkpoint: truncated header in '" + path + "'");
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
+    throw Error("checkpoint: bad magic in '" + path + "'");
+  if (h.version != kCheckpointVersion)
+    throw Error("checkpoint: unsupported version " + std::to_string(h.version));
+  return h;
+}
+
+CheckpointMeta toMeta(const Header& h) {
+  CheckpointMeta m;
+  m.version = h.version;
+  m.interior = {h.nx, h.ny, h.nz};
+  m.halo = h.halo;
+  m.q = h.q;
+  m.steps = h.steps;
+  m.parity = h.parity;
+  return m;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void save_checkpoint(const std::string& path, const PopulationField& f,
+                     std::uint64_t steps, int parity) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw Error("checkpoint: cannot open '" + path + "' for writing");
+
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kCheckpointVersion;
+  h.nx = f.grid().nx;
+  h.ny = f.grid().ny;
+  h.nz = f.grid().nz;
+  h.halo = f.grid().halo;
+  h.q = f.q();
+  h.parity = parity;
+  h.steps = steps;
+  h.payloadBytes = f.bytes();
+  h.checksum = fnv1a(f.data(), f.bytes());
+
+  os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  os.write(reinterpret_cast<const char*>(f.data()),
+           static_cast<std::streamsize>(f.bytes()));
+  if (!os) throw Error("checkpoint: write failed for '" + path + "'");
+}
+
+CheckpointMeta read_checkpoint_meta(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("checkpoint: cannot open '" + path + "'");
+  return toMeta(readHeader(in, path));
+}
+
+CheckpointMeta load_checkpoint(const std::string& path, PopulationField& f) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("checkpoint: cannot open '" + path + "'");
+  const Header h = readHeader(in, path);
+  if (h.nx != f.grid().nx || h.ny != f.grid().ny || h.nz != f.grid().nz ||
+      h.halo != f.grid().halo || h.q != f.q()) {
+    throw Error("checkpoint: geometry mismatch restoring '" + path + "'");
+  }
+  if (h.payloadBytes != f.bytes())
+    throw Error("checkpoint: payload size mismatch in '" + path + "'");
+  in.read(reinterpret_cast<char*>(f.data()),
+          static_cast<std::streamsize>(f.bytes()));
+  if (!in) throw Error("checkpoint: truncated payload in '" + path + "'");
+  if (fnv1a(f.data(), f.bytes()) != h.checksum)
+    throw Error("checkpoint: checksum mismatch in '" + path + "' (corrupt file)");
+  return toMeta(h);
+}
+
+}  // namespace swlb::io

@@ -1,0 +1,54 @@
+// Checkpoint/restart controller (paper §IV-B: "a checkpoint and restart
+// controller which enables fast recover from system-level or hardware
+// fault").  Versioned binary format with an FNV-1a payload checksum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/field.hpp"
+#include "core/solver.hpp"
+
+namespace swlb::io {
+
+struct CheckpointMeta {
+  std::uint32_t version = 0;
+  Int3 interior;
+  int halo = 0;
+  int q = 0;
+  std::uint64_t steps = 0;
+  int parity = 0;
+};
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Save the population field plus solver step state.
+void save_checkpoint(const std::string& path, const PopulationField& f,
+                     std::uint64_t steps, int parity);
+
+/// Header only (cheap inspection before a full restore).
+CheckpointMeta read_checkpoint_meta(const std::string& path);
+
+/// Restore into a field of the *same* grid and Q; throws on any mismatch,
+/// corrupt checksum, or unsupported version.
+CheckpointMeta load_checkpoint(const std::string& path, PopulationField& f);
+
+/// Solver-level convenience wrappers.
+template <class D>
+void save_checkpoint(const std::string& path, const Solver<D>& solver) {
+  save_checkpoint(path, solver.f(), solver.stepsDone(), solver.parity());
+}
+
+template <class D>
+void load_checkpoint(const std::string& path, Solver<D>& solver) {
+  // Restore parity first so the payload lands in the buffer that was
+  // current when the checkpoint was taken.
+  const CheckpointMeta meta = read_checkpoint_meta(path);
+  solver.restoreState(meta.steps, meta.parity);
+  load_checkpoint(path, solver.f());
+}
+
+/// FNV-1a 64-bit hash used for the payload checksum.
+std::uint64_t fnv1a(const void* data, std::size_t bytes);
+
+}  // namespace swlb::io

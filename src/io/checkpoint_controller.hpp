@@ -1,0 +1,70 @@
+// Checkpoint rotation policy: "save every N steps, keep the last K" —
+// the operational half of the paper's checkpoint-and-restart controller
+// for long campaigns (§IV-B).
+#pragma once
+
+#include <cstdio>
+#include <deque>
+#include <string>
+
+#include "io/checkpoint.hpp"
+
+namespace swlb::io {
+
+struct CheckpointPolicy {
+  std::uint64_t interval = 1000;  ///< save every this many steps
+  int keep = 2;                   ///< retain the newest K checkpoints
+};
+
+/// Drives rotated checkpoints for a single-block solver.  Call
+/// maybeSave(solver) once per step (cheap when not due).
+class CheckpointController {
+ public:
+  CheckpointController(std::string prefix, const CheckpointPolicy& policy)
+      : prefix_(std::move(prefix)), policy_(policy) {
+    if (policy_.interval == 0) throw Error("CheckpointPolicy: interval must be > 0");
+    if (policy_.keep < 1) throw Error("CheckpointPolicy: keep must be >= 1");
+  }
+
+  std::string pathFor(std::uint64_t step) const {
+    return prefix_ + ".step" + std::to_string(step) + ".ckpt";
+  }
+
+  /// Save when the solver's step count hits a multiple of the interval.
+  /// Returns true when a checkpoint was written.
+  template <class D>
+  bool maybeSave(const Solver<D>& solver) {
+    const std::uint64_t step = solver.stepsDone();
+    if (step == 0 || step % policy_.interval != 0) return false;
+    if (!saved_.empty() && saved_.back() == step) return false;  // same step
+    save_checkpoint(pathFor(step), solver);
+    saved_.push_back(step);
+    while (static_cast<int>(saved_.size()) > policy_.keep) {
+      std::remove(pathFor(saved_.front()).c_str());
+      saved_.pop_front();
+    }
+    return true;
+  }
+
+  /// Restore the newest retained checkpoint; throws when none exists.
+  template <class D>
+  void restoreLatest(Solver<D>& solver) const {
+    if (saved_.empty()) throw Error("CheckpointController: nothing saved yet");
+    load_checkpoint(pathFor(saved_.back()), solver);
+  }
+
+  const std::deque<std::uint64_t>& retained() const { return saved_; }
+
+  /// Delete every retained checkpoint file (end of campaign).
+  void clear() {
+    for (const auto step : saved_) std::remove(pathFor(step).c_str());
+    saved_.clear();
+  }
+
+ private:
+  std::string prefix_;
+  CheckpointPolicy policy_;
+  std::deque<std::uint64_t> saved_;
+};
+
+}  // namespace swlb::io

@@ -1,0 +1,35 @@
+#include "io/csv.hpp"
+
+#include <iomanip>
+
+namespace swlb::io {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : os_(path), width_(columns.size()) {
+  if (!os_) throw Error("CsvWriter: cannot open '" + path + "'");
+  if (columns.empty()) throw Error("CsvWriter: need at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    os_ << (i ? "," : "") << columns[i];
+  os_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<Real>& values) {
+  if (values.size() != width_) throw Error("CsvWriter: row width mismatch");
+  os_ << std::setprecision(12);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    os_ << (i ? "," : "") << values[i];
+  os_ << '\n';
+  ++rows_;
+  if (!os_) throw Error("CsvWriter: write failed");
+}
+
+void CsvWriter::rowText(const std::vector<std::string>& values) {
+  if (values.size() != width_) throw Error("CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i)
+    os_ << (i ? "," : "") << values[i];
+  os_ << '\n';
+  ++rows_;
+}
+
+}  // namespace swlb::io

@@ -1,0 +1,29 @@
+// CSV time-series writer (drag history, energy decay, benchmark series).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace swlb::io {
+
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// One row; the width must match the header.
+  void row(const std::vector<Real>& values);
+  /// Mixed text/number row.
+  void rowText(const std::vector<std::string>& values);
+
+  std::size_t rowsWritten() const { return rows_; }
+
+ private:
+  std::ofstream os_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace swlb::io

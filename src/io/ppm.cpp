@@ -1,0 +1,89 @@
+#include "io/ppm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace swlb::io {
+
+namespace {
+
+struct Rgb {
+  std::uint8_t r, g, b;
+};
+
+Rgb colorize(Real t, Colormap map) {
+  t = std::clamp<Real>(t, 0, 1);
+  auto u8 = [](Real v) {
+    return static_cast<std::uint8_t>(std::lround(std::clamp<Real>(v, 0, 1) * 255));
+  };
+  switch (map) {
+    case Colormap::BlueWhiteRed: {
+      if (t < Real(0.5)) {
+        const Real s = t * 2;  // blue -> white
+        return {u8(s), u8(s), 255};
+      }
+      const Real s = (t - Real(0.5)) * 2;  // white -> red
+      return {255, u8(1 - s), u8(1 - s)};
+    }
+    case Colormap::Heat: {
+      // black -> red -> yellow -> white
+      return {u8(t * 3), u8(t * 3 - 1), u8(t * 3 - 2)};
+    }
+    case Colormap::Gray:
+    default:
+      return {u8(t), u8(t), u8(t)};
+  }
+}
+
+}  // namespace
+
+void write_ppm(const std::string& path, int w, int h,
+               const std::vector<std::uint8_t>& rgb) {
+  if (static_cast<std::size_t>(w) * h * 3 != rgb.size())
+    throw Error("write_ppm: buffer size does not match dimensions");
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw Error("write_ppm: cannot open '" + path + "'");
+  os << "P6\n" << w << ' ' << h << "\n255\n";
+  os.write(reinterpret_cast<const char*>(rgb.data()),
+           static_cast<std::streamsize>(rgb.size()));
+  if (!os) throw Error("write_ppm: write failed for '" + path + "'");
+}
+
+void write_ppm_slice(const std::string& path, const ScalarField& field, int z,
+                     Real lo, Real hi, Colormap map) {
+  const Grid& g = field.grid();
+  if (z < 0 || z >= g.nz) throw Error("write_ppm_slice: z out of range");
+  if (lo == hi) {  // autoscale
+    lo = hi = field(0, 0, z);
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x) {
+        lo = std::min(lo, field(x, y, z));
+        hi = std::max(hi, field(x, y, z));
+      }
+    if (lo == hi) hi = lo + 1;
+  }
+  std::vector<std::uint8_t> rgb(static_cast<std::size_t>(g.nx) * g.ny * 3);
+  std::size_t k = 0;
+  for (int y = g.ny - 1; y >= 0; --y)  // top row first
+    for (int x = 0; x < g.nx; ++x) {
+      const Real t = (field(x, y, z) - lo) / (hi - lo);
+      const Rgb c = colorize(t, map);
+      rgb[k++] = c.r;
+      rgb[k++] = c.g;
+      rgb[k++] = c.b;
+    }
+  write_ppm(path, g.nx, g.ny, rgb);
+}
+
+void write_ppm_velocity_slice(const std::string& path, const VectorField& u,
+                              int z, Real maxMag) {
+  const Grid& g = u.grid();
+  ScalarField mag(g);
+  for (int y = 0; y < g.ny; ++y)
+    for (int x = 0; x < g.nx; ++x)
+      mag(x, y, z) = std::sqrt(u.at(x, y, z).norm2());
+  write_ppm_slice(path, mag, z, 0, maxMag, Colormap::Heat);
+}
+
+}  // namespace swlb::io

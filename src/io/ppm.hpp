@@ -1,0 +1,31 @@
+// PPM image output — the paper's built-in post-processing function
+// generates "image files in the format of PPM" (§IV-B).
+#pragma once
+
+#include <string>
+
+#include "core/field.hpp"
+
+namespace swlb::io {
+
+enum class Colormap {
+  BlueWhiteRed,  ///< diverging (signed fields: vorticity, Q-criterion)
+  Heat,          ///< sequential black-red-yellow-white (magnitudes)
+  Gray,
+};
+
+/// Write a z-slice of a scalar field as a PPM image.  Values are mapped
+/// linearly from [lo, hi] onto the colormap; pass lo == hi to autoscale.
+void write_ppm_slice(const std::string& path, const ScalarField& field, int z,
+                     Real lo = 0, Real hi = 0,
+                     Colormap map = Colormap::Heat);
+
+/// Write a z-slice of the velocity magnitude.
+void write_ppm_velocity_slice(const std::string& path, const VectorField& u,
+                              int z, Real maxMag = 0);
+
+/// Raw interface: rgb has 3*w*h bytes, row-major, top row first.
+void write_ppm(const std::string& path, int w, int h,
+               const std::vector<std::uint8_t>& rgb);
+
+}  // namespace swlb::io

@@ -1,0 +1,64 @@
+#include "io/vtk.hpp"
+
+#include <fstream>
+
+namespace swlb::io {
+
+VtkWriter::VtkWriter(const Grid& grid, Real spacing, const Vec3& origin)
+    : grid_(grid), spacing_(spacing), origin_(origin) {}
+
+void VtkWriter::addScalar(const std::string& name, const ScalarField& field) {
+  if (!(field.grid() == grid_)) throw Error("VtkWriter: grid mismatch");
+  Named n;
+  n.name = name;
+  n.isVector = false;
+  n.data.reserve(grid_.interiorVolume());
+  for (int z = 0; z < grid_.nz; ++z)
+    for (int y = 0; y < grid_.ny; ++y)
+      for (int x = 0; x < grid_.nx; ++x) n.data.push_back(field(x, y, z));
+  fields_.push_back(std::move(n));
+}
+
+void VtkWriter::addVector(const std::string& name, const VectorField& field) {
+  if (!(field.grid() == grid_)) throw Error("VtkWriter: grid mismatch");
+  Named n;
+  n.name = name;
+  n.isVector = true;
+  n.data.reserve(grid_.interiorVolume() * 3);
+  for (int z = 0; z < grid_.nz; ++z)
+    for (int y = 0; y < grid_.ny; ++y)
+      for (int x = 0; x < grid_.nx; ++x) {
+        const Vec3 v = field.at(x, y, z);
+        n.data.push_back(v.x);
+        n.data.push_back(v.y);
+        n.data.push_back(v.z);
+      }
+  fields_.push_back(std::move(n));
+}
+
+void VtkWriter::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw Error("VtkWriter: cannot open '" + path + "'");
+  os << "# vtk DataFile Version 3.0\n"
+     << "SunwayLB reproduction output\n"
+     << "ASCII\n"
+     << "DATASET STRUCTURED_POINTS\n"
+     << "DIMENSIONS " << grid_.nx << ' ' << grid_.ny << ' ' << grid_.nz << '\n'
+     << "ORIGIN " << origin_.x << ' ' << origin_.y << ' ' << origin_.z << '\n'
+     << "SPACING " << spacing_ << ' ' << spacing_ << ' ' << spacing_ << '\n'
+     << "POINT_DATA " << grid_.interiorVolume() << '\n';
+  for (const auto& f : fields_) {
+    if (f.isVector) {
+      os << "VECTORS " << f.name << " double\n";
+      for (std::size_t i = 0; i < f.data.size(); i += 3)
+        os << f.data[i] << ' ' << f.data[i + 1] << ' ' << f.data[i + 2] << '\n';
+    } else {
+      os << "SCALARS " << f.name << " double 1\n"
+         << "LOOKUP_TABLE default\n";
+      for (const Real v : f.data) os << v << '\n';
+    }
+  }
+  if (!os) throw Error("VtkWriter: write failed for '" + path + "'");
+}
+
+}  // namespace swlb::io

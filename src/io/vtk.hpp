@@ -1,0 +1,39 @@
+// Legacy VTK structured-points writer for ParaView / Tecplot style
+// post-processing (paper §IV-B lists both as supported visualization
+// interfaces; legacy VTK is readable by both).
+#pragma once
+
+#include <string>
+
+#include "core/field.hpp"
+
+namespace swlb::io {
+
+/// Incrementally build one legacy-VTK dataset over the grid interior and
+/// write it with any number of point fields attached.
+class VtkWriter {
+ public:
+  explicit VtkWriter(const Grid& grid, Real spacing = 1.0,
+                     const Vec3& origin = {0, 0, 0});
+
+  /// Attach a scalar field (copied).
+  void addScalar(const std::string& name, const ScalarField& field);
+  /// Attach a vector field (copied).
+  void addVector(const std::string& name, const VectorField& field);
+
+  /// Write everything as ASCII legacy VTK.
+  void write(const std::string& path) const;
+
+ private:
+  struct Named {
+    std::string name;
+    bool isVector;
+    std::vector<Real> data;  // nx*ny*nz (x fastest) or 3x that for vectors
+  };
+  Grid grid_;
+  Real spacing_;
+  Vec3 origin_;
+  std::vector<Named> fields_;
+};
+
+}  // namespace swlb::io

@@ -1,0 +1,197 @@
+#include "mesh/geometry.hpp"
+
+#include <cmath>
+#include <functional>
+#include <numbers>
+
+namespace swlb::mesh {
+
+namespace {
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+}  // namespace
+
+Vec3 Triangle::normal() const {
+  const Vec3 n = cross(b - a, c - a);
+  const Real len = std::sqrt(n.norm2());
+  if (len == 0) return {0, 0, 0};
+  return n * (Real(1) / len);
+}
+
+double Triangle::area() const {
+  const Vec3 n = cross(b - a, c - a);
+  return 0.5 * std::sqrt(n.norm2());
+}
+
+Bounds TriangleMesh::bounds() const {
+  Bounds b;
+  if (tris_.empty()) return b;
+  b.lo = b.hi = tris_.front().a;
+  auto extend = [&](const Vec3& p) {
+    b.lo = {std::min(b.lo.x, p.x), std::min(b.lo.y, p.y), std::min(b.lo.z, p.z)};
+    b.hi = {std::max(b.hi.x, p.x), std::max(b.hi.y, p.y), std::max(b.hi.z, p.z)};
+  };
+  for (const auto& t : tris_) {
+    extend(t.a);
+    extend(t.b);
+    extend(t.c);
+  }
+  return b;
+}
+
+double TriangleMesh::surfaceArea() const {
+  double s = 0;
+  for (const auto& t : tris_) s += t.area();
+  return s;
+}
+
+TriangleMesh& TriangleMesh::translate(const Vec3& d) {
+  for (auto& t : tris_) {
+    t.a = t.a + d;
+    t.b = t.b + d;
+    t.c = t.c + d;
+  }
+  return *this;
+}
+
+TriangleMesh& TriangleMesh::scale(Real s) { return scale(Vec3{s, s, s}); }
+
+TriangleMesh& TriangleMesh::scale(const Vec3& s) {
+  auto mul = [&](Vec3& p) {
+    p.x *= s.x;
+    p.y *= s.y;
+    p.z *= s.z;
+  };
+  for (auto& t : tris_) {
+    mul(t.a);
+    mul(t.b);
+    mul(t.c);
+  }
+  return *this;
+}
+
+void TriangleMesh::append(const TriangleMesh& other) {
+  tris_.insert(tris_.end(), other.tris_.begin(), other.tris_.end());
+}
+
+TriangleMesh make_box(const Vec3& lo, const Vec3& hi) {
+  const Vec3 v[8] = {
+      {lo.x, lo.y, lo.z}, {hi.x, lo.y, lo.z}, {hi.x, hi.y, lo.z}, {lo.x, hi.y, lo.z},
+      {lo.x, lo.y, hi.z}, {hi.x, lo.y, hi.z}, {hi.x, hi.y, hi.z}, {lo.x, hi.y, hi.z},
+  };
+  // Faces as quads split into two triangles each, outward oriented.
+  const int faces[6][4] = {
+      {0, 3, 2, 1},  // -z
+      {4, 5, 6, 7},  // +z
+      {0, 1, 5, 4},  // -y
+      {2, 3, 7, 6},  // +y
+      {0, 4, 7, 3},  // -x
+      {1, 2, 6, 5},  // +x
+  };
+  TriangleMesh m;
+  for (const auto& f : faces) {
+    m.add({v[f[0]], v[f[1]], v[f[2]]});
+    m.add({v[f[0]], v[f[2]], v[f[3]]});
+  }
+  return m;
+}
+
+TriangleMesh make_sphere(const Vec3& c, Real r, int segments, int rings) {
+  TriangleMesh m;
+  const Real pi = std::numbers::pi_v<Real>;
+  auto point = [&](int i, int j) -> Vec3 {
+    const Real theta = pi * j / rings;              // 0..pi
+    const Real phi = 2 * pi * i / segments;         // 0..2pi
+    return {c.x + r * std::sin(theta) * std::cos(phi),
+            c.y + r * std::sin(theta) * std::sin(phi), c.z + r * std::cos(theta)};
+  };
+  for (int j = 0; j < rings; ++j)
+    for (int i = 0; i < segments; ++i) {
+      const Vec3 p00 = point(i, j), p10 = point(i + 1, j);
+      const Vec3 p01 = point(i, j + 1), p11 = point(i + 1, j + 1);
+      if (j > 0) m.add({p00, p11, p10});
+      if (j < rings - 1) m.add({p00, p01, p11});
+    }
+  return m;
+}
+
+TriangleMesh make_cylinder(const Vec3& base, Real r, Real h, int segments) {
+  TriangleMesh m;
+  const Real pi = std::numbers::pi_v<Real>;
+  const Vec3 top{base.x, base.y, base.z + h};
+  auto rim = [&](int i, Real z) -> Vec3 {
+    const Real phi = 2 * pi * i / segments;
+    return {base.x + r * std::cos(phi), base.y + r * std::sin(phi), z};
+  };
+  for (int i = 0; i < segments; ++i) {
+    const Vec3 b0 = rim(i, base.z), b1 = rim(i + 1, base.z);
+    const Vec3 t0 = rim(i, top.z), t1 = rim(i + 1, top.z);
+    // Side (outward).
+    m.add({b0, b1, t1});
+    m.add({b0, t1, t0});
+    // Caps.
+    m.add({base, b1, b0});
+    m.add({top, t0, t1});
+  }
+  return m;
+}
+
+TriangleMesh make_revolution(Real length, const std::function<Real(Real)>& radius,
+                             int stations, int segments) {
+  if (stations < 2 || segments < 3)
+    throw Error("make_revolution: need >= 2 stations and >= 3 segments");
+  TriangleMesh m;
+  const Real pi = std::numbers::pi_v<Real>;
+  auto point = [&](int s, int i) -> Vec3 {
+    const Real t = static_cast<Real>(s) / stations;
+    const Real r = std::max<Real>(0, radius(t));
+    const Real phi = 2 * pi * i / segments;
+    return {t * length, r * std::cos(phi), r * std::sin(phi)};
+  };
+  for (int s = 0; s < stations; ++s)
+    for (int i = 0; i < segments; ++i) {
+      const Vec3 p00 = point(s, i), p10 = point(s, i + 1);
+      const Vec3 p01 = point(s + 1, i), p11 = point(s + 1, i + 1);
+      // Degenerate quads at closed tips collapse naturally.
+      m.add({p00, p01, p11});
+      m.add({p00, p11, p10});
+    }
+  // Close open ends (radius > 0 at t=0 or t=1) with fans.
+  if (radius(0) > 0) {
+    const Vec3 c{0, 0, 0};
+    for (int i = 0; i < segments; ++i) m.add({c, point(0, i), point(0, i + 1)});
+  }
+  if (radius(1) > 0) {
+    const Vec3 c{length, 0, 0};
+    for (int i = 0; i < segments; ++i)
+      m.add({c, point(stations, i + 1), point(stations, i)});
+  }
+  return m;
+}
+
+Real suboff_profile(Real t) {
+  // Axisymmetric hull resembling the DARPA Suboff bare hull: elliptic bow
+  // over the first ~23% of the length, parallel midbody, smoothly tapered
+  // stern over the last ~29%.
+  t = std::clamp<Real>(t, 0, 1);
+  constexpr Real bowEnd = 0.233;
+  constexpr Real sternStart = 0.71;
+  if (t < bowEnd) {
+    const Real s = t / bowEnd;                 // 0..1 along the bow
+    return std::sqrt(std::max<Real>(0, 1 - (1 - s) * (1 - s)));
+  }
+  if (t < sternStart) return 1.0;
+  const Real s = (t - sternStart) / (1 - sternStart);  // 0..1 along the stern
+  // Cubic taper to a small tail radius, C1 at the midbody joint.
+  const Real r = 1 - s * s * (3 - 2 * s) * Real(0.96);
+  return std::max<Real>(r, 0);
+}
+
+TriangleMesh make_suboff(Real length, Real maxRadius, int stations, int segments) {
+  return make_revolution(
+      length, [maxRadius](Real t) { return maxRadius * suboff_profile(t); },
+      stations, segments);
+}
+
+}  // namespace swlb::mesh

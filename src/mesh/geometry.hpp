@@ -1,0 +1,81 @@
+// Geometry primitives and mesh generators (pre-processing module,
+// paper §IV-B: "geometries from CAD tools with stl format, terrain files
+// ... and the outline described directly inside SunwayLB").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace swlb::mesh {
+
+struct Triangle {
+  Vec3 a, b, c;
+
+  Vec3 normal() const;
+  double area() const;
+};
+
+struct Bounds {
+  Vec3 lo{0, 0, 0};
+  Vec3 hi{0, 0, 0};
+
+  Vec3 extent() const { return hi - lo; }
+  Vec3 center() const { return (lo + hi) * 0.5; }
+};
+
+class TriangleMesh {
+ public:
+  TriangleMesh() = default;
+  explicit TriangleMesh(std::vector<Triangle> tris) : tris_(std::move(tris)) {}
+
+  void add(const Triangle& t) { tris_.push_back(t); }
+  const std::vector<Triangle>& triangles() const { return tris_; }
+  std::size_t size() const { return tris_.size(); }
+  bool empty() const { return tris_.empty(); }
+
+  Bounds bounds() const;
+  double surfaceArea() const;
+
+  /// In-place affine transforms (builder style).
+  TriangleMesh& translate(const Vec3& d);
+  TriangleMesh& scale(Real s);
+  TriangleMesh& scale(const Vec3& s);
+
+  void append(const TriangleMesh& other);
+
+ private:
+  std::vector<Triangle> tris_;
+};
+
+// ---- generators (all produce closed, outward-oriented surfaces) --------
+
+/// Axis-aligned box [lo, hi].
+TriangleMesh make_box(const Vec3& lo, const Vec3& hi);
+
+/// UV sphere centred at `center`.
+TriangleMesh make_sphere(const Vec3& center, Real radius, int segments = 24,
+                         int rings = 12);
+
+/// Cylinder along the z axis: caps at z0 and z1.
+TriangleMesh make_cylinder(const Vec3& baseCenter, Real radius, Real height,
+                           int segments = 32);
+
+/// Body of revolution around the x axis: `radius(t)` gives the radius at
+/// normalized station t in [0, 1]; the body spans x in [0, length].
+/// Stations with zero radius close the surface.
+TriangleMesh make_revolution(Real length,
+                             const std::function<Real(Real)>& radius,
+                             int stations = 48, int segments = 32);
+
+/// Radius profile (fraction of max radius) of a DARPA-Suboff-like
+/// axisymmetric hull: elliptic bow, parallel midbody, tapered stern
+/// (substitute for the DARPA CAD geometry, paper §V-B).
+Real suboff_profile(Real t);
+
+/// Convenience: the Suboff-like hull at a given length and max radius.
+TriangleMesh make_suboff(Real length, Real maxRadius, int stations = 64,
+                         int segments = 32);
+
+}  // namespace swlb::mesh

@@ -1,0 +1,148 @@
+#include "mesh/stl.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace swlb::mesh {
+
+namespace {
+
+struct BinTriangle {
+  float n[3];
+  float v[3][3];
+  std::uint16_t attr;
+};
+
+void writeFloat3(std::ostream& os, const Vec3& v) {
+  const float f[3] = {static_cast<float>(v.x), static_cast<float>(v.y),
+                      static_cast<float>(v.z)};
+  os.write(reinterpret_cast<const char*>(f), sizeof(f));
+}
+
+Vec3 readFloat3(std::istream& is) {
+  float f[3];
+  is.read(reinterpret_cast<char*>(f), sizeof(f));
+  return {f[0], f[1], f[2]};
+}
+
+TriangleMesh readBinary(std::istream& in) {
+  char header[80];
+  in.read(header, sizeof(header));
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw Error("STL: truncated binary header");
+
+  TriangleMesh mesh;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    (void)readFloat3(in);  // stored normal: recomputed on demand
+    Triangle t;
+    t.a = readFloat3(in);
+    t.b = readFloat3(in);
+    t.c = readFloat3(in);
+    std::uint16_t attr;
+    in.read(reinterpret_cast<char*>(&attr), sizeof(attr));
+    if (!in) throw Error("STL: truncated binary facet " + std::to_string(i));
+    mesh.add(t);
+  }
+  return mesh;
+}
+
+TriangleMesh readAscii(std::istream& in) {
+  TriangleMesh mesh;
+  std::string tok;
+  Triangle t;
+  int vtx = 0;
+  bool sawSolid = false;
+  while (in >> tok) {
+    if (tok == "solid") {
+      sawSolid = true;
+      std::string rest;
+      std::getline(in, rest);  // skip name
+    } else if (tok == "vertex") {
+      Vec3 p;
+      if (!(in >> p.x >> p.y >> p.z)) throw Error("STL: malformed vertex");
+      if (vtx == 0)
+        t.a = p;
+      else if (vtx == 1)
+        t.b = p;
+      else
+        t.c = p;
+      if (++vtx == 3) {
+        mesh.add(t);
+        vtx = 0;
+      }
+    }
+    // facet/normal/outer/loop/endloop/endfacet/endsolid tokens are skipped.
+  }
+  if (!sawSolid) throw Error("STL: not an ASCII solid");
+  if (vtx != 0) throw Error("STL: dangling vertices at end of file");
+  return mesh;
+}
+
+}  // namespace
+
+TriangleMesh read_stl(std::istream& in) {
+  // Auto-detect: ASCII files start with "solid" AND contain "facet"; some
+  // binary files also start with "solid", so verify parseability.
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  if (content.size() < 6) throw Error("STL: file too short");
+
+  if (content.rfind("solid", 0) == 0 &&
+      content.find("facet") != std::string::npos) {
+    std::istringstream ascii(content);
+    return readAscii(ascii);
+  }
+  std::istringstream bin(content);
+  return readBinary(bin);
+}
+
+TriangleMesh read_stl(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("STL: cannot open '" + path + "'");
+  return read_stl(in);
+}
+
+void write_stl_binary(const std::string& path, const TriangleMesh& mesh,
+                      const std::string& header) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw Error("STL: cannot write '" + path + "'");
+  char head[80] = {};
+  std::memcpy(head, header.data(), std::min<std::size_t>(header.size(), 79));
+  os.write(head, sizeof(head));
+  const std::uint32_t count = static_cast<std::uint32_t>(mesh.size());
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& t : mesh.triangles()) {
+    writeFloat3(os, t.normal());
+    writeFloat3(os, t.a);
+    writeFloat3(os, t.b);
+    writeFloat3(os, t.c);
+    const std::uint16_t attr = 0;
+    os.write(reinterpret_cast<const char*>(&attr), sizeof(attr));
+  }
+  if (!os) throw Error("STL: write failed for '" + path + "'");
+}
+
+void write_stl_ascii(const std::string& path, const TriangleMesh& mesh,
+                     const std::string& solidName) {
+  std::ofstream os(path);
+  if (!os) throw Error("STL: cannot write '" + path + "'");
+  os << "solid " << solidName << "\n";
+  for (const auto& t : mesh.triangles()) {
+    const Vec3 n = t.normal();
+    os << "  facet normal " << n.x << ' ' << n.y << ' ' << n.z << "\n"
+       << "    outer loop\n"
+       << "      vertex " << t.a.x << ' ' << t.a.y << ' ' << t.a.z << "\n"
+       << "      vertex " << t.b.x << ' ' << t.b.y << ' ' << t.b.z << "\n"
+       << "      vertex " << t.c.x << ' ' << t.c.y << ' ' << t.c.z << "\n"
+       << "    endloop\n"
+       << "  endfacet\n";
+  }
+  os << "endsolid " << solidName << "\n";
+  if (!os) throw Error("STL: write failed for '" + path + "'");
+}
+
+}  // namespace swlb::mesh

@@ -1,0 +1,25 @@
+// STL (stereolithography) reader/writer for CAD input (paper §IV-B).
+// Supports both ASCII and little-endian binary STL; the reader
+// auto-detects the format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/geometry.hpp"
+
+namespace swlb::mesh {
+
+/// Read an STL file (ASCII or binary, auto-detected).
+/// Throws swlb::Error on missing files or malformed content.
+TriangleMesh read_stl(const std::string& path);
+TriangleMesh read_stl(std::istream& in);
+
+/// Write binary STL (the compact interchange default).
+void write_stl_binary(const std::string& path, const TriangleMesh& mesh,
+                      const std::string& header = "swlb");
+/// Write ASCII STL (human-readable).
+void write_stl_ascii(const std::string& path, const TriangleMesh& mesh,
+                     const std::string& solidName = "swlb");
+
+}  // namespace swlb::mesh

@@ -1,0 +1,63 @@
+#include "mesh/terrain.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace swlb::mesh {
+
+Real Heightmap::maxHeight() const {
+  Real m = h_.empty() ? 0 : h_[0];
+  for (Real v : h_) m = std::max(m, v);
+  return m;
+}
+
+Real Heightmap::minHeight() const {
+  Real m = h_.empty() ? 0 : h_[0];
+  for (Real v : h_) m = std::min(m, v);
+  return m;
+}
+
+void Heightmap::fill(const std::function<Real(int, int)>& fn) {
+  for (int y = 0; y < ny_; ++y)
+    for (int x = 0; x < nx_; ++x) at(x, y) = fn(x, y);
+}
+
+void Heightmap::paint(MaskField& mask, std::uint8_t id) const {
+  const Grid& g = mask.grid();
+  const int nx = std::min(nx_, g.nx);
+  const int ny = std::min(ny_, g.ny);
+  for (int y = 0; y < ny; ++y)
+    for (int x = 0; x < nx; ++x) {
+      const int top = std::min(g.nz, static_cast<int>(std::floor(at(x, y))));
+      for (int z = 0; z < top; ++z) mask(x, y, z) = id;
+    }
+}
+
+Heightmap make_rolling_terrain(int nx, int ny, Real amplitude, unsigned seed) {
+  Heightmap hm(nx, ny);
+  const Real pi = std::numbers::pi_v<Real>;
+  // Deterministic pseudo-random phases from a small LCG.
+  auto lcg = [state = seed]() mutable {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<Real>(state) / Real(4294967296.0);
+  };
+  struct Ridge {
+    Real kx, ky, phase, weight;
+  };
+  std::vector<Ridge> ridges;
+  for (int i = 0; i < 6; ++i) {
+    ridges.push_back({(1 + 3 * lcg()) * 2 * pi / nx, (1 + 3 * lcg()) * 2 * pi / ny,
+                      2 * pi * lcg(), Real(1) / (i + 1)});
+  }
+  Real wsum = 0;
+  for (const auto& r : ridges) wsum += r.weight;
+  hm.fill([&](int x, int y) {
+    Real v = 0;
+    for (const auto& r : ridges)
+      v += r.weight * (Real(0.5) + Real(0.5) * std::sin(r.kx * x + r.ky * y + r.phase));
+    return amplitude * v / wsum;
+  });
+  return hm;
+}
+
+}  // namespace swlb::mesh

@@ -1,0 +1,49 @@
+// Heightmap terrain support: the "terrain files from GIS software" input
+// of the paper's mesh generator (§IV-B), with a synthetic generator
+// standing in for proprietary GIS data.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/field.hpp"
+
+namespace swlb::mesh {
+
+class Heightmap {
+ public:
+  Heightmap() = default;
+  Heightmap(int nx, int ny, Real init = 0)
+      : nx_(nx), ny_(ny), h_(static_cast<std::size_t>(nx) * ny, init) {
+    if (nx <= 0 || ny <= 0) throw Error("Heightmap: size must be positive");
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  Real& at(int x, int y) { return h_[index(x, y)]; }
+  Real at(int x, int y) const { return h_[index(x, y)]; }
+
+  Real maxHeight() const;
+  Real minHeight() const;
+
+  /// Fill from a function of (x, y) cell coordinates.
+  void fill(const std::function<Real(int, int)>& fn);
+
+  /// Paint all lattice cells with z < height(x, y) as material `id`.
+  /// Heights are in lattice units (cells).
+  void paint(MaskField& mask, std::uint8_t id) const;
+
+ private:
+  std::size_t index(int x, int y) const {
+    SWLB_ASSERT(x >= 0 && x < nx_ && y >= 0 && y < ny_);
+    return static_cast<std::size_t>(y) * nx_ + x;
+  }
+  int nx_ = 0, ny_ = 0;
+  std::vector<Real> h_;
+};
+
+/// Smooth synthetic terrain: a deterministic sum of sinusoidal ridges
+/// (substitute for GIS input), heights in [0, amplitude].
+Heightmap make_rolling_terrain(int nx, int ny, Real amplitude, unsigned seed = 1);
+
+}  // namespace swlb::mesh

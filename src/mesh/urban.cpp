@@ -1,0 +1,53 @@
+#include "mesh/urban.hpp"
+
+namespace swlb::mesh {
+
+Heightmap make_urban_heightmap(int nx, int ny, const UrbanConfig& cfg) {
+  if (cfg.blockCells <= 0 || cfg.streetCells < 0)
+    throw Error("make_urban_heightmap: invalid block/street sizes");
+  Heightmap hm(nx, ny, 0);
+
+  auto lcg = [state = cfg.seed]() mutable {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<double>(state) / 4294967296.0;
+  };
+
+  const int pitch = cfg.blockCells + cfg.streetCells;
+  for (int by = 0; by * pitch < ny; ++by) {
+    for (int bx = 0; bx * pitch < nx; ++bx) {
+      const double r = lcg();
+      const double hr = lcg();
+      if (r > cfg.buildProbability) continue;  // empty lot
+      const Real h =
+          cfg.minHeight + static_cast<Real>(hr) * (cfg.maxHeight - cfg.minHeight);
+      const int x0 = bx * pitch + cfg.streetCells / 2;
+      const int y0 = by * pitch + cfg.streetCells / 2;
+      for (int y = y0; y < std::min(ny, y0 + cfg.blockCells); ++y)
+        for (int x = x0; x < std::min(nx, x0 + cfg.blockCells); ++x)
+          hm.at(x, y) = h;
+    }
+  }
+  return hm;
+}
+
+UrbanStats analyze_urban(const Heightmap& hm) {
+  UrbanStats s;
+  long long built = 0;
+  // Count connected lots loosely: a building is a local plateau start
+  // (cheap heuristic: cell is built and left/bottom neighbours differ).
+  for (int y = 0; y < hm.ny(); ++y)
+    for (int x = 0; x < hm.nx(); ++x) {
+      const Real h = hm.at(x, y);
+      if (h <= 0) continue;
+      ++built;
+      s.tallest = std::max(s.tallest, h);
+      const bool newX = x == 0 || hm.at(x - 1, y) != h;
+      const bool newY = y == 0 || hm.at(x, y - 1) != h;
+      if (newX && newY) ++s.buildings;
+    }
+  s.builtFraction =
+      static_cast<double>(built) / (static_cast<double>(hm.nx()) * hm.ny());
+  return s;
+}
+
+}  // namespace swlb::mesh

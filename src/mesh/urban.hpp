@@ -1,0 +1,31 @@
+// Procedural urban geometry: city blocks with streets and randomized
+// building heights — the substitute for the Shanghai GIS data of the
+// paper's urban wind simulation (§V-C, Fig. 19).
+#pragma once
+
+#include "mesh/terrain.hpp"
+
+namespace swlb::mesh {
+
+struct UrbanConfig {
+  int blockCells = 12;      ///< building footprint edge (lattice cells)
+  int streetCells = 6;      ///< street width between buildings
+  Real minHeight = 4;       ///< lattice cells
+  Real maxHeight = 20;      ///< lattice cells (paper: tallest ~80 m at 4 m/cell)
+  double buildProbability = 0.85;  ///< some lots stay empty (parks/plazas)
+  unsigned seed = 7;
+};
+
+/// Generate a city heightmap: a regular street grid with buildings of
+/// deterministic pseudo-random heights on the lots.
+Heightmap make_urban_heightmap(int nx, int ny, const UrbanConfig& cfg = {});
+
+/// Statistics used by tests and the wind example.
+struct UrbanStats {
+  int buildings = 0;
+  Real tallest = 0;
+  double builtFraction = 0;  ///< of ground area covered by buildings
+};
+UrbanStats analyze_urban(const Heightmap& hm);
+
+}  // namespace swlb::mesh

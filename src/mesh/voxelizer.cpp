@@ -1,0 +1,103 @@
+#include "mesh/voxelizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swlb::mesh {
+
+long long VoxelGrid::solidCount() const {
+  long long n = 0;
+  for (auto v : solid_) n += v;
+  return n;
+}
+
+void VoxelGrid::paint(MaskField& mask, std::uint8_t id, const Int3& at) const {
+  const Grid& g = mask.grid();
+  for (int z = 0; z < size_.z; ++z)
+    for (int y = 0; y < size_.y; ++y)
+      for (int x = 0; x < size_.x; ++x) {
+        if (!this->at(x, y, z)) continue;
+        const int gx = at.x + x, gy = at.y + y, gz = at.z + z;
+        if (gx < 0 || gx >= g.nx || gy < 0 || gy >= g.ny || gz < 0 || gz >= g.nz)
+          continue;
+        mask(gx, gy, gz) = id;
+      }
+}
+
+Real ray_x_triangle(const Vec3& orig, const Triangle& tri) {
+  // Möller-Trumbore specialized for direction (1, 0, 0).
+  const Vec3 e1 = tri.b - tri.a;
+  const Vec3 e2 = tri.c - tri.a;
+  // pvec = dir x e2 = (0, -e2.z, e2.y)
+  const Real det = e1.z * e2.y - e1.y * e2.z;  // e1 . pvec
+  if (std::abs(det) < Real(1e-12)) return -1;
+  const Real invDet = Real(1) / det;
+  const Vec3 tvec = orig - tri.a;
+  const Real u = (tvec.z * e2.y - tvec.y * e2.z) * invDet;  // tvec . pvec
+  if (u < 0 || u > 1) return -1;
+  // qvec = tvec x e1
+  const Vec3 qvec{tvec.y * e1.z - tvec.z * e1.y, tvec.z * e1.x - tvec.x * e1.z,
+                  tvec.x * e1.y - tvec.y * e1.x};
+  const Real v = qvec.x * invDet;  // dir . qvec = qvec.x
+  if (v < 0 || u + v > 1) return -1;
+  const Real t = (e2.x * qvec.x + e2.y * qvec.y + e2.z * qvec.z) * invDet;
+  return t;
+}
+
+VoxelGrid voxelize(const TriangleMesh& mesh, const Int3& size, const Vec3& origin,
+                   Real spacing) {
+  if (size.x <= 0 || size.y <= 0 || size.z <= 0)
+    throw Error("voxelize: grid size must be positive");
+  if (spacing <= 0) throw Error("voxelize: spacing must be positive");
+
+  VoxelGrid grid(size, origin, spacing);
+  // Tiny deterministic jitter keeps rays off vertices/edges, where parity
+  // counting would double-count crossings.
+  const Real jy = spacing * Real(1.0e-4);
+  const Real jz = spacing * Real(2.3e-4);
+
+  std::vector<Real> hits;
+  for (int z = 0; z < size.z; ++z)
+    for (int y = 0; y < size.y; ++y) {
+      const Vec3 ray{origin.x - spacing,
+                     origin.y + (y + Real(0.5)) * spacing + jy,
+                     origin.z + (z + Real(0.5)) * spacing + jz};
+      hits.clear();
+      for (const auto& tri : mesh.triangles()) {
+        const Real t = ray_x_triangle(ray, tri);
+        if (t >= 0) hits.push_back(t);
+      }
+      if (hits.size() < 2) continue;
+      std::sort(hits.begin(), hits.end());
+      // Walk the column: a cell is solid when its centre lies between an
+      // odd and the following even crossing.
+      std::size_t k = 0;
+      bool inside = false;
+      for (int x = 0; x < size.x; ++x) {
+        const Real tx = (x + Real(0.5)) * spacing + spacing;  // ray starts 1 cell early
+        while (k < hits.size() && hits[k] <= tx) {
+          inside = !inside;
+          ++k;
+        }
+        if (inside) grid.set(x, y, z, true);
+      }
+    }
+  return grid;
+}
+
+VoxelGrid voxelize_fit(const TriangleMesh& mesh, const Int3& size, int padding) {
+  if (mesh.empty()) throw Error("voxelize_fit: empty mesh");
+  const Bounds b = mesh.bounds();
+  const Vec3 ext = b.extent();
+  const Real spacing =
+      std::max({ext.x / (size.x - 2 * padding), ext.y / (size.y - 2 * padding),
+                ext.z / (size.z - 2 * padding)});
+  if (spacing <= 0) throw Error("voxelize_fit: grid too small for padding");
+  const Vec3 center = b.center();
+  const Vec3 origin{center.x - size.x * spacing / 2,
+                    center.y - size.y * spacing / 2,
+                    center.z - size.z * spacing / 2};
+  return voxelize(mesh, size, origin, spacing);
+}
+
+}  // namespace swlb::mesh

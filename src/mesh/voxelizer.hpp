@@ -1,0 +1,72 @@
+// Triangle-mesh voxelizer: turns watertight surfaces into solid cell
+// masks for the LBM solver (the mesh-generation feature of the paper's
+// pre-processing module, §IV-B).
+#pragma once
+
+#include <vector>
+
+#include "core/field.hpp"
+#include "mesh/geometry.hpp"
+
+namespace swlb::mesh {
+
+/// A solid/fluid occupancy grid in lattice-cell space.
+class VoxelGrid {
+ public:
+  VoxelGrid() = default;
+  VoxelGrid(const Int3& size, const Vec3& origin, Real spacing)
+      : size_(size),
+        origin_(origin),
+        spacing_(spacing),
+        solid_(static_cast<std::size_t>(size.x) * size.y * size.z, 0) {}
+
+  const Int3& size() const { return size_; }
+  const Vec3& origin() const { return origin_; }
+  Real spacing() const { return spacing_; }
+
+  bool at(int x, int y, int z) const { return solid_[index(x, y, z)] != 0; }
+  void set(int x, int y, int z, bool v) { solid_[index(x, y, z)] = v ? 1 : 0; }
+
+  /// Number of solid cells.
+  long long solidCount() const;
+
+  /// Centre of cell (x, y, z) in world coordinates.
+  Vec3 cellCenter(int x, int y, int z) const {
+    return {origin_.x + (x + Real(0.5)) * spacing_,
+            origin_.y + (y + Real(0.5)) * spacing_,
+            origin_.z + (z + Real(0.5)) * spacing_};
+  }
+
+  /// Paint all solid cells into a solver mask with material `id`,
+  /// offsetting by `at` (lattice coordinates of this grid's origin).
+  void paint(MaskField& mask, std::uint8_t id, const Int3& at = {0, 0, 0}) const;
+
+ private:
+  std::size_t index(int x, int y, int z) const {
+    SWLB_ASSERT(x >= 0 && x < size_.x && y >= 0 && y < size_.y && z >= 0 &&
+                z < size_.z);
+    return (static_cast<std::size_t>(z) * size_.y + y) * size_.x + x;
+  }
+
+  Int3 size_{0, 0, 0};
+  Vec3 origin_{0, 0, 0};
+  Real spacing_ = 1;
+  std::vector<std::uint8_t> solid_;
+};
+
+/// Voxelize a watertight mesh by x-ray parity counting: for every (y, z)
+/// cell column a ray is cast along +x and crossings with the surface
+/// toggle inside/outside.
+VoxelGrid voxelize(const TriangleMesh& mesh, const Int3& size,
+                   const Vec3& origin, Real spacing);
+
+/// Convenience: voxelize into a lattice box of `size` cells that tightly
+/// fits the mesh bounds with `padding` empty cells on each side.
+VoxelGrid voxelize_fit(const TriangleMesh& mesh, const Int3& size,
+                       int padding = 1);
+
+/// Möller-Trumbore ray/triangle intersection along +x from `orig`;
+/// returns the distance t >= 0 or a negative value when there is no hit.
+Real ray_x_triangle(const Vec3& orig, const Triangle& tri);
+
+}  // namespace swlb::mesh

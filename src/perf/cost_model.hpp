@@ -1,0 +1,52 @@
+// LBM traffic/flop cost model (paper §IV-C3 and §V-A2).
+//
+// The paper's accounting for the D3Q19 pull kernel: "a total amount of
+// 380 bytes including write allocate cache need to be fetched to LDM and
+// written back to main memory to update one fluid cell".  That is
+//   19 populations * 8 B read  +  19 * 8 B written  +  19 * 4 B
+// write-allocate traffic = 2.5 * 152 B = 380 B per lattice update.
+//
+// The flops-per-update constant is derived from the paper's own reported
+// numbers: 4.7 PFlops at 11,245 GLUPS (TaihuLight) and 2.76 PFlops at
+// 6,583 GLUPS (new Sunway) both give ~418 flops per lattice update.
+#pragma once
+
+#include "core/common.hpp"
+
+namespace swlb::perf {
+
+struct LbmCostModel {
+  int q = 19;                     ///< populations per cell (D3Q19)
+  int bytesPerValue = 8;          ///< double precision
+  double writeAllocateFactor = 0.5;  ///< extra write-allocate traffic
+  double flopsPerLup = 418.0;     ///< from the paper's PFlops/GLUPS ratio
+
+  /// Bytes moved per lattice update with the fused pull kernel.
+  double bytesPerLup() const {
+    return q * bytesPerValue * (2.0 + writeAllocateFactor);
+  }
+  /// Bytes per update without kernel fusion: the separate propagation and
+  /// collision passes each read and write all populations (paper §IV-C3
+  /// reports ~30% gain from fusing, i.e. ~1.3x traffic unfused).
+  double bytesPerLupUnfused() const { return bytesPerLup() * 1.3; }
+
+  /// Arithmetic intensity (flops per byte): ~1.1 for D3Q19, far below any
+  /// processor's ridge point => LBM is memory bound everywhere.
+  double arithmeticIntensity() const { return flopsPerLup / bytesPerLup(); }
+
+  /// Roofline bound in lattice updates per second for a memory system of
+  /// `bandwidth` bytes/s (paper: 32 GB/s / 380 B = 90.4 MLUPS per CG).
+  double lupsUpperBound(double bandwidth) const {
+    return bandwidth / bytesPerLup();
+  }
+
+  /// Memory-bandwidth utilization implied by a measured update rate.
+  double bandwidthUtilization(double lups, double bandwidth) const {
+    return lups * bytesPerLup() / bandwidth;
+  }
+
+  /// Sustained flops implied by an update rate (what PERF would report).
+  double flops(double lups) const { return lups * flopsPerLup; }
+};
+
+}  // namespace swlb::perf

@@ -1,0 +1,97 @@
+#include "perf/gpu_model.hpp"
+
+#include <algorithm>
+
+namespace swlb::perf {
+
+namespace {
+// Division-heavy unoptimized CUDA kernel: FP32 divisions have no hardware
+// instruction (paper §IV-E) and stall the pipeline for ~45% extra time
+// until the pre-computation optimization removes them.
+constexpr double kComputeOverheadUnopt = 1.45;
+constexpr double kComputeOverheadPrecomputed = 1.05;
+// Fraction of the communication hidden behind interior compute once NCCL
+// transfers run concurrently with the kernels.
+constexpr double kCommOverlap = 0.85;
+}  // namespace
+
+GpuClusterModel::GpuClusterModel(const sw::GpuNodeSpec& spec, LbmCostModel cost)
+    : spec_(spec), cost_(cost) {}
+
+double GpuClusterModel::nodeEffectiveBandwidth() const {
+  return spec_.gpusPerNode * spec_.gpuMemBandwidth * kKernelUtilization;
+}
+
+double GpuClusterModel::bandwidthUtilization(double cells,
+                                             double stepSeconds) const {
+  return cells * cost_.bytesPerLup() /
+         (stepSeconds * spec_.gpusPerNode * spec_.gpuMemBandwidth);
+}
+
+std::vector<GpuLadderStage> GpuClusterModel::nodeLadder(const Int3& c) const {
+  const double cells = static_cast<double>(c.x) * c.y * c.z;
+  const double memNode = cells * cost_.bytesPerLup() / nodeEffectiveBandwidth();
+
+  // Intra-node halo volume for the 4x2 GPU decomposition of the node block.
+  const double haloBytes = (2.0 * c.y / 2 + 2.0 * c.x / 4) * c.z * cost_.q *
+                           cost_.bytesPerValue;
+  // Staged path: device -> pinned host -> MPI copy -> pinned host -> device.
+  const double commStaged = 2.0 * haloBytes / spec_.pcieBandwidth +
+                            haloBytes / spec_.cpuSocketBandwidth;
+  const double commNccl =
+      haloBytes / spec_.ncclP2pBandwidth * (1.0 - kCommOverlap);
+
+  std::vector<GpuLadderStage> stages;
+  auto add = [&](std::string name, double seconds) {
+    GpuLadderStage s;
+    s.name = std::move(name);
+    s.stepSeconds = seconds;
+    if (!stages.empty()) {
+      s.speedup = stages.front().stepSeconds / seconds;
+      s.gainOverPrev = stages.back().stepSeconds / seconds;
+    }
+    stages.push_back(std::move(s));
+  };
+
+  add("CPU (1 socket, MPI baseline)",
+      cells * cost_.bytesPerLupUnfused() / spec_.cpuSocketBandwidth);
+  add("+kernel fusion", cells * cost_.bytesPerLup() / spec_.cpuSocketBandwidth);
+  add("+parallelization (8 GPUs, pinned)",
+      memNode * kComputeOverheadUnopt + commStaged);
+  add("+computation opt (pre-computed divisions)",
+      memNode * kComputeOverheadPrecomputed + commStaged);
+  add("+communication opt (NCCL)", memNode + commNccl);
+  return stages;
+}
+
+std::vector<GpuScalingPoint> GpuClusterModel::strongScaling(
+    const Int3& global, const std::vector<int>& nodes) const {
+  const double cells = static_cast<double>(global.x) * global.y * global.z;
+  std::vector<GpuScalingPoint> out;
+  out.reserve(nodes.size());
+  for (int n : nodes) {
+    GpuScalingPoint p;
+    p.nodes = n;
+    p.gpus = n * spec_.gpusPerNode;
+    const double mem = cells / n * cost_.bytesPerLup() / nodeEffectiveBandwidth();
+    double comm = 0;
+    if (n > 1) {
+      // 1-D node decomposition along y: two faces of x*z cells per node.
+      const double faceBytes = 2.0 * global.x * global.z * cost_.q *
+                               cost_.bytesPerValue;
+      comm = (faceBytes / spec_.nodeInterconnectBandwidth +
+              spec_.nodeInterconnectLatency) *
+             (1.0 - kCommOverlap);
+    }
+    p.stepSeconds = mem + comm;
+    p.glups = cells / p.stepSeconds / 1e9;
+    out.push_back(p);
+  }
+  if (!out.empty()) {
+    const double t0 = out.front().stepSeconds * out.front().nodes;
+    for (auto& p : out) p.efficiency = t0 / (p.stepSeconds * p.nodes);
+  }
+  return out;
+}
+
+}  // namespace swlb::perf

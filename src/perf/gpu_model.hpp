@@ -1,0 +1,74 @@
+// Performance model of the GPU-cluster port (paper §IV-E, Figs. 11/17).
+//
+// The port runs the D3Q19 kernel in single precision (an RTX 3090's FP64
+// rate of 1/64 FP32 could never sustain a memory-bound LBM kernel; at
+// FP32 the card is memory bound, consistent with the paper's reported
+// 83.8% memory-bandwidth utilization).  Calibrated constants:
+//   * node kernel efficiency 0.838 of the 8x936 GB/s aggregate GDDR6X —
+//     the paper's measured utilization;
+//   * CPU socket effective bandwidth such that the full ladder lands at
+//     the paper's 191x (a tuned-free AoS MPI code on a 24-core socket).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/cost_model.hpp"
+#include "sw/spec.hpp"
+
+namespace swlb::perf {
+
+struct GpuLadderStage {
+  std::string name;
+  double stepSeconds = 0;
+  double speedup = 1.0;       ///< vs the CPU-socket baseline
+  double gainOverPrev = 1.0;
+};
+
+struct GpuScalingPoint {
+  int nodes = 0;
+  int gpus = 0;
+  double stepSeconds = 0;
+  double glups = 0;
+  double efficiency = 1.0;  ///< vs the 1-node point
+};
+
+class GpuClusterModel {
+ public:
+  explicit GpuClusterModel(const sw::GpuNodeSpec& spec = {},
+                           LbmCostModel cost = fp32Cost());
+
+  /// The FP32 variant of the cost model used on the GPUs.
+  static LbmCostModel fp32Cost() {
+    LbmCostModel c;
+    c.bytesPerValue = 4;
+    return c;
+  }
+
+  /// Effective memory bandwidth of one node's 8 GPUs for this kernel.
+  double nodeEffectiveBandwidth() const;
+
+  /// Fig. 11: optimization ladder on one node (default: the wind-field
+  /// case, 1400 x 2800 x 100 cells).
+  std::vector<GpuLadderStage> nodeLadder(const Int3& cells = {1400, 2800, 100}) const;
+
+  /// Fig. 17: strong scaling of the wind-field case over 1..8 nodes.
+  std::vector<GpuScalingPoint> strongScaling(
+      const Int3& global = {1400, 2800, 100},
+      const std::vector<int>& nodes = {1, 2, 4, 8}) const;
+
+  /// Modeled memory-bandwidth utilization of a ladder stage time.
+  double bandwidthUtilization(double cells, double stepSeconds) const;
+
+  const sw::GpuNodeSpec& spec() const { return spec_; }
+  const LbmCostModel& cost() const { return cost_; }
+
+  /// Measured utilization the model is pinned to (paper §IV-E).
+  static constexpr double kKernelUtilization = 0.838;
+
+ private:
+  sw::GpuNodeSpec spec_;
+  LbmCostModel cost_;
+};
+
+}  // namespace swlb::perf

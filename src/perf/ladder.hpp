@@ -1,0 +1,51 @@
+// The Fig. 8 optimization ladder: from the MPE-only baseline (73.6 s per
+// step on the 500x700x100 CG block of the Re=3900 DNS) to the fully tuned
+// kernel (0.426 s, 172x).  Each stage of the paper maps to one modeled
+// change:
+//
+//   baseline      everything on the MPE through its small data cache
+//   +CPE          blocking/sharing moves the kernel to the CPE cluster
+//                 (paper: >75x), halo exchange still sequential, kernels
+//                 not fused, compute not yet pipelined
+//   +on-the-fly   halo exchange overlapped with inner compute (~10%)
+//   +fusion       propagation+collision fused: 1.3x less DMA traffic (~30%)
+//   +assembly     vectorization + dual-pipeline scheduling hides the
+//                 floating-point work behind DMA and raises sustained DMA
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/cost_model.hpp"
+#include "perf/scaling.hpp"
+
+namespace swlb::perf {
+
+struct LadderStage {
+  std::string name;
+  double stepSeconds = 0;
+  double speedup = 1.0;       ///< vs the baseline stage
+  double gainOverPrev = 1.0;  ///< vs the previous stage
+};
+
+struct LadderOptions {
+  Int3 blockPerCg{500, 700, 100};  ///< paper: 35M cells per core group
+  int totalRanks = 160000;
+  /// Effective rate at which the MPE packs/sends halo buffers in the
+  /// sequential scheme (calibrated: on-the-fly overlap buys ~10%).
+  double haloHandlingBandwidth = 0.6 * (1ull << 30);
+  /// Scalar (pre-assembly-optimization) CPE compute throughput: no
+  /// vectorization, single pipeline, unscheduled stalls.
+  double scalarClusterFlops = 7.4e10;
+  /// Sustained DMA fraction before/after the assembly + double-buffering
+  /// work (Fig. 10(2) pipelining).
+  double baseKernelEfficiency = 0.88;
+  double tunedKernelEfficiency = 0.95;
+};
+
+/// Modeled Fig. 8 ladder for a machine (TaihuLight by default).
+std::vector<LadderStage> taihulight_ladder(const sw::MachineSpec& machine,
+                                           const LbmCostModel& cost,
+                                           const LadderOptions& opts = {});
+
+}  // namespace swlb::perf

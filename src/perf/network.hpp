@@ -1,0 +1,60 @@
+// Interconnect model: supernode crossbar + fat tree (paper Fig. 2(b)).
+//
+// With the 2-D xy rank grid mapped block-wise onto supernodes, most of a
+// rank's 8 halo neighbours live in the same supernode (full crossbar);
+// only ranks on the perimeter of their supernode tile talk across the fat
+// tree.  The model charges latency + bytes/bandwidth per message with the
+// appropriate link class and adds a log-depth synchronization term.
+#pragma once
+
+#include <cmath>
+
+#include "sw/spec.hpp"
+
+namespace swlb::perf {
+
+class NetworkModel {
+ public:
+  NetworkModel(const sw::NetworkSpec& spec, int cgsPerProcessor)
+      : spec_(spec), cgsPerProcessor_(cgsPerProcessor) {}
+
+  int ranksPerSupernode() const {
+    return spec_.processorsPerSupernode * cgsPerProcessor_;
+  }
+
+  /// Fraction of halo links that cross supernode boundaries for a
+  /// block-mapped square tile of ranks: perimeter/area of the tile.
+  double remoteLinkFraction(int totalRanks) const {
+    const int per = ranksPerSupernode();
+    if (totalRanks <= per) return 0.0;
+    const double side = std::sqrt(static_cast<double>(per));
+    return std::min(1.0, 4.0 * side / per);
+  }
+
+  /// Time for one rank's halo exchange: `messages` messages carrying
+  /// `bytesTotal` in aggregate, with the supernode/fat-tree mix implied by
+  /// the total rank count.
+  double haloExchangeSeconds(std::size_t bytesTotal, int messages,
+                             int totalRanks) const {
+    const double fRemote = remoteLinkFraction(totalRanks);
+    const double bw = (1.0 - fRemote) * spec_.intraSupernodeBandwidth +
+                      fRemote * spec_.fatTreeBandwidth;
+    const double lat = (1.0 - fRemote) * spec_.intraSupernodeLatency +
+                       fRemote * spec_.fatTreeLatency;
+    return messages * lat + static_cast<double>(bytesTotal) / bw;
+  }
+
+  /// Log-depth synchronization (per-step residual/clock sync overhead).
+  double syncSeconds(int totalRanks) const {
+    if (totalRanks <= 1) return 0.0;
+    return std::log2(static_cast<double>(totalRanks)) * spec_.fatTreeLatency;
+  }
+
+  const sw::NetworkSpec& spec() const { return spec_; }
+
+ private:
+  sw::NetworkSpec spec_;
+  int cgsPerProcessor_;
+};
+
+}  // namespace swlb::perf

@@ -1,0 +1,67 @@
+#include "perf/report.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "core/common.hpp"
+
+namespace swlb::perf {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw Error("Table: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  line(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string Table::eng(double v, const std::string& unit, int precision) {
+  static const char* prefixes[] = {"", "k", "M", "G", "T", "P", "E"};
+  int idx = 0;
+  double x = std::abs(v);
+  while (x >= 1000.0 && idx < 6) {
+    x /= 1000.0;
+    ++idx;
+  }
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << (v < 0 ? -x : x)
+     << ' ' << prefixes[idx] << unit;
+  return ss.str();
+}
+
+std::string Table::pct(double fraction) { return num(fraction * 100.0, 1) + "%"; }
+
+void printHeading(const std::string& title, std::ostream& os) {
+  os << '\n' << title << '\n' << std::string(title.size(), '=') << '\n';
+}
+
+}  // namespace swlb::perf

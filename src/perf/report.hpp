@@ -1,0 +1,33 @@
+// Plain-text table formatting for the benchmark harness binaries: each
+// bench prints the same rows/series the corresponding paper figure shows.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace swlb::perf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  void print(std::ostream& os = std::cout) const;
+
+  /// Fixed-precision number formatting.
+  static std::string num(double v, int precision = 2);
+  /// Engineering formatting with a unit suffix (k/M/G/T scale).
+  static std::string eng(double v, const std::string& unit, int precision = 2);
+  /// Percentage with one decimal.
+  static std::string pct(double fraction);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section heading used by the figure-reproduction binaries.
+void printHeading(const std::string& title, std::ostream& os = std::cout);
+
+}  // namespace swlb::perf

@@ -1,0 +1,25 @@
+// Roofline model (Williams et al., paper ref [17]) used in §V-A2 to bound
+// the attainable LBM performance.
+#pragma once
+
+#include <algorithm>
+
+namespace swlb::perf {
+
+struct Roofline {
+  double peakFlops = 0;      ///< flops/s
+  double peakBandwidth = 0;  ///< bytes/s
+
+  /// Attainable flops at a given arithmetic intensity (flops/byte).
+  double attainable(double intensity) const {
+    return std::min(peakFlops, intensity * peakBandwidth);
+  }
+
+  /// Intensity where the compute and memory roofs meet.
+  double ridgePoint() const { return peakFlops / peakBandwidth; }
+
+  /// True when a kernel of this intensity is memory bound on this machine.
+  bool memoryBound(double intensity) const { return intensity < ridgePoint(); }
+};
+
+}  // namespace swlb::perf

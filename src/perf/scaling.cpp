@@ -1,0 +1,136 @@
+#include "perf/scaling.hpp"
+
+#include <cmath>
+
+namespace swlb::perf {
+
+ScalingSimulator::ScalingSimulator(const sw::MachineSpec& machine,
+                                   const LbmCostModel& cost,
+                                   const ScalingOptions& opts)
+    : machine_(machine),
+      cost_(cost),
+      opts_(opts),
+      net_(machine.net, machine.coreGroupsPerProcessor) {}
+
+double ScalingSimulator::dmaEfficiency(int rowCells) const {
+  if (rowCells <= 0) return 1.0;
+  const sw::DmaModel& dma = machine_.cg.dma;
+  const double rowBytes = static_cast<double>(rowCells) * cost_.bytesPerValue;
+  // Per-transaction startup amortized over the 64 CPE queues that keep the
+  // shared memory controller busy concurrently.
+  const double busStartupBytes =
+      dma.startupSeconds / machine_.cg.cpeCount() * dma.peakBandwidth;
+  return rowBytes / (rowBytes + busStartupBytes);
+}
+
+CgCostBreakdown ScalingSimulator::cgStepCost(const Int3& block,
+                                             int totalRanks) const {
+  CgCostBreakdown c;
+  const double bw = machine_.cg.dma.peakBandwidth * opts_.kernelEfficiency;
+  const double bpl = cost_.bytesPerLup();
+  const long long cells =
+      static_cast<long long>(block.x) * block.y * block.z;
+
+  if (totalRanks <= 1) {
+    c.innerSeconds = cells * bpl / (bw * dmaEfficiency(block.x));
+    c.stepSeconds = c.innerSeconds;
+    return c;
+  }
+
+  // Boundary shell (updated after the halo lands, Fig. 9(2)):
+  //   x-strips: two 1 x ny x nz columns -> one-cell DMA rows (slow);
+  //   y-strips: two (nx-2) x 1 x nz rows -> full-length rows (fast).
+  const long long xStrip = 2LL * block.y * block.z;
+  const long long yStrip = 2LL * std::max(0, block.x - 2) * block.z;
+  const long long inner = cells - xStrip - yStrip;
+
+  c.innerSeconds = inner * bpl / (bw * dmaEfficiency(block.x - 2));
+  c.shellSeconds = xStrip * bpl / (bw * dmaEfficiency(1)) +
+                   yStrip * bpl / (bw * dmaEfficiency(block.x - 2));
+
+  // Halo traffic of the 2-D scheme: 2 x-faces (ny rows), 2 y-faces, 4
+  // corner columns, all spanning nz + 2 halo layers (see runtime/halo.cpp).
+  const std::size_t haloBytes =
+      static_cast<std::size_t>(2LL * (block.y + block.x + 2) * (block.z + 2)) *
+      cost_.q * cost_.bytesPerValue;
+  c.commSeconds = net_.haloExchangeSeconds(haloBytes, 8, totalRanks);
+  c.syncSeconds = net_.syncSeconds(totalRanks);
+
+  if (opts_.overlapHalo) {
+    c.stepSeconds = std::max(c.innerSeconds, c.commSeconds) + c.shellSeconds +
+                    c.syncSeconds;
+  } else {
+    c.stepSeconds =
+        c.innerSeconds + c.commSeconds + c.shellSeconds + c.syncSeconds;
+  }
+  return c;
+}
+
+ScalingPoint ScalingSimulator::makePoint(const Int3& block, int nCgX,
+                                         int nCgY) const {
+  const int nCg = nCgX * nCgY;
+  ScalingPoint p;
+  p.nCg = nCg;
+  p.cores = static_cast<long long>(nCg) * kCoresPerCg;
+  p.block = block;
+  p.cells = static_cast<double>(block.x) * block.y * block.z * nCg;
+  p.cost = cgStepCost(block, nCg);
+  p.stepSeconds = p.cost.stepSeconds;
+  p.glups = p.cells / p.stepSeconds / 1e9;
+  p.pflops = cost_.flops(p.glups * 1e9) / 1e15;
+  p.bwUtilization = cost_.bandwidthUtilization(
+      p.glups * 1e9 / nCg, machine_.cg.dma.peakBandwidth);
+  return p;
+}
+
+ScalingPoint ScalingSimulator::weakPoint(const Int3& blockPerCg, int nCgX,
+                                         int nCgY) const {
+  ScalingPoint p = makePoint(blockPerCg, nCgX, nCgY);
+  const CgCostBreakdown base = cgStepCost(blockPerCg, 1);
+  p.efficiency = base.stepSeconds / p.stepSeconds;
+  return p;
+}
+
+std::vector<ScalingPoint> ScalingSimulator::weakScaling(
+    const Int3& blockPerCg, const std::vector<std::pair<int, int>>& grids) const {
+  std::vector<ScalingPoint> out;
+  out.reserve(grids.size());
+  for (const auto& [gx, gy] : grids) out.push_back(weakPoint(blockPerCg, gx, gy));
+  return out;
+}
+
+std::vector<ScalingPoint> ScalingSimulator::strongScaling(
+    const Int3& global, const std::vector<std::pair<int, int>>& grids) const {
+  std::vector<ScalingPoint> out;
+  out.reserve(grids.size());
+  for (const auto& [gx, gy] : grids) {
+    if (gx > global.x || gy > global.y)
+      throw Error("strongScaling: more processes than cells along an axis");
+    // Representative (largest) block of the split.
+    const Int3 block{(global.x + gx - 1) / gx, (global.y + gy - 1) / gy,
+                     global.z};
+    ScalingPoint p = makePoint(block, gx, gy);
+    p.cells = static_cast<double>(global.x) * global.y * global.z;
+    p.glups = p.cells / p.stepSeconds / 1e9;
+    p.pflops = cost_.flops(p.glups * 1e9) / 1e15;
+    p.bwUtilization = cost_.bandwidthUtilization(
+        p.glups * 1e9 / p.nCg, machine_.cg.dma.peakBandwidth);
+    out.push_back(p);
+  }
+  if (!out.empty()) {
+    const double t0 = out.front().stepSeconds;
+    const int n0 = out.front().nCg;
+    for (auto& p : out)
+      p.efficiency = (t0 * n0) / (p.stepSeconds * p.nCg);
+  }
+  return out;
+}
+
+std::pair<int, int> ScalingSimulator::squareGrid(int n) {
+  int best = 1;
+  for (int d = 1; d * d <= n; ++d)
+    if (n % d == 0) best = d;
+  return {n / best, best};
+}
+
+}  // namespace swlb::perf

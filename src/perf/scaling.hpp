@@ -1,0 +1,96 @@
+// Weak/strong scaling simulator for the Sunway machines (paper Figs. 13-16).
+//
+// The per-core-group step cost is built mechanistically from the pieces
+// the emulator meters:
+//   * bulk cells stream x-contiguous rows through the DMA engine at an
+//     effective bandwidth set by the row length (latency/bandwidth model,
+//     latency amortized over the 64 concurrently-issuing CPEs);
+//   * the one-cell-wide x-boundary strips stream rows of a single cell and
+//     pay the full DMA latency — this is what erodes strong scaling as the
+//     blocks shrink;
+//   * halo messages ride the supernode crossbar / fat tree (NetworkModel)
+//     and are hidden behind the inner update when overlap is on (Fig. 6);
+//   * a calibrated kernel efficiency factor covers write-allocate and
+//     memory-controller effects (matches the paper's measured 77% /
+//     81.4% bandwidth utilization).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "perf/cost_model.hpp"
+#include "perf/network.hpp"
+#include "sw/spec.hpp"
+
+namespace swlb::perf {
+
+struct CgCostBreakdown {
+  double innerSeconds = 0;
+  double shellSeconds = 0;
+  double commSeconds = 0;
+  double syncSeconds = 0;
+  double stepSeconds = 0;
+};
+
+struct ScalingPoint {
+  int nCg = 0;            ///< number of core groups == MPI processes
+  long long cores = 0;    ///< nCg * 65 (1 MPE + 64 CPEs)
+  Int3 block;             ///< per-CG subdomain
+  double cells = 0;       ///< global lattice cells
+  double stepSeconds = 0;
+  double glups = 0;
+  double pflops = 0;
+  double efficiency = 1.0;       ///< parallel efficiency vs series baseline
+  double bwUtilization = 0;      ///< of aggregate DMA bandwidth
+  CgCostBreakdown cost;
+};
+
+struct ScalingOptions {
+  bool overlapHalo = true;  ///< on-the-fly halo exchange (Fig. 6(2))
+  /// Sustained fraction of DMA peak beyond the transfer-size effect
+  /// (write-allocate, controller efficiency); calibrated once against the
+  /// paper's measured utilizations (77% TaihuLight, 81.4% new Sunway).
+  double kernelEfficiency = 0.82;
+};
+
+class ScalingSimulator {
+ public:
+  ScalingSimulator(const sw::MachineSpec& machine, const LbmCostModel& cost,
+                   const ScalingOptions& opts = {});
+
+  /// Effective DMA bandwidth fraction for rows of `rowCells` cells
+  /// (startup latency amortized over the 64 concurrent CPE queues).
+  double dmaEfficiency(int rowCells) const;
+
+  /// Cost of one step for one CG owning `block`, in a world of totalRanks.
+  CgCostBreakdown cgStepCost(const Int3& block, int totalRanks) const;
+
+  /// One weak-scaling point: fixed per-CG block on an nCgX x nCgY grid.
+  ScalingPoint weakPoint(const Int3& blockPerCg, int nCgX, int nCgY) const;
+  /// Weak-scaling series; efficiency is relative to the 1-CG point.
+  std::vector<ScalingPoint> weakScaling(
+      const Int3& blockPerCg, const std::vector<std::pair<int, int>>& grids) const;
+
+  /// Strong-scaling series over a fixed global mesh; efficiency relative
+  /// to the first (smallest) configuration in `grids`.
+  std::vector<ScalingPoint> strongScaling(
+      const Int3& global, const std::vector<std::pair<int, int>>& grids) const;
+
+  /// Near-square process-grid factorization of n.
+  static std::pair<int, int> squareGrid(int n);
+
+  const sw::MachineSpec& machine() const { return machine_; }
+  const LbmCostModel& cost() const { return cost_; }
+
+  static constexpr int kCoresPerCg = 65;  // 1 MPE + 64 CPEs
+
+ private:
+  ScalingPoint makePoint(const Int3& block, int nCgX, int nCgY) const;
+
+  sw::MachineSpec machine_;
+  LbmCostModel cost_;
+  ScalingOptions opts_;
+  NetworkModel net_;
+};
+
+}  // namespace swlb::perf

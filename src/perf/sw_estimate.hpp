@@ -1,0 +1,49 @@
+// Step-time estimate for an emulated core-group kernel run: combines the
+// metered DMA/fabric traffic (sw::SwKernelReport) with the dual-pipeline
+// compute model (Fig. 10(2)) into the quantity the paper plots — seconds
+// per time step and MLUPS for one core group.
+#pragma once
+
+#include "perf/cost_model.hpp"
+#include "sw/pipeline.hpp"
+#include "sw/sw_kernels.hpp"
+
+namespace swlb::perf {
+
+struct SwStepEstimate {
+  double dmaSeconds = 0;      ///< shared memory controller (from the meter)
+  double fabricSeconds = 0;   ///< register-comm / RMA mesh
+  double computeSeconds = 0;  ///< 64 CPEs through the dual-pipeline model
+  double stepSeconds = 0;     ///< max(dma, compute) + fabric (fused kernel
+                              ///< overlaps compute with DMA double buffering)
+  double mlups = 0;
+
+  bool memoryBound() const { return dmaSeconds >= computeSeconds; }
+};
+
+/// @param pipelineScheduling 0 = unscheduled compiler output,
+///        1 = hand-scheduled assembly (the paper's §IV-C4 stage)
+inline SwStepEstimate estimate_sw_step(const sw::SwKernelReport& rep,
+                                       const sw::CoreGroupSpec& spec,
+                                       const LbmCostModel& cost,
+                                       double pipelineScheduling = 0.9) {
+  SwStepEstimate e;
+  e.dmaSeconds = rep.dmaSeconds;
+  e.fabricSeconds = rep.fabricSeconds;
+
+  const int lanes = spec.vectorBits / 64;  // double-precision lanes
+  sw::InstructionMix mix = sw::d3q19_cell_mix(lanes);
+  mix.flops = cost.flopsPerLup;
+  const sw::PipelineModel pipe(pipelineScheduling);
+  const double cyclesPerCell = pipe.cycles(mix);
+  e.computeSeconds = static_cast<double>(rep.cellsUpdated) * cyclesPerCell /
+                     (spec.cpeFrequencyHz * spec.cpeCount());
+
+  e.stepSeconds = std::max(e.dmaSeconds, e.computeSeconds) + e.fabricSeconds;
+  e.mlups = rep.cellsUpdated ? static_cast<double>(rep.cellsUpdated) /
+                                   e.stepSeconds / 1e6
+                             : 0;
+  return e;
+}
+
+}  // namespace swlb::perf

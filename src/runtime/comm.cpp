@@ -1,0 +1,313 @@
+#include "runtime/comm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+namespace swlb::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+/// Internal tags for collectives implemented over point-to-point.  User
+/// tags must be non-negative; these never collide.
+constexpr int kGatherTag = -2;
+constexpr int kBcastTag = -3;
+}  // namespace
+
+struct Request::State {
+  // Completed-send requests are created with done = true.
+  bool done = false;
+  // Pending receive parameters (matched lazily in wait/test).
+  Comm* comm = nullptr;
+  int src = kAnySource;
+  int tag = 0;
+  void* buf = nullptr;
+  std::size_t bytes = 0;
+};
+
+struct Message {
+  int src;
+  int tag;
+  std::vector<std::uint8_t> data;
+  Clock::time_point availableAt;
+};
+
+struct Mailbox {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<Message> q;
+};
+
+struct World::Impl {
+  WorldConfig cfg;
+  std::vector<Mailbox> boxes;
+
+  // Collective state (generation-counted so back-to-back collectives from
+  // fast ranks cannot corrupt a round still being read by slow ranks).
+  std::mutex collM;
+  std::condition_variable collCv;
+  int arrived = 0;
+  std::uint64_t generation = 0;
+  std::vector<double> slots;
+  double result = 0;
+
+  explicit Impl(int size, const WorldConfig& c)
+      : cfg(c), boxes(size), slots(size, 0.0) {}
+
+  Clock::time_point deliveryTime(std::size_t bytes) const {
+    auto t = Clock::now();
+    if (cfg.latency > 0)
+      t += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(cfg.latency));
+    if (cfg.bandwidth > 0)
+      t += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(static_cast<double>(bytes) / cfg.bandwidth));
+    return t;
+  }
+
+  void deliver(int dst, Message&& msg) {
+    Mailbox& box = boxes[static_cast<std::size_t>(dst)];
+    {
+      std::lock_guard<std::mutex> lock(box.m);
+      box.q.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+  }
+
+  /// Find the first message matching (src, tag) in FIFO order.
+  static std::deque<Message>::iterator findMatch(std::deque<Message>& q, int src,
+                                                 int tag) {
+    return std::find_if(q.begin(), q.end(), [&](const Message& m) {
+      return (src == kAnySource || m.src == src) && m.tag == tag;
+    });
+  }
+
+  /// Blocking receive with the synthetic network model: waits for a
+  /// matching message, then until its modeled delivery time has passed.
+  void recvBlocking(int me, int src, int tag, void* data, std::size_t bytes) {
+    Mailbox& box = boxes[static_cast<std::size_t>(me)];
+    std::unique_lock<std::mutex> lock(box.m);
+    for (;;) {
+      auto it = findMatch(box.q, src, tag);
+      if (it == box.q.end()) {
+        box.cv.wait(lock);
+        continue;
+      }
+      const auto availableAt = it->availableAt;
+      const auto now = Clock::now();
+      if (availableAt > now) {
+        lock.unlock();
+        if (cfg.busyWait) {
+          while (Clock::now() < availableAt) {
+            // spin: the MPE polls the interconnect
+          }
+        } else {
+          std::this_thread::sleep_until(availableAt);
+        }
+        lock.lock();
+        it = findMatch(box.q, src, tag);
+        if (it == box.q.end()) continue;  // raced with another receiver
+      }
+      if (it->data.size() != bytes) {
+        throw Error("Comm::recv: message size mismatch (got " +
+                    std::to_string(it->data.size()) + ", expected " +
+                    std::to_string(bytes) + ")");
+      }
+      std::memcpy(data, it->data.data(), bytes);
+      box.q.erase(it);
+      return;
+    }
+  }
+
+  /// Non-blocking probe + receive; returns false when nothing matched yet.
+  bool tryRecv(int me, int src, int tag, void* data, std::size_t bytes) {
+    Mailbox& box = boxes[static_cast<std::size_t>(me)];
+    std::lock_guard<std::mutex> lock(box.m);
+    auto it = findMatch(box.q, src, tag);
+    if (it == box.q.end() || it->availableAt > Clock::now()) return false;
+    if (it->data.size() != bytes) {
+      throw Error("Comm::irecv: message size mismatch");
+    }
+    std::memcpy(data, it->data.data(), bytes);
+    box.q.erase(it);
+    return true;
+  }
+};
+
+// ------------------------------------------------------------------ Request
+
+void Request::wait() {
+  if (!state_ || state_->done) return;
+  state_->comm->recv(state_->src, state_->tag, state_->buf, state_->bytes);
+  state_->done = true;
+}
+
+bool Request::test() {
+  if (!state_ || state_->done) return true;
+  World::Impl& impl = *state_->comm->world_->impl_;
+  if (impl.tryRecv(state_->comm->rank(), state_->src, state_->tag, state_->buf,
+                   state_->bytes)) {
+    state_->done = true;
+  }
+  return state_->done;
+}
+
+// --------------------------------------------------------------------- Comm
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
+  SWLB_ASSERT(dst >= 0 && dst < size());
+  World::Impl& impl = *world_->impl_;
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.data.resize(bytes);
+  std::memcpy(msg.data.data(), data, bytes);
+  msg.availableAt = impl.deliveryTime(bytes);
+  impl.deliver(dst, std::move(msg));
+  ++stats_.messagesSent;
+  stats_.bytesSent += bytes;
+}
+
+void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
+  world_->impl_->recvBlocking(rank_, src, tag, data, bytes);
+  ++stats_.messagesReceived;
+  stats_.bytesReceived += bytes;
+}
+
+Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
+  // Eager buffered send: the payload is copied, so the operation is
+  // already complete from the sender's point of view.
+  send(dst, tag, data, bytes);
+  Request r;
+  r.state_ = std::make_shared<Request::State>();
+  r.state_->done = true;
+  return r;
+}
+
+Request Comm::irecv(int src, int tag, void* data, std::size_t bytes) {
+  Request r;
+  r.state_ = std::make_shared<Request::State>();
+  r.state_->comm = this;
+  r.state_->src = src;
+  r.state_->tag = tag;
+  r.state_->buf = data;
+  r.state_->bytes = bytes;
+  return r;
+}
+
+void Comm::barrier() {
+  World::Impl& impl = *world_->impl_;
+  std::unique_lock<std::mutex> lock(impl.collM);
+  const std::uint64_t gen = impl.generation;
+  if (++impl.arrived == size()) {
+    impl.arrived = 0;
+    ++impl.generation;
+    impl.collCv.notify_all();
+  } else {
+    impl.collCv.wait(lock, [&] { return impl.generation != gen; });
+  }
+}
+
+double Comm::allreduce(double value, Op op) {
+  World::Impl& impl = *world_->impl_;
+  std::unique_lock<std::mutex> lock(impl.collM);
+  const std::uint64_t gen = impl.generation;
+  impl.slots[static_cast<std::size_t>(rank_)] = value;
+  if (++impl.arrived == size()) {
+    double acc = impl.slots[0];
+    for (int r = 1; r < size(); ++r) {
+      const double v = impl.slots[static_cast<std::size_t>(r)];
+      switch (op) {
+        case Op::Sum: acc += v; break;
+        case Op::Min: acc = std::min(acc, v); break;
+        case Op::Max: acc = std::max(acc, v); break;
+      }
+    }
+    impl.result = acc;
+    impl.arrived = 0;
+    ++impl.generation;
+    impl.collCv.notify_all();
+  } else {
+    impl.collCv.wait(lock, [&] { return impl.generation != gen; });
+  }
+  return impl.result;
+}
+
+void Comm::gather(int root, const void* data, std::size_t bytes, void* out) {
+  if (rank_ == root) {
+    SWLB_ASSERT(out != nullptr);
+    auto* dst = static_cast<std::uint8_t*>(out);
+    std::memcpy(dst + static_cast<std::size_t>(rank_) * bytes, data, bytes);
+    for (int src = 0; src < size(); ++src) {
+      if (src == root) continue;
+      recv(src, kGatherTag, dst + static_cast<std::size_t>(src) * bytes, bytes);
+    }
+  } else {
+    send(root, kGatherTag, data, bytes);
+  }
+}
+
+void Comm::broadcast(int root, void* data, std::size_t bytes) {
+  if (rank_ == root) {
+    for (int dst = 0; dst < size(); ++dst) {
+      if (dst == root) continue;
+      send(dst, kBcastTag, data, bytes);
+    }
+  } else {
+    recv(root, kBcastTag, data, bytes);
+  }
+}
+
+// -------------------------------------------------------------------- World
+
+World::World(int size, const WorldConfig& cfg) : size_(size) {
+  if (size <= 0) throw Error("World: size must be positive");
+  impl_ = std::make_unique<Impl>(size, cfg);
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) comms.push_back(Comm(this, r));
+
+  std::mutex errM;
+  std::exception_ptr firstError;
+
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(comms[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errM);
+        if (!firstError) firstError = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  lastStats_.clear();
+  for (const auto& c : comms) lastStats_.push_back(c.stats());
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+CommStats World::totalStats() const {
+  CommStats total;
+  for (const auto& s : lastStats_) {
+    total.messagesSent += s.messagesSent;
+    total.bytesSent += s.bytesSent;
+    total.messagesReceived += s.messagesReceived;
+    total.bytesReceived += s.bytesReceived;
+  }
+  return total;
+}
+
+}  // namespace swlb::runtime

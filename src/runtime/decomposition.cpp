@@ -1,0 +1,117 @@
+#include "runtime/decomposition.hpp"
+
+#include <limits>
+
+namespace swlb::runtime {
+
+Decomposition::Decomposition(const Int3& global, const Int3& procGrid)
+    : global_(global), procGrid_(procGrid) {
+  if (global.x <= 0 || global.y <= 0 || global.z <= 0)
+    throw Error("Decomposition: global size must be positive");
+  if (procGrid.x <= 0 || procGrid.y <= 0 || procGrid.z <= 0)
+    throw Error("Decomposition: process grid must be positive");
+  if (procGrid.x > global.x || procGrid.y > global.y || procGrid.z > global.z)
+    throw Error("Decomposition: more processes than cells along an axis");
+}
+
+void Decomposition::split(int n, int parts, int idx, int& lo, int& hi) {
+  // Sizes differ by at most one; the first (n % parts) blocks get the
+  // extra cell.
+  const int base = n / parts;
+  const int extra = n % parts;
+  lo = idx * base + std::min(idx, extra);
+  hi = lo + base + (idx < extra ? 1 : 0);
+}
+
+Int3 Decomposition::choose(int nranks, const Int3& global, bool allow3d) {
+  if (nranks <= 0) throw Error("Decomposition::choose: nranks must be positive");
+  Int3 best{1, 1, nranks > global.z ? 1 : 1};
+  long long bestCost = std::numeric_limits<long long>::max();
+  bool found = false;
+  for (int px = 1; px <= nranks; ++px) {
+    if (nranks % px != 0 || px > global.x) continue;
+    const int rest = nranks / px;
+    for (int py = 1; py <= rest; ++py) {
+      if (rest % py != 0 || py > global.y) continue;
+      const int pz = rest / py;
+      if (!allow3d && pz != 1) continue;
+      if (pz > global.z) continue;
+      Decomposition d(global, {px, py, pz});
+      const long long cost = d.totalHaloArea();
+      if (cost < bestCost) {
+        bestCost = cost;
+        best = {px, py, pz};
+        found = true;
+      }
+    }
+  }
+  if (!found)
+    throw Error("Decomposition::choose: no valid process grid for rank count");
+  return best;
+}
+
+Int3 Decomposition::coordsOf(int rank) const {
+  SWLB_ASSERT(rank >= 0 && rank < rankCount());
+  Int3 c;
+  c.x = rank % procGrid_.x;
+  c.y = (rank / procGrid_.x) % procGrid_.y;
+  c.z = rank / (procGrid_.x * procGrid_.y);
+  return c;
+}
+
+int Decomposition::rankOf(Int3 coords, bool wrapX, bool wrapY, bool wrapZ) const {
+  auto wrap = [](int v, int n, bool w) -> int {
+    if (v >= 0 && v < n) return v;
+    if (!w) return -1;
+    return ((v % n) + n) % n;
+  };
+  const int x = wrap(coords.x, procGrid_.x, wrapX);
+  const int y = wrap(coords.y, procGrid_.y, wrapY);
+  const int z = wrap(coords.z, procGrid_.z, wrapZ);
+  if (x < 0 || y < 0 || z < 0) return -1;
+  return (z * procGrid_.y + y) * procGrid_.x + x;
+}
+
+Box3 Decomposition::blockOf(int rank) const {
+  const Int3 c = coordsOf(rank);
+  Box3 b;
+  split(global_.x, procGrid_.x, c.x, b.lo.x, b.hi.x);
+  split(global_.y, procGrid_.y, c.y, b.lo.y, b.hi.y);
+  split(global_.z, procGrid_.z, c.z, b.lo.z, b.hi.z);
+  return b;
+}
+
+Int3 Decomposition::localSize(int rank) const {
+  const Box3 b = blockOf(rank);
+  return {b.hi.x - b.lo.x, b.hi.y - b.lo.y, b.hi.z - b.lo.z};
+}
+
+double Decomposition::imbalance() const {
+  long long minV = std::numeric_limits<long long>::max();
+  long long maxV = 0;
+  for (int r = 0; r < rankCount(); ++r) {
+    const long long v = blockOf(r).volume();
+    minV = std::min(minV, v);
+    maxV = std::max(maxV, v);
+  }
+  return static_cast<double>(maxV) / static_cast<double>(minV);
+}
+
+long long Decomposition::totalHaloArea() const {
+  long long area = 0;
+  for (int r = 0; r < rankCount(); ++r) {
+    const Int3 n = localSize(r);
+    const Int3 c = coordsOf(r);
+    // Count faces toward existing neighbours (interior faces counted once
+    // per side, which is what each rank pays in message volume).
+    if (procGrid_.x > 1) area += (c.x > 0 ? 1 : 0) * static_cast<long long>(n.y) * n.z +
+                                 (c.x < procGrid_.x - 1 ? 1 : 0) * static_cast<long long>(n.y) * n.z;
+    if (procGrid_.y > 1) area += (c.y > 0 ? 1 : 0) * static_cast<long long>(n.x) * n.z +
+                                 (c.y < procGrid_.y - 1 ? 1 : 0) * static_cast<long long>(n.x) * n.z;
+    if (procGrid_.z > 1) area += (c.z > 0 ? 1 : 0) * static_cast<long long>(n.x) * n.y +
+                                 (c.z < procGrid_.z - 1 ? 1 : 0) * static_cast<long long>(n.x) * n.y;
+  }
+  return area;
+}
+
+}  // namespace swlb::runtime

@@ -1,0 +1,230 @@
+// Multi-rank LBM solver: 2-D xy domain decomposition with sequential or
+// on-the-fly (overlapped) halo exchange — the structure of paper Figs. 6/9.
+//
+// In Sequential mode each step is: halo exchange, then update the whole
+// subdomain.  In Overlap mode receives are posted and sends packed first,
+// the *inner* cells (which need no remote data) are updated while messages
+// are in flight, and the one-cell boundary shell is updated after the halo
+// lands — hiding almost all communication cost behind computation.
+#pragma once
+
+#include <chrono>
+
+#include "core/kernels.hpp"
+#include "core/macroscopic.hpp"
+#include "runtime/halo.hpp"
+
+namespace swlb::runtime {
+
+enum class HaloMode { Sequential, Overlap };
+
+template <class D>
+class DistributedSolver {
+ public:
+  struct Config {
+    Int3 global{0, 0, 0};
+    CollisionConfig collision;
+    Periodicity periodic;
+    HaloMode mode = HaloMode::Overlap;
+    /// Process grid; {0,0,0} selects Decomposition::choose(comm.size()).
+    Int3 procGrid{0, 0, 0};
+  };
+
+  DistributedSolver(Comm& comm, const Config& cfg)
+      : comm_(comm),
+        cfg_(cfg),
+        decomp_(cfg.global, cfg.procGrid.x > 0
+                                ? cfg.procGrid
+                                : Decomposition::choose(comm.size(), cfg.global)),
+        owned_(decomp_.blockOf(comm.rank())),
+        grid_(owned_.hi.x - owned_.lo.x, owned_.hi.y - owned_.lo.y,
+              owned_.hi.z - owned_.lo.z),
+        halo_(decomp_, comm.rank(), cfg.periodic, grid_),
+        f_{PopulationField(grid_, D::Q), PopulationField(grid_, D::Q)},
+        mask_(grid_, MaterialTable::kFluid) {
+    if (decomp_.rankCount() != comm.size())
+      throw Error("DistributedSolver: process grid does not match world size");
+  }
+
+  Comm& comm() { return comm_; }
+  const Decomposition& decomposition() const { return decomp_; }
+  const Box3& ownedBox() const { return owned_; }
+  const Grid& localGrid() const { return grid_; }
+  MaterialTable& materials() { return mats_; }
+  const MaskField& mask() const { return mask_; }
+  CollisionConfig& collision() { return cfg_.collision; }
+
+  /// Paint material `id` over a box given in *global* coordinates.
+  void paintGlobal(const Box3& globalBox, std::uint8_t id) {
+    const Box3 local = intersect(globalBox, owned_);
+    for (int z = local.lo.z; z < local.hi.z; ++z)
+      for (int y = local.lo.y; y < local.hi.y; ++y)
+        for (int x = local.lo.x; x < local.hi.x; ++x)
+          mask_(x - owned_.lo.x, y - owned_.lo.y, z - owned_.lo.z) = id;
+  }
+
+  /// Finish mask setup: halo defaults to solid, periodic z wraps locally,
+  /// x/y halo strips are exchanged with the neighbours.  Collective.
+  void finalizeMask() {
+    fill_halo_mask(mask_, Periodicity{false, false, zWrapLocal()},
+                   MaterialTable::kSolid);
+    halo_.exchangeMask(comm_, mask_);
+    maskFinal_ = true;
+  }
+
+  /// Equilibrium initialization from a *global*-coordinate field function.
+  void initField(const std::function<void(int, int, int, Real&, Vec3&)>& fn) {
+    if (!maskFinal_) finalizeMask();
+    Real feq[D::Q];
+    for (int z = -1; z <= grid_.nz; ++z)
+      for (int y = -1; y <= grid_.ny; ++y)
+        for (int x = -1; x <= grid_.nx; ++x) {
+          Real rho = 1;
+          Vec3 u{0, 0, 0};
+          fn(x + owned_.lo.x, y + owned_.lo.y, z + owned_.lo.z, rho, u);
+          equilibria<D>(rho, u, feq);
+          for (int i = 0; i < D::Q; ++i) {
+            f_[0](i, x, y, z) = feq[i];
+            f_[1](i, x, y, z) = feq[i];
+          }
+        }
+  }
+
+  void initUniform(Real rho, const Vec3& u) {
+    initField([&](int, int, int, Real& r, Vec3& v) {
+      r = rho;
+      v = u;
+    });
+  }
+
+  void step() {
+    SWLB_ASSERT(maskFinal_);
+    PopulationField& src = f_[parity_];
+    PopulationField& dst = f_[1 - parity_];
+    // z is never decomposed: wrap it locally before the x/y exchange so
+    // the exchanged strips carry valid z-halo rows.
+    apply_periodic(src, Periodicity{false, false, zWrapLocal()});
+
+    if (cfg_.mode == HaloMode::Sequential) {
+      halo_.exchange(comm_, src);
+      stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision,
+                              grid_.interior());
+    } else {
+      halo_.begin(comm_, src);
+      stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision,
+                              halo_.innerBox());
+      halo_.finish(comm_, src);
+      for (const Box3& b : halo_.boundaryShell())
+        stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision, b);
+    }
+    parity_ = 1 - parity_;
+    ++steps_;
+  }
+
+  void run(std::uint64_t n) {
+    for (std::uint64_t s = 0; s < n; ++s) step();
+  }
+
+  /// Run n steps; returns global MLUPS (identical on every rank).
+  double runMeasured(std::uint64_t n) {
+    comm_.barrier();
+    const auto t0 = std::chrono::steady_clock::now();
+    run(n);
+    comm_.barrier();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec =
+        comm_.allreduce(std::chrono::duration<double>(t1 - t0).count(), Comm::Op::Max);
+    const double cells = static_cast<double>(cfg_.global.x) * cfg_.global.y *
+                         cfg_.global.z;
+    return cells * static_cast<double>(n) / sec / 1e6;
+  }
+
+  std::uint64_t stepsDone() const { return steps_; }
+  int parity() const { return parity_; }
+  /// Restore step counter and A-B parity (group checkpoint restart).
+  void restoreState(std::uint64_t steps, int parity) {
+    SWLB_ASSERT(parity == 0 || parity == 1);
+    steps_ = steps;
+    parity_ = parity;
+  }
+  const PopulationField& f() const { return f_[parity_]; }
+  PopulationField& f() { return f_[parity_]; }
+
+  Real density(int lx, int ly, int lz) const {
+    Real rho;
+    Vec3 u;
+    cell_macroscopic<D>(f(), lx, ly, lz, cfg_.collision, rho, u);
+    return rho;
+  }
+  Vec3 velocity(int lx, int ly, int lz) const {
+    Real rho;
+    Vec3 u;
+    cell_macroscopic<D>(f(), lx, ly, lz, cfg_.collision, rho, u);
+    return u;
+  }
+
+  /// Total fluid mass across all ranks (collective).
+  Real globalMass() {
+    return comm_.allreduce(total_mass<D>(f(), mask_, mats_), Comm::Op::Sum);
+  }
+
+  /// Gather the full population field on `root` (interior cells only;
+  /// other ranks receive an empty field).  Collective; test/IO helper.
+  PopulationField gatherPopulations(int root) {
+    constexpr int tag = 900;
+    if (comm_.rank() == root) {
+      Grid g(cfg_.global.x, cfg_.global.y, cfg_.global.z);
+      PopulationField out(g, D::Q);
+      for (int r = 0; r < comm_.size(); ++r) {
+        const Box3 block = decomp_.blockOf(r);
+        std::vector<Real> buf(static_cast<std::size_t>(block.volume()) * D::Q);
+        if (r == root) {
+          packLocal(buf);
+        } else {
+          comm_.recv(r, tag, buf.data(), buf.size() * sizeof(Real));
+        }
+        std::size_t k = 0;
+        for (int q = 0; q < D::Q; ++q)
+          for (int z = block.lo.z; z < block.hi.z; ++z)
+            for (int y = block.lo.y; y < block.hi.y; ++y)
+              for (int x = block.lo.x; x < block.hi.x; ++x)
+                out(q, x, y, z) = buf[k++];
+      }
+      return out;
+    }
+    std::vector<Real> buf(static_cast<std::size_t>(owned_.volume()) * D::Q);
+    packLocal(buf);
+    comm_.send(root, tag, buf.data(), buf.size() * sizeof(Real));
+    return PopulationField();
+  }
+
+  /// Bytes exchanged per step (send side) — input to the network model.
+  std::size_t haloBytesPerStep() const { return halo_.bytesPerExchange(D::Q); }
+
+ private:
+  bool zWrapLocal() const { return cfg_.periodic.z; }
+
+  void packLocal(std::vector<Real>& buf) const {
+    const PopulationField& field = f();
+    std::size_t k = 0;
+    for (int q = 0; q < D::Q; ++q)
+      for (int z = 0; z < grid_.nz; ++z)
+        for (int y = 0; y < grid_.ny; ++y)
+          for (int x = 0; x < grid_.nx; ++x) buf[k++] = field(q, x, y, z);
+  }
+
+  Comm& comm_;
+  Config cfg_;
+  Decomposition decomp_;
+  Box3 owned_;
+  Grid grid_;
+  HaloExchange halo_;
+  PopulationField f_[2];
+  MaskField mask_;
+  MaterialTable mats_;
+  int parity_ = 0;
+  std::uint64_t steps_ = 0;
+  bool maskFinal_ = false;
+};
+
+}  // namespace swlb::runtime

@@ -1,0 +1,193 @@
+#include "runtime/halo.hpp"
+
+namespace swlb::runtime {
+
+namespace {
+
+template <typename FieldT, typename Elem>
+void packBox(const FieldT& f, int q, const Box3& box, Elem* out) {
+  std::size_t k = 0;
+  for (int qq = 0; qq < q; ++qq)
+    for (int z = box.lo.z; z < box.hi.z; ++z)
+      for (int y = box.lo.y; y < box.hi.y; ++y)
+        for (int x = box.lo.x; x < box.hi.x; ++x) out[k++] = f(qq, x, y, z);
+}
+
+template <typename FieldT, typename Elem>
+void unpackBox(FieldT& f, int q, const Box3& box, const Elem* in) {
+  std::size_t k = 0;
+  for (int qq = 0; qq < q; ++qq)
+    for (int z = box.lo.z; z < box.hi.z; ++z)
+      for (int y = box.lo.y; y < box.hi.y; ++y)
+        for (int x = box.lo.x; x < box.hi.x; ++x) f(qq, x, y, z) = in[k++];
+}
+
+/// Adapter so the mask (no q index) can share the pack helpers.
+struct MaskAdapter {
+  MaskField& m;
+  std::uint8_t& operator()(int, int x, int y, int z) const { return m(x, y, z); }
+};
+struct ConstMaskAdapter {
+  const MaskField& m;
+  std::uint8_t operator()(int, int x, int y, int z) const { return m(x, y, z); }
+};
+
+}  // namespace
+
+HaloExchange::HaloExchange(const Decomposition& decomp, int rank,
+                           const Periodicity& periodic, const Grid& localGrid)
+    : grid_(localGrid) {
+  if (localGrid.halo != 1)
+    throw Error("HaloExchange: only halo width 1 is supported");
+  if (decomp.procGrid().z != 1)
+    throw Error("HaloExchange: z axis must not be decomposed (paper's 2-D xy scheme)");
+
+  const Int3 myCoords = decomp.coordsOf(rank);
+  const int nx = localGrid.nx, ny = localGrid.ny, nz = localGrid.nz;
+
+  for (int dy = -1; dy <= 1; ++dy)
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const int nRank = decomp.rankOf({myCoords.x + dx, myCoords.y + dy, myCoords.z},
+                                      periodic.x, periodic.y, periodic.z);
+      if (nRank < 0) continue;
+
+      Neighbor n;
+      n.rank = nRank;
+      n.dx = dx;
+      n.dy = dy;
+      // Strips span the full z extent including the z halo so corner pulls
+      // across the subdomain edge see wrapped/valid data.
+      const int zLo = -1, zHi = nz + 1;
+      auto xRange = [&](int d, bool send, int& lo, int& hi) {
+        if (d == 0) {
+          lo = 0;
+          hi = nx;
+        } else if (send) {
+          lo = d < 0 ? 0 : nx - 1;
+          hi = lo + 1;
+        } else {
+          lo = d < 0 ? -1 : nx;
+          hi = lo + 1;
+        }
+      };
+      auto yRange = [&](int d, bool send, int& lo, int& hi) {
+        if (d == 0) {
+          lo = 0;
+          hi = ny;
+        } else if (send) {
+          lo = d < 0 ? 0 : ny - 1;
+          hi = lo + 1;
+        } else {
+          lo = d < 0 ? -1 : ny;
+          hi = lo + 1;
+        }
+      };
+      xRange(dx, true, n.sendBox.lo.x, n.sendBox.hi.x);
+      yRange(dy, true, n.sendBox.lo.y, n.sendBox.hi.y);
+      n.sendBox.lo.z = zLo;
+      n.sendBox.hi.z = zHi;
+      xRange(dx, false, n.recvBox.lo.x, n.recvBox.hi.x);
+      yRange(dy, false, n.recvBox.lo.y, n.recvBox.hi.y);
+      n.recvBox.lo.z = zLo;
+      n.recvBox.hi.z = zHi;
+      // The message I receive from the neighbour in direction (dx, dy) was
+      // sent by it toward (-dx, -dy) from its own point of view... which
+      // is the direction from it to me; its tag is tagOf of *its* send
+      // direction = tagOf(-dx, -dy).
+      n.sendTag = tagOf(dx, dy);
+      n.recvTag = tagOf(-dx, -dy);
+      if (dx != 0) decomposedX_ = true;
+      if (dy != 0) decomposedY_ = true;
+      neighbors_.push_back(std::move(n));
+    }
+}
+
+void HaloExchange::exchange(Comm& comm, PopulationField& f) {
+  begin(comm, f);
+  finish(comm, f);
+}
+
+void HaloExchange::begin(Comm& comm, PopulationField& f) {
+  const int q = f.q();
+  // Post all receives first, then pack and send: classic non-blocking
+  // ordering (also required so self-messages on wrapped axes match).
+  for (auto& n : neighbors_) {
+    n.recvBuf.resize(static_cast<std::size_t>(n.recvBox.volume()) * q);
+    n.pending = comm.irecv(n.rank, n.recvTag, n.recvBuf.data(),
+                           n.recvBuf.size() * sizeof(Real));
+  }
+  for (auto& n : neighbors_) {
+    n.sendBuf.resize(static_cast<std::size_t>(n.sendBox.volume()) * q);
+    packBox(f, q, n.sendBox, n.sendBuf.data());
+    comm.isend(n.rank, n.sendTag, n.sendBuf.data(),
+               n.sendBuf.size() * sizeof(Real));
+  }
+}
+
+void HaloExchange::finish(Comm& comm, PopulationField& f) {
+  (void)comm;
+  const int q = f.q();
+  for (auto& n : neighbors_) {
+    n.pending.wait();
+    unpackBox(f, q, n.recvBox, n.recvBuf.data());
+  }
+}
+
+void HaloExchange::exchangeMask(Comm& comm, MaskField& mask) {
+  for (auto& n : neighbors_) {
+    n.recvBufMask.resize(static_cast<std::size_t>(n.recvBox.volume()));
+    n.pending = comm.irecv(n.rank, n.recvTag, n.recvBufMask.data(),
+                           n.recvBufMask.size());
+  }
+  for (auto& n : neighbors_) {
+    n.sendBufMask.resize(static_cast<std::size_t>(n.sendBox.volume()));
+    ConstMaskAdapter adapter{mask};
+    packBox(adapter, 1, n.sendBox, n.sendBufMask.data());
+    comm.isend(n.rank, n.sendTag, n.sendBufMask.data(), n.sendBufMask.size());
+  }
+  for (auto& n : neighbors_) {
+    n.pending.wait();
+    MaskAdapter adapter{mask};
+    unpackBox(adapter, 1, n.recvBox, n.recvBufMask.data());
+  }
+}
+
+Box3 HaloExchange::innerBox() const {
+  Box3 b = grid_.interior();
+  if (decomposedX_) {
+    b.lo.x += 1;
+    b.hi.x -= 1;
+  }
+  if (decomposedY_) {
+    b.lo.y += 1;
+    b.hi.y -= 1;
+  }
+  return b;
+}
+
+std::vector<Box3> HaloExchange::boundaryShell() const {
+  std::vector<Box3> shell;
+  const Box3 inner = innerBox();
+  const Box3 full = grid_.interior();
+  if (decomposedX_) {
+    shell.push_back({{full.lo.x, full.lo.y, full.lo.z}, {inner.lo.x, full.hi.y, full.hi.z}});
+    shell.push_back({{inner.hi.x, full.lo.y, full.lo.z}, {full.hi.x, full.hi.y, full.hi.z}});
+  }
+  if (decomposedY_) {
+    shell.push_back({{inner.lo.x, full.lo.y, full.lo.z}, {inner.hi.x, inner.lo.y, full.hi.z}});
+    shell.push_back({{inner.lo.x, inner.hi.y, full.lo.z}, {inner.hi.x, full.hi.y, full.hi.z}});
+  }
+  // Drop empty boxes (tiny blocks).
+  std::erase_if(shell, [](const Box3& b) { return b.empty(); });
+  return shell;
+}
+
+std::size_t HaloExchange::bytesPerExchange(int q) const {
+  std::size_t bytes = 0;
+  for (const auto& n : neighbors_)
+    bytes += static_cast<std::size_t>(n.sendBox.volume()) * q * sizeof(Real);
+  return bytes;
+}
+
+}  // namespace swlb::runtime

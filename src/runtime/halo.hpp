@@ -1,0 +1,71 @@
+// Halo exchange between neighbouring subdomain blocks (paper Fig. 9(1)).
+//
+// With the paper's 2-D xy decomposition every rank exchanges one-cell-wide
+// strips with up to 8 neighbours (4 faces + 4 corners).  Strips span the
+// full z extent *including* the z halo so that diagonal pulls across the
+// subdomain corner pick up correct data; the caller must apply the local
+// z periodic wrap before exchanging.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/field.hpp"
+#include "core/kernels.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/decomposition.hpp"
+
+namespace swlb::runtime {
+
+class HaloExchange {
+ public:
+  /// Plan the exchange for `rank`'s block of `decomp`.  `periodic` is the
+  /// *global* domain periodicity; periodic axes wrap around the process
+  /// grid (possibly onto the same rank).
+  HaloExchange(const Decomposition& decomp, int rank, const Periodicity& periodic,
+               const Grid& localGrid);
+
+  /// Blocking exchange of all Q population strips (sequential scheme,
+  /// Fig. 6(1)).
+  void exchange(Comm& comm, PopulationField& f);
+
+  /// On-the-fly scheme (Fig. 6(2)): post receives and send packed strips,
+  /// then return so the caller can update the inner domain meanwhile.
+  void begin(Comm& comm, PopulationField& f);
+  /// Wait for the posted receives and unpack into the halo.
+  void finish(Comm& comm, PopulationField& f);
+
+  /// One-off exchange of the material mask at setup time.
+  void exchangeMask(Comm& comm, MaskField& mask);
+
+  int neighborCount() const { return static_cast<int>(neighbors_.size()); }
+
+  /// Cells whose update only touches own interior data (safe to compute
+  /// while halo messages are in flight).
+  Box3 innerBox() const;
+  /// The boundary shell = interior minus innerBox, as up to 4 boxes.
+  std::vector<Box3> boundaryShell() const;
+
+  /// Bytes sent per exchange of a Q-population field (for the perf model).
+  std::size_t bytesPerExchange(int q) const;
+
+ private:
+  struct Neighbor {
+    int rank = -1;
+    int dx = 0, dy = 0;
+    Box3 sendBox;  // local coordinates, may reach into the z halo
+    Box3 recvBox;
+    int sendTag = 0, recvTag = 0;
+    std::vector<Real> sendBuf, recvBuf;
+    std::vector<std::uint8_t> sendBufMask, recvBufMask;
+    Request pending;
+  };
+
+  static int tagOf(int dx, int dy) { return (dx + 1) * 3 + (dy + 1); }
+
+  Grid grid_;
+  bool decomposedX_ = false, decomposedY_ = false;
+  std::vector<Neighbor> neighbors_;
+};
+
+}  // namespace swlb::runtime

@@ -1,0 +1,156 @@
+// Parallel I/O for distributed runs (paper §IV-B: "the I/O layer provides
+// support ... with several options such as group I/O and MPI I/O, with
+// addition of a checkpoint and restart controller").
+//
+// Group checkpointing writes one checksummed file per rank plus a root
+// manifest describing the decomposition; restart validates the manifest
+// against the live run so a checkpoint can only be restored onto the
+// layout it was taken from.  Field output is gathered to a root rank and
+// written with the serial writers.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/macroscopic.hpp"
+#include "io/checkpoint.hpp"
+#include "io/vtk.hpp"
+#include "runtime/distributed_solver.hpp"
+
+namespace swlb::runtime {
+
+/// Per-rank checkpoint path under a common prefix.
+inline std::string group_checkpoint_path(const std::string& prefix, int rank) {
+  return prefix + ".rank" + std::to_string(rank) + ".ckpt";
+}
+inline std::string group_manifest_path(const std::string& prefix) {
+  return prefix + ".manifest";
+}
+
+/// Write one checkpoint file per rank plus the root manifest.  Collective.
+template <class D>
+void save_group_checkpoint(DistributedSolver<D>& solver,
+                           const std::string& prefix) {
+  Comm& comm = solver.comm();
+  io::save_checkpoint(group_checkpoint_path(prefix, comm.rank()), solver.f(),
+                      solver.stepsDone(), solver.parity());
+  if (comm.rank() == 0) {
+    std::ofstream os(group_manifest_path(prefix));
+    if (!os) throw Error("group checkpoint: cannot write manifest");
+    const auto& d = solver.decomposition();
+    os << "swlb-group-checkpoint 1\n"
+       << "ranks " << comm.size() << "\n"
+       << "global " << d.globalSize().x << ' ' << d.globalSize().y << ' '
+       << d.globalSize().z << "\n"
+       << "procgrid " << d.procGrid().x << ' ' << d.procGrid().y << ' '
+       << d.procGrid().z << "\n"
+       << "steps " << solver.stepsDone() << "\n";
+  }
+  comm.barrier();  // manifest visible before anyone reports success
+}
+
+/// Restore a group checkpoint.  Throws when the manifest does not match
+/// the live decomposition (wrong rank count / grid / mesh).  Collective.
+template <class D>
+void load_group_checkpoint(DistributedSolver<D>& solver,
+                           const std::string& prefix) {
+  Comm& comm = solver.comm();
+  // Every rank parses the manifest (cheap, avoids a broadcast round).
+  std::ifstream in(group_manifest_path(prefix));
+  if (!in) throw Error("group checkpoint: missing manifest for '" + prefix + "'");
+  std::string magic;
+  int version = 0, ranks = 0;
+  Int3 global, grid;
+  std::uint64_t steps = 0;
+  std::string key;
+  in >> magic >> version >> key >> ranks >> key >> global.x >> global.y >>
+      global.z >> key >> grid.x >> grid.y >> grid.z >> key >> steps;
+  if (!in || magic != "swlb-group-checkpoint" || version != 1)
+    throw Error("group checkpoint: malformed manifest");
+  const auto& d = solver.decomposition();
+  if (ranks != comm.size() || !(global == d.globalSize()) ||
+      !(grid == d.procGrid())) {
+    throw Error("group checkpoint: decomposition mismatch (checkpoint " +
+                std::to_string(ranks) + " ranks, live " +
+                std::to_string(comm.size()) + ")");
+  }
+  const io::CheckpointMeta meta = io::read_checkpoint_meta(
+      group_checkpoint_path(prefix, comm.rank()));
+  solver.restoreState(meta.steps, meta.parity);
+  io::load_checkpoint(group_checkpoint_path(prefix, comm.rank()), solver.f());
+  comm.barrier();
+}
+
+/// Gather density and velocity into *global* fields on `root` (other
+/// ranks receive empty fields).  Collective.
+template <class D>
+void gather_macroscopic(DistributedSolver<D>& solver, int root,
+                        ScalarField& rhoOut, VectorField& uOut) {
+  Comm& comm = solver.comm();
+  const Grid& lg = solver.localGrid();
+  // Local macroscopic block, packed (rho, ux, uy, uz) per cell.
+  std::vector<Real> buf(lg.interiorVolume() * 4);
+  std::size_t k = 0;
+  for (int z = 0; z < lg.nz; ++z)
+    for (int y = 0; y < lg.ny; ++y)
+      for (int x = 0; x < lg.nx; ++x) {
+        Real rho = 0;
+        Vec3 u{0, 0, 0};
+        const Material& m = solver.materials()[solver.mask()(x, y, z)];
+        if (is_pullable(m.cls)) {
+          cell_macroscopic<D>(solver.f(), x, y, z, solver.collision(), rho, u);
+        } else {
+          rho = m.rho;
+          u = m.u;
+        }
+        buf[k++] = rho;
+        buf[k++] = u.x;
+        buf[k++] = u.y;
+        buf[k++] = u.z;
+      }
+
+  constexpr int tag = 901;
+  const auto& d = solver.decomposition();
+  if (comm.rank() == root) {
+    const Int3 g = d.globalSize();
+    Grid gg(g.x, g.y, g.z);
+    rhoOut = ScalarField(gg);
+    uOut = VectorField(gg);
+    for (int r = 0; r < comm.size(); ++r) {
+      const Box3 block = d.blockOf(r);
+      std::vector<Real> rbuf(static_cast<std::size_t>(block.volume()) * 4);
+      if (r == root) {
+        rbuf = buf;
+      } else {
+        comm.recv(r, tag, rbuf.data(), rbuf.size() * sizeof(Real));
+      }
+      std::size_t j = 0;
+      for (int z = block.lo.z; z < block.hi.z; ++z)
+        for (int y = block.lo.y; y < block.hi.y; ++y)
+          for (int x = block.lo.x; x < block.hi.x; ++x) {
+            rhoOut(x, y, z) = rbuf[j];
+            uOut.set(x, y, z, {rbuf[j + 1], rbuf[j + 2], rbuf[j + 3]});
+            j += 4;
+          }
+    }
+  } else {
+    comm.send(root, tag, buf.data(), buf.size() * sizeof(Real));
+  }
+}
+
+/// Gather to `root` and write one VTK file with density + velocity.
+template <class D>
+void write_vtk_gathered(DistributedSolver<D>& solver, int root,
+                        const std::string& path) {
+  ScalarField rho;
+  VectorField u;
+  gather_macroscopic(solver, root, rho, u);
+  if (solver.comm().rank() != root) return;
+  io::VtkWriter vtk(rho.grid());
+  vtk.addScalar("density", rho);
+  vtk.addVector("velocity", u);
+  vtk.write(path);
+}
+
+}  // namespace swlb::runtime

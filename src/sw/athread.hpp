@@ -1,0 +1,75 @@
+// Athread-style API over the CPE cluster emulator.
+//
+// The paper's solver is written against Athread, "a specialized
+// lightweight thread library designed specifically for Sunway
+// Supercomputers" (§IV-A): the MPE spawns a kernel on the 64 CPEs, each
+// CPE moves data with athread_get/athread_put DMA calls and synchronizes
+// with sync_array.  This adapter exposes the same verbs over the
+// emulator so kernel code reads like SunwayLB's.
+#pragma once
+
+#include <functional>
+
+#include "sw/cpe.hpp"
+
+namespace swlb::sw {
+
+/// One "athread domain": an initialized CPE cluster accepting spawns.
+class Athread {
+ public:
+  explicit Athread(const CoreGroupSpec& spec) : cluster_(spec) {}
+
+  /// athread_init: nothing to do in the emulator, kept for fidelity.
+  void init() { initialized_ = true; }
+  bool initialized() const { return initialized_; }
+
+  /// athread_spawn + athread_join: run `kernel` on all 64 CPEs to
+  /// completion.  The kernel receives the per-CPE context.
+  void spawnJoin(const std::function<void(CpeContext&)>& kernel) {
+    if (!initialized_) throw Error("Athread: spawn before init");
+    cluster_.run(kernel);
+  }
+
+  /// athread_halt.
+  void halt() { initialized_ = false; }
+
+  CpeCluster& cluster() { return cluster_; }
+
+ private:
+  CpeCluster cluster_;
+  bool initialized_ = false;
+};
+
+/// athread_get: main memory -> LDM (one DMA transaction).
+template <typename T>
+void athread_get(CpeContext& ctx, const T* mem, std::span<T> ldm) {
+  ctx.dma->get(mem, ldm);
+}
+
+/// athread_put: LDM -> main memory.
+template <typename T>
+void athread_put(CpeContext& ctx, T* mem, std::span<const T> ldm) {
+  ctx.dma->put(mem, ldm);
+}
+
+/// ldm_malloc equivalent: allocate from the CPE's scratchpad arena.
+template <typename T>
+std::span<T> ldm_malloc(CpeContext& ctx, std::size_t n, const char* label = "") {
+  return ctx.ldm->alloc<T>(n, label);
+}
+
+/// Register-communication send along a row/column bus (SW26010).
+inline void reg_putr(CpeContext& ctx, int dstCpe, std::span<const Real> data,
+                     std::span<Real> remoteBuf) {
+  if (!ctx.reg) throw Error("reg_putr: no register communication on this machine");
+  ctx.reg->transfer(ctx.id, dstCpe, data, remoteBuf);
+}
+
+/// RMA put (SW26010-Pro).
+inline void rma_put(CpeContext& ctx, int dstCpe, std::span<const Real> data,
+                    std::span<Real> remoteBuf) {
+  if (!ctx.rma) throw Error("rma_put: no RMA on this machine");
+  ctx.rma->put(ctx.id, dstCpe, data, remoteBuf);
+}
+
+}  // namespace swlb::sw

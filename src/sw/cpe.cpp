@@ -1,0 +1,72 @@
+#include "sw/cpe.hpp"
+
+namespace swlb::sw {
+
+CpeCluster::CpeCluster(const CoreGroupSpec& spec)
+    : spec_(spec),
+      reg_(spec.cpeRows, spec.cpeCols),
+      rma_(spec.cpeRows, spec.cpeCols) {
+  const int n = spec_.cpeCount();
+  ldm_.reserve(static_cast<std::size_t>(n));
+  dma_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ldm_.push_back(std::make_unique<Ldm>(spec_.ldmBytes));
+    dma_.push_back(std::make_unique<DmaEngine>(spec_.dma));
+  }
+}
+
+void CpeCluster::run(const std::function<void(CpeContext&)>& kernel) {
+  for (int i = 0; i < cpeCount(); ++i) {
+    CpeContext ctx;
+    ctx.id = i;
+    ctx.row = i / spec_.cpeCols;
+    ctx.col = i % spec_.cpeCols;
+    ctx.count = cpeCount();
+    ctx.ldm = ldm_[static_cast<std::size_t>(i)].get();
+    ctx.dma = dma_[static_cast<std::size_t>(i)].get();
+    ctx.reg = spec_.hasRegisterComm ? &reg_ : nullptr;
+    ctx.rma = spec_.hasRma ? &rma_ : nullptr;
+    ctx.ldm->reset();
+    kernel(ctx);
+  }
+}
+
+DmaStats CpeCluster::dmaTotal() const {
+  DmaStats total;
+  for (const auto& d : dma_) total += d->stats();
+  return total;
+}
+
+double CpeCluster::dmaModeledSeconds() const {
+  // All CPEs share one memory controller per core group, so transactions
+  // serialize on the DMA bus: total time is the sum over engines.
+  double s = 0;
+  for (const auto& d : dma_) s += d->modeledSeconds();
+  return s;
+}
+
+FabricStats CpeCluster::fabricTotal() const {
+  FabricStats total = reg_.stats();
+  total += rma_.stats();
+  return total;
+}
+
+double CpeCluster::fabricModeledSeconds() const {
+  return (static_cast<double>(reg_.stats().bytes) +
+          static_cast<double>(rma_.stats().bytes)) /
+         spec_.fabricBandwidth;
+}
+
+std::size_t CpeCluster::ldmHighWater() const {
+  std::size_t hw = 0;
+  for (const auto& l : ldm_) hw = std::max(hw, l->highWater());
+  return hw;
+}
+
+void CpeCluster::resetStats() {
+  for (const auto& d : dma_) d->resetStats();
+  reg_.resetStats();
+  rma_.resetStats();
+}
+
+}  // namespace swlb::sw

@@ -1,0 +1,67 @@
+// CPE cluster emulator: runs kernels on 64 logical CPEs with per-CPE LDM
+// arenas, metered DMA engines and the row/column communication fabrics.
+//
+// Execution is sequential and deterministic (the pull scheme has no
+// intra-step data hazards between CPEs); fidelity comes from the enforced
+// LDM capacity and the metered DMA/fabric traffic, which drive the
+// performance model exactly like the REG-LDM-MEM hierarchy of Fang et al.
+// drives kernels on real silicon (paper §III-B).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sw/dma.hpp"
+#include "sw/ldm.hpp"
+#include "sw/regcomm.hpp"
+#include "sw/rma.hpp"
+#include "sw/spec.hpp"
+
+namespace swlb::sw {
+
+/// Per-CPE view handed to a kernel: identity, scratchpad, engines.
+struct CpeContext {
+  int id = 0;
+  int row = 0;
+  int col = 0;
+  int count = 0;
+  Ldm* ldm = nullptr;
+  DmaEngine* dma = nullptr;
+  RegCommFabric* reg = nullptr;  ///< SW26010 only
+  RmaFabric* rma = nullptr;      ///< SW26010-Pro only
+};
+
+class CpeCluster {
+ public:
+  explicit CpeCluster(const CoreGroupSpec& spec);
+
+  const CoreGroupSpec& spec() const { return spec_; }
+  int cpeCount() const { return spec_.cpeCount(); }
+
+  /// Launch `kernel` on every CPE (athread_spawn + join equivalent).
+  void run(const std::function<void(CpeContext&)>& kernel);
+
+  /// Aggregate DMA statistics across all CPEs since the last reset.
+  DmaStats dmaTotal() const;
+  /// Modeled seconds of all DMA traffic on the shared memory controller.
+  double dmaModeledSeconds() const;
+  FabricStats fabricTotal() const;
+  double fabricModeledSeconds() const;
+  /// Highest LDM fill across all CPEs (bytes).
+  std::size_t ldmHighWater() const;
+
+  void resetStats();
+
+  RegCommFabric& regFabric() { return reg_; }
+  RmaFabric& rmaFabric() { return rma_; }
+
+ private:
+  CoreGroupSpec spec_;
+  std::vector<std::unique_ptr<Ldm>> ldm_;
+  std::vector<std::unique_ptr<DmaEngine>> dma_;
+  RegCommFabric reg_;
+  RmaFabric rma_;
+};
+
+}  // namespace swlb::sw

@@ -1,0 +1,57 @@
+// Local Data Memory (LDM) arena of one CPE.
+//
+// Each CPE has 64 KB (SW26010) / 256 KB (SW26010-Pro) of software-managed
+// scratchpad.  Kernels must plan their working set explicitly; the arena
+// enforces the capacity as a hard error so any blocking plan that would
+// not fit on real silicon fails loudly in the emulator too (paper §IV-C2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace swlb::sw {
+
+class Ldm {
+ public:
+  explicit Ldm(std::size_t capacityBytes) : capacity_(capacityBytes) {
+    storage_.resize(capacityBytes);
+  }
+
+  /// Allocate n elements of T; throws Error when the plan exceeds LDM.
+  template <typename T>
+  std::span<T> alloc(std::size_t n, const char* label = "") {
+    const std::size_t align = alignof(T);
+    std::size_t off = (used_ + align - 1) / align * align;
+    const std::size_t bytes = n * sizeof(T);
+    if (off + bytes > capacity_) {
+      throw Error("LDM overflow allocating '" + std::string(label) + "': " +
+                  std::to_string(bytes) + " B requested, " +
+                  std::to_string(capacity_ - used_) + " B free of " +
+                  std::to_string(capacity_) + " B");
+    }
+    T* p = reinterpret_cast<T*>(storage_.data() + off);
+    used_ = off + bytes;
+    highWater_ = std::max(highWater_, used_);
+    return std::span<T>(p, n);
+  }
+
+  /// Release everything (end of a processing phase).  Cheap: arena reset.
+  void reset() { used_ = 0; }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t highWater() const { return highWater_; }
+  std::size_t freeBytes() const { return capacity_ - used_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t highWater_ = 0;
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace swlb::sw

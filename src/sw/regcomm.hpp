@@ -1,0 +1,84 @@
+// Register communication fabric of the SW26010 CPE mesh (paper Fig. 5(4)).
+//
+// The 8x8 mesh has 8 row buses and 8 column buses: a CPE can exchange
+// 256-bit register packets with any CPE *in the same row or column*.  The
+// emulator enforces that topology constraint and meters packets/bytes;
+// payload movement is a functional copy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/common.hpp"
+
+namespace swlb::sw {
+
+struct FabricStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t broadcasts = 0;
+
+  FabricStats& operator+=(const FabricStats& o) {
+    packets += o.packets;
+    bytes += o.bytes;
+    broadcasts += o.broadcasts;
+    return *this;
+  }
+};
+
+class RegCommFabric {
+ public:
+  static constexpr std::size_t kPacketBytes = 32;  // 256-bit registers
+
+  RegCommFabric(int rows, int cols) : rows_(rows), cols_(cols) {}
+
+  /// True when src and dst CPEs share a row or a column bus.
+  bool reachable(int srcCpe, int dstCpe) const {
+    return row(srcCpe) == row(dstCpe) || col(srcCpe) == col(dstCpe);
+  }
+
+  /// Point-to-point transfer along a row/column bus.  `data` is copied to
+  /// `out`; the cost is metered in 256-bit packets.  Throws when the mesh
+  /// topology does not allow the pair (no routing through third CPEs on
+  /// SW26010 register buses).
+  void transfer(int srcCpe, int dstCpe, std::span<const Real> data,
+                std::span<Real> out) {
+    if (!reachable(srcCpe, dstCpe)) {
+      throw Error("RegCommFabric: CPE " + std::to_string(srcCpe) + " -> " +
+                  std::to_string(dstCpe) +
+                  " not on a shared row/column bus; use DMA instead");
+    }
+    SWLB_ASSERT(out.size() >= data.size());
+    std::copy(data.begin(), data.end(), out.begin());
+    meter(data.size_bytes());
+  }
+
+  /// Row or column broadcast (one sender, 7 receivers); metered once.
+  void broadcast(int srcCpe, std::span<const Real> data) {
+    (void)srcCpe;
+    meter(data.size_bytes());
+    ++stats_.broadcasts;
+  }
+
+  const FabricStats& stats() const { return stats_; }
+  void resetStats() { stats_ = FabricStats{}; }
+
+  /// Modeled seconds for all metered traffic at `bandwidth` bytes/s.
+  double modeledSeconds(double bandwidth) const {
+    return static_cast<double>(stats_.bytes) / bandwidth;
+  }
+
+  int row(int cpe) const { return cpe / cols_; }
+  int col(int cpe) const { return cpe % cols_; }
+
+ private:
+  void meter(std::size_t bytes) {
+    stats_.packets += (bytes + kPacketBytes - 1) / kPacketBytes;
+    stats_.bytes += bytes;
+  }
+
+  int rows_, cols_;
+  FabricStats stats_;
+};
+
+}  // namespace swlb::sw

@@ -1,0 +1,143 @@
+// Hardware specifications of the Sunway processors (paper §III) and the
+// GPU cluster used for the portability study (§IV-E).
+//
+// These numbers parameterize the functional emulator (LDM capacities are
+// enforced, DMA transactions costed) and the performance model that
+// regenerates the paper's scaling figures.
+#pragma once
+
+#include <cstddef>
+
+#include "core/common.hpp"
+
+namespace swlb::sw {
+
+/// DMA cost model: a transfer of b bytes takes
+///   startupSeconds + b / peakBandwidth
+/// equivalently the effective bandwidth curve bw(b) = peak / (1 + b0/b)
+/// with b0 = startupSeconds * peak — small/strided transfers waste the
+/// engine (paper §III-C: "discontinuous memory accesses will prevent the
+/// program from achieving high DMA bandwidth utilization").
+struct DmaModel {
+  double peakBandwidth = 0;   ///< bytes/second (per core group)
+  double startupSeconds = 0;  ///< per-transaction overhead
+
+  double transferSeconds(std::size_t bytes) const {
+    return startupSeconds + static_cast<double>(bytes) / peakBandwidth;
+  }
+  double effectiveBandwidth(std::size_t bytes) const {
+    return static_cast<double>(bytes) / transferSeconds(bytes);
+  }
+};
+
+/// One core group: 1 MPE + an 8x8 CPE mesh sharing a memory controller.
+struct CoreGroupSpec {
+  int cpeRows = 8;
+  int cpeCols = 8;
+  std::size_t ldmBytes = 0;     ///< local data memory per CPE
+  DmaModel dma;                 ///< CG-aggregate DMA engine
+  double cpeFrequencyHz = 0;
+  int vectorBits = 256;         ///< SIMD width of a CPE
+  double flopsPerCpePerCycle = 8;  ///< FMA * vector lanes (double precision)
+  bool hasRegisterComm = false;    ///< SW26010: row/col register communication
+  bool hasRma = false;             ///< SW26010-Pro: remote memory access
+  /// Register-communication / RMA fabric bandwidth between CPEs (bytes/s).
+  double fabricBandwidth = 0;
+
+  int cpeCount() const { return cpeRows * cpeCols; }
+  double peakFlops() const {
+    return static_cast<double>(cpeCount()) * cpeFrequencyHz * flopsPerCpePerCycle;
+  }
+};
+
+/// Interconnect: 256 processors per supernode on a full-crossbar switch
+/// board; supernodes connected by a fat tree (paper Fig. 2(b)).
+struct NetworkSpec {
+  int processorsPerSupernode = 256;
+  double intraSupernodeBandwidth = 0;  ///< bytes/s per link
+  double intraSupernodeLatency = 0;    ///< seconds
+  double fatTreeBandwidth = 0;
+  double fatTreeLatency = 0;
+};
+
+struct MachineSpec {
+  const char* name = "";
+  int coreGroupsPerProcessor = 0;
+  CoreGroupSpec cg;
+  double mpeFrequencyHz = 0;
+  /// Effective bandwidth of scalar MPE-only code (gld/gst through the
+  /// small data cache — the Fig. 8 baseline runs everything on the MPE).
+  double mpeEffectiveBandwidth = 0;
+  NetworkSpec net;
+
+  double processorPeakFlops() const {
+    return coreGroupsPerProcessor * cg.peakFlops();
+  }
+
+  /// Sunway TaihuLight's SW26010 (paper §III-B).
+  static MachineSpec sw26010() {
+    MachineSpec m;
+    m.name = "SW26010 (Sunway TaihuLight)";
+    m.coreGroupsPerProcessor = 4;
+    m.cg.ldmBytes = 64 * 1024;
+    m.cg.dma.peakBandwidth = 32.0 * (1ull << 30);  // paper: max DMA bw 32 GB/s
+    m.cg.dma.startupSeconds = 1.0e-7;
+    m.cg.cpeFrequencyHz = 1.45e9;
+    m.cg.vectorBits = 256;
+    m.cg.flopsPerCpePerCycle = 8;  // 4 lanes FMA
+    m.cg.hasRegisterComm = true;
+    m.cg.hasRma = false;
+    m.cg.fabricBandwidth = 180.0 * (1ull << 30);  // register-level mesh
+    m.mpeFrequencyHz = 1.45e9;
+    // Calibrated so an MPE-only step over the paper's 35M-cell CG block
+    // costs ~73.6 s (the Fig. 8 baseline).
+    m.mpeEffectiveBandwidth = 0.22 * (1ull << 30);
+    m.net.intraSupernodeBandwidth = 14.0 * (1ull << 30);
+    m.net.intraSupernodeLatency = 1.0e-6;
+    m.net.fatTreeBandwidth = 7.0 * (1ull << 30);
+    m.net.fatTreeLatency = 2.0e-6;
+    return m;
+  }
+
+  /// SW26010-Pro (the new Sunway supercomputer, paper §III-B).
+  static MachineSpec sw26010pro() {
+    MachineSpec m;
+    m.name = "SW26010-Pro (new Sunway)";
+    m.coreGroupsPerProcessor = 6;
+    m.cg.ldmBytes = 256 * 1024;
+    m.cg.dma.peakBandwidth = 51.2e9;  // 307.2 GB/s aggregate over 6 CGs
+    m.cg.dma.startupSeconds = 6.0e-8;
+    m.cg.cpeFrequencyHz = 2.25e9;
+    m.cg.vectorBits = 512;
+    m.cg.flopsPerCpePerCycle = 16;  // 8 lanes FMA
+    m.cg.hasRegisterComm = false;
+    m.cg.hasRma = true;
+    m.cg.fabricBandwidth = 400.0 * (1ull << 30);
+    m.mpeFrequencyHz = 2.1e9;
+    m.mpeEffectiveBandwidth = 0.35 * (1ull << 30);
+    m.net.intraSupernodeBandwidth = 28.0 * (1ull << 30);
+    m.net.intraSupernodeLatency = 0.8e-6;
+    m.net.fatTreeBandwidth = 14.0 * (1ull << 30);
+    m.net.fatTreeLatency = 1.6e-6;
+    return m;
+  }
+};
+
+/// GPU cluster node used in §IV-E: 2x Xeon 6248R + 8x RTX 3090.
+struct GpuNodeSpec {
+  const char* name = "8x RTX 3090 + 2x Xeon 6248R";
+  int gpusPerNode = 8;
+  double gpuMemBandwidth = 936.0e9;  ///< GDDR6X bytes/s per GPU
+  double gpuPeakFlopsFp64 = 556.0e9; ///< RTX 3090 FP64 is 1/64 of FP32
+  double pcieBandwidth = 16.0e9;     ///< host<->device, pinned
+  double pcieBandwidthPageable = 6.0e9;  ///< extra staging copy
+  double ncclP2pBandwidth = 20.0e9;  ///< GPU<->GPU via NCCL rings
+  /// Effective bandwidth of the basic one-socket MPI baseline (24-core
+  /// Xeon 6248R, untuned AoS kernel); calibrated so the full GPU ladder
+  /// lands at the paper's 191x.
+  double cpuSocketBandwidth = 42.7e9;
+  double nodeInterconnectBandwidth = 12.5e9;  ///< 100 Gb/s IB between nodes
+  double nodeInterconnectLatency = 2.0e-6;
+};
+
+}  // namespace swlb::sw

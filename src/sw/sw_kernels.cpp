@@ -1,0 +1,324 @@
+#include "sw/sw_kernels.hpp"
+
+#include "core/equilibrium.hpp"
+#include "core/kernels.hpp"
+#include "core/lattice.hpp"
+
+namespace swlb::sw {
+
+namespace {
+
+/// Contiguous split of [0, n) into `parts`; remainder spread over the
+/// leading parts (same policy as the MPI-level decomposition).
+void splitRange(int n, int parts, int idx, int& lo, int& hi) {
+  const int base = n / parts;
+  const int extra = n % parts;
+  lo = idx * base + std::min(idx, extra);
+  hi = lo + base + (idx < extra ? 1 : 0);
+}
+
+/// Which CPE's slab owns row y (inverse of splitRange).
+int ownerOf(int y, int n, int parts) {
+  const int base = n / parts;
+  const int extra = n % parts;
+  const int cut = extra * (base + 1);
+  if (base == 0) return y;  // fewer rows than CPEs: one row per leading CPE
+  if (y < cut) return y / (base + 1);
+  return extra + (y - cut) / base;
+}
+
+}  // namespace
+
+template <class D>
+SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src,
+                                 PopulationField& dst, const MaskField& mask,
+                                 const MaterialTable& mats,
+                                 const SwKernelConfig& cfg) {
+  const Grid& g = src.grid();
+  SWLB_ASSERT(dst.grid() == g && mask.grid() == g);
+  if (g.halo != 1) throw Error("sw_stream_collide: halo width must be 1");
+  const int nx = g.nx, ny = g.ny, nz = g.nz;
+
+  cluster.resetStats();
+  std::uint64_t viaFabric = 0, viaDma = 0;
+
+  // Raw-pointer views (const operator() returns by value; DMA needs
+  // addresses into the field storage).
+  auto srcPtr = [&](int q, int x, int y, int z) {
+    return src.data() + src.slab(q) + g.idx(x, y, z);
+  };
+  auto maskPtr = [&](int x, int y, int z) { return mask.data() + g.idx(x, y, z); };
+
+  auto rowsKernel = [&](CpeContext& ctx) {
+    int y0, y1;
+    splitRange(ny, ctx.count, ctx.id, y0, y1);
+    if (y0 >= y1) return;
+    const int rowsY = (y1 - y0) + 2;  // slab plus one ghost row per side
+
+    for (int x0 = 0; x0 < nx; x0 += cfg.chunkX) {
+      const int bx = std::min(cfg.chunkX, nx - x0);
+      const int exl = bx + 2;
+
+      ctx.ldm->reset();
+      auto pops = ctx.ldm->alloc<Real>(
+          static_cast<std::size_t>(3) * rowsY * D::Q * exl, "z-window pops");
+      auto masks = ctx.ldm->alloc<std::uint8_t>(
+          static_cast<std::size_t>(3) * rowsY * exl, "z-window masks");
+      auto out = ctx.ldm->alloc<Real>(static_cast<std::size_t>(D::Q) * bx,
+                                      "output row");
+
+      auto slotOf = [](int zp) { return ((zp % 3) + 3) % 3; };
+      auto popAt = [&](int slot, int yl, int q, int xl) -> Real& {
+        return pops[((static_cast<std::size_t>(slot) * rowsY + yl) * D::Q + q) *
+                        exl +
+                    xl];
+      };
+      auto maskAt = [&](int slot, int yl, int xl) -> std::uint8_t& {
+        return masks[(static_cast<std::size_t>(slot) * rowsY + yl) * exl + xl];
+      };
+
+      // Load one (y, zp) row into the window: Q direction-rows + mask row.
+      auto loadRow = [&](int y, int zp) {
+        const int slot = slotOf(zp);
+        const int yl = y - (y0 - 1);
+        const bool ghost = (y == y0 - 1 || y == y1);
+        const bool neighbourOwned = ghost && y >= 0 && y < ny;
+        bool fabricPath = false;
+        int owner = ctx.id;
+        if (cfg.shareBoundary && neighbourOwned) {
+          owner = ownerOf(y, ny, ctx.count);
+          if (owner != ctx.id) {
+            // Register communication needs a shared row/column bus;
+            // SW26010 pairs off the buses fall back to DMA (documented
+            // deviation from the all-reachable RMA of SW26010-Pro).
+            fabricPath = ctx.rma != nullptr ||
+                         (ctx.reg != nullptr && ctx.reg->reachable(ctx.id, owner));
+          }
+        }
+        for (int q = 0; q < D::Q; ++q) {
+          const Real* memRow = srcPtr(q, x0 - 1, y, zp);  // x-contiguous
+          std::span<Real> dstSpan(&popAt(slot, yl, q, 0), static_cast<std::size_t>(exl));
+          if (fabricPath) {
+            // Functional shortcut: the payload equals what the owning CPE
+            // holds in its LDM, so the emulator copies from the field and
+            // meters the transfer on the fabric.
+            std::span<const Real> srcSpan(memRow, static_cast<std::size_t>(exl));
+            if (ctx.rma)
+              ctx.rma->put(owner, ctx.id, srcSpan, dstSpan);
+            else
+              ctx.reg->transfer(owner, ctx.id, srcSpan, dstSpan);
+          } else {
+            ctx.dma->get(memRow, dstSpan);
+          }
+        }
+        if (fabricPath)
+          ++viaFabric;
+        else if (ghost && neighbourOwned)
+          ++viaDma;
+        // Mask rows are one byte per cell; they always ride DMA.
+        ctx.dma->get(maskPtr(x0 - 1, y, zp),
+                     std::span<std::uint8_t>(&maskAt(slot, yl, 0),
+                                             static_cast<std::size_t>(exl)));
+      };
+
+      auto loadPlane = [&](int zp) {
+        for (int y = y0 - 1; y <= y1; ++y) loadRow(y, zp);
+      };
+
+      for (int z = 0; z < nz; ++z) {
+        if (z == 0 || !cfg.reuseZWindow) {
+          loadPlane(z - 1);
+          loadPlane(z);
+          loadPlane(z + 1);
+        } else {
+          loadPlane(z + 1);  // rolling window: only the new plane
+        }
+
+        const int cSlot = slotOf(z);
+        for (int y = y0; y < y1; ++y) {
+          const int ylC = y - (y0 - 1);
+          for (int x = x0; x < x0 + bx; ++x) {
+            const int xlC = x - x0 + 1;
+            const std::uint8_t cid = maskAt(cSlot, ylC, xlC);
+            const Material* zh = nullptr;
+            if (cid != MaterialTable::kFluid) {
+              const Material& m = mats[cid];
+              switch (m.cls) {
+                case CellClass::Fluid:
+                  break;  // treated as fluid below
+                case CellClass::ZouHeVelocity:
+                case CellClass::ZouHePressure:
+                case CellClass::Porous:
+                  zh = &m;  // gather, fix/blend, collide
+                  break;
+                case CellClass::VelocityInlet: {
+                  Real feq[D::Q];
+                  equilibria<D>(m.rho, m.u, feq);
+                  for (int i = 0; i < D::Q; ++i)
+                    out[static_cast<std::size_t>(i) * bx + (x - x0)] = feq[i];
+                  continue;
+                }
+                case CellClass::Outflow: {
+                  const int slot = slotOf(z + m.normal.z);
+                  const int yl = ylC + m.normal.y;
+                  const int xl = xlC + m.normal.x;
+                  for (int i = 0; i < D::Q; ++i)
+                    out[static_cast<std::size_t>(i) * bx + (x - x0)] =
+                        popAt(slot, yl, i, xl);
+                  continue;
+                }
+                default:  // Solid / MovingWall: keep populations defined
+                  for (int i = 0; i < D::Q; ++i)
+                    out[static_cast<std::size_t>(i) * bx + (x - x0)] =
+                        popAt(cSlot, ylC, i, xlC);
+                  continue;
+              }
+            }
+            // Fluid update: gather with bounce-back, then collide —
+            // identical arithmetic to the reference kernels.
+            Real fin[D::Q];
+            for (int i = 0; i < D::Q; ++i) {
+              const int slot = slotOf(z - D::c[i][2]);
+              const int yl = ylC - D::c[i][1];
+              const int xl = xlC - D::c[i][0];
+              const std::uint8_t nid = maskAt(slot, yl, xl);
+              if (nid == MaterialTable::kFluid) {
+                fin[i] = popAt(slot, yl, i, xl);
+                continue;
+              }
+              const Material& m = mats[nid];
+              if (is_pullable(m.cls)) {
+                fin[i] = popAt(slot, yl, i, xl);
+              } else if (m.cls == CellClass::Solid) {
+                fin[i] = popAt(cSlot, ylC, D::opp(i), xlC);
+              } else {  // MovingWall
+                const Real cu = D::c[i][0] * m.u.x + D::c[i][1] * m.u.y +
+                                D::c[i][2] * m.u.z;
+                fin[i] =
+                    popAt(cSlot, ylC, D::opp(i), xlC) + Real(6) * D::w[i] * m.rho * cu;
+              }
+            }
+            Real fpre[D::Q] = {};
+            if (zh && zh->cls == CellClass::Porous) {
+              for (int i = 0; i < D::Q; ++i) fpre[i] = fin[i];
+            } else if (zh) {
+              swlb::zouhe_fix<D>(fin, *zh);
+            }
+            Real rho;
+            Vec3 u;
+            collide_cell<D>(fin, cfg.collision, rho, u);
+            if (zh && zh->cls == CellClass::Porous)
+              swlb::porous_blend<D>(fin, fpre, zh->solidity);
+            for (int i = 0; i < D::Q; ++i)
+              out[static_cast<std::size_t>(i) * bx + (x - x0)] = fin[i];
+          }
+          // Write the finished row back: one contiguous put per direction.
+          for (int q = 0; q < D::Q; ++q) {
+            ctx.dma->put(&dst(q, x0, y, z),
+                         std::span<const Real>(&out[static_cast<std::size_t>(q) * bx],
+                                               static_cast<std::size_t>(bx)));
+          }
+        }
+      }
+    }
+  };
+
+  auto perCellKernel = [&](CpeContext& ctx) {
+    int y0, y1;
+    splitRange(ny, ctx.count, ctx.id, y0, y1);
+    if (y0 >= y1) return;
+    ctx.ldm->reset();
+    auto fin = ctx.ldm->alloc<Real>(D::Q, "cell in");
+    auto one = ctx.ldm->alloc<Real>(1, "scratch");
+    auto m9 = ctx.ldm->alloc<std::uint8_t>(1, "mask scratch");
+
+    for (int z = 0; z < nz; ++z)
+      for (int y = y0; y < y1; ++y)
+        for (int x = 0; x < nx; ++x) {
+          ctx.dma->get(maskPtr(x, y, z), std::span<std::uint8_t>(m9.data(), 1));
+          const std::uint8_t cid = m9[0];
+          if (cid != MaterialTable::kFluid && !is_streaming(mats[cid].cls)) {
+            // Boundary cells: same semantics, still metered per value.
+            Real tmp[D::Q];
+            const Material& m = mats[cid];
+            if (m.cls == CellClass::VelocityInlet) {
+              equilibria<D>(m.rho, m.u, tmp);
+            } else if (m.cls == CellClass::Outflow) {
+              for (int i = 0; i < D::Q; ++i) {
+                ctx.dma->get(srcPtr(i, x + m.normal.x, y + m.normal.y, z + m.normal.z),
+                             std::span<Real>(one.data(), 1));
+                tmp[i] = one[0];
+              }
+            } else {
+              for (int i = 0; i < D::Q; ++i) {
+                ctx.dma->get(srcPtr(i, x, y, z), std::span<Real>(one.data(), 1));
+                tmp[i] = one[0];
+              }
+            }
+            for (int i = 0; i < D::Q; ++i) {
+              one[0] = tmp[i];
+              ctx.dma->put(&dst(i, x, y, z), std::span<const Real>(one.data(), 1));
+            }
+            continue;
+          }
+          for (int i = 0; i < D::Q; ++i) {
+            const int xn = x - D::c[i][0];
+            const int yn = y - D::c[i][1];
+            const int zn = z - D::c[i][2];
+            ctx.dma->get(maskPtr(xn, yn, zn), std::span<std::uint8_t>(m9.data(), 1));
+            const std::uint8_t nid = m9[0];
+            const Material& m = mats[nid];
+            if (nid == MaterialTable::kFluid || is_pullable(m.cls)) {
+              ctx.dma->get(srcPtr(i, xn, yn, zn), std::span<Real>(one.data(), 1));
+              fin[i] = one[0];
+            } else if (m.cls == CellClass::Solid) {
+              ctx.dma->get(srcPtr(D::opp(i), x, y, z), std::span<Real>(one.data(), 1));
+              fin[i] = one[0];
+            } else {
+              ctx.dma->get(srcPtr(D::opp(i), x, y, z), std::span<Real>(one.data(), 1));
+              const Real cu =
+                  D::c[i][0] * m.u.x + D::c[i][1] * m.u.y + D::c[i][2] * m.u.z;
+              fin[i] = one[0] + Real(6) * D::w[i] * m.rho * cu;
+            }
+          }
+          if (cid != MaterialTable::kFluid &&
+              mats[cid].cls != CellClass::Fluid) {
+            swlb::zouhe_fix<D>(fin.data(), mats[cid]);
+          }
+          Real rho;
+          Vec3 u;
+          collide_cell<D>(fin.data(), cfg.collision, rho, u);
+          for (int i = 0; i < D::Q; ++i) {
+            one[0] = fin[i];
+            ctx.dma->put(&dst(i, x, y, z), std::span<const Real>(one.data(), 1));
+          }
+        }
+  };
+
+  if (cfg.blocking == SwBlocking::Rows)
+    cluster.run(rowsKernel);
+  else
+    cluster.run(perCellKernel);
+
+  SwKernelReport rep;
+  rep.dma = cluster.dmaTotal();
+  rep.fabric = cluster.fabricTotal();
+  rep.ldmHighWater = cluster.ldmHighWater();
+  rep.boundaryRowsViaFabric = viaFabric;
+  rep.boundaryRowsViaDma = viaDma;
+  rep.cellsUpdated = static_cast<std::uint64_t>(nx) * ny * nz;
+  rep.dmaSeconds = cluster.dmaModeledSeconds();
+  rep.fabricSeconds = cluster.fabricModeledSeconds();
+  return rep;
+}
+
+template SwKernelReport sw_stream_collide<D3Q19>(CpeCluster&, const PopulationField&,
+                                                 PopulationField&, const MaskField&,
+                                                 const MaterialTable&,
+                                                 const SwKernelConfig&);
+template SwKernelReport sw_stream_collide<D2Q9>(CpeCluster&, const PopulationField&,
+                                                PopulationField&, const MaskField&,
+                                                const MaterialTable&,
+                                                const SwKernelConfig&);
+
+}  // namespace swlb::sw

@@ -1,0 +1,96 @@
+// Lid-driven cavity at Re = 100 validated against the reference solution
+// of Ghia, Ghia & Shin (1982): centreline velocity profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace swlb {
+namespace {
+
+// Ghia et al. (1982), Table I/II, Re = 100 (129x129 multigrid solution).
+// u_x / U_lid along the vertical centreline, sampled at y/H:
+const std::vector<std::pair<Real, Real>> kGhiaU = {
+    {0.9766, 0.84123}, {0.9688, 0.78871}, {0.9609, 0.73722},
+    {0.9531, 0.68717}, {0.8516, 0.23151}, {0.7344, 0.00332},
+    {0.6172, -0.13641}, {0.5000, -0.20581}, {0.4531, -0.21090},
+    {0.2813, -0.15662}, {0.1719, -0.10150}, {0.1016, -0.06434},
+    {0.0703, -0.04775}, {0.0625, -0.04192}, {0.0547, -0.03717},
+};
+// u_y / U_lid along the horizontal centreline, sampled at x/H:
+const std::vector<std::pair<Real, Real>> kGhiaV = {
+    {0.9688, -0.05906}, {0.9609, -0.07391}, {0.9531, -0.08864},
+    {0.9453, -0.10313}, {0.9063, -0.16914}, {0.8594, -0.22445},
+    {0.8047, -0.24533}, {0.5000, 0.05454},  {0.2344, 0.17527},
+    {0.2266, 0.17507},  {0.1563, 0.16077},  {0.0938, 0.12317},
+    {0.0781, 0.10890},  {0.0703, 0.10091},  {0.0625, 0.09233},
+};
+
+/// Linear interpolation of a cell-centred profile at normalized position.
+Real interpolate(const std::vector<Real>& profile, Real frac) {
+  const int n = static_cast<int>(profile.size());
+  const Real pos = frac * n - Real(0.5);  // cell centres at (i + 0.5)/n
+  const int i = std::clamp(static_cast<int>(std::floor(pos)), 0, n - 2);
+  const Real t = std::clamp<Real>(pos - i, 0, 1);
+  return profile[static_cast<std::size_t>(i)] * (1 - t) +
+         profile[static_cast<std::size_t>(i) + 1] * t;
+}
+
+TEST(GhiaCavity, Re100CentrelineProfilesMatchReference) {
+  const int n = 64;
+  const Real uLid = 0.1;
+  const Real re = 100.0;
+  const Real nu = uLid * n / re;
+
+  CollisionConfig cfg;
+  cfg.omega = omega_from_tau(tau_from_viscosity(nu));
+  // Fluid region: n x n cells; the lid is an extra row of moving-wall
+  // cells above, so all four half-way wall planes bound a square cavity
+  // of side H = n (walls at -0.5 and n - 0.5 in both axes).
+  Solver<D2Q9> solver(Grid(n, n + 1, 1), cfg, Periodicity{false, false, true});
+  const auto lid = solver.materials().addMovingWall({uLid, 0, 0});
+  solver.paint({{0, n, 0}, {n, n + 1, 1}}, lid);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0, 0, 0});
+
+  // Iterate to steady state (checked by probe convergence).
+  Real prevProbe = 0;
+  for (int block = 0; block < 60; ++block) {
+    solver.run(500);
+    const Real probe = solver.velocity(n / 2, n / 4, 0).x;
+    if (block > 10 && std::abs(probe - prevProbe) < 1e-8 * uLid) break;
+    prevProbe = probe;
+  }
+
+  // u_x along the vertical centreline x = n/2 (between two cell columns:
+  // average them); fluid rows 0 .. n-1.
+  std::vector<Real> ux;
+  for (int y = 0; y < n; ++y)
+    ux.push_back((solver.velocity(n / 2 - 1, y, 0).x +
+                  solver.velocity(n / 2, y, 0).x) /
+                 (2 * uLid));
+  Real maxErrU = 0;
+  for (const auto& [yFrac, ref] : kGhiaU)
+    maxErrU = std::max(maxErrU, std::abs(interpolate(ux, yFrac) - ref));
+  EXPECT_LT(maxErrU, 0.035) << "u_x centreline vs Ghia et al.";
+
+  std::vector<Real> uy;
+  for (int x = 0; x < n; ++x)
+    uy.push_back((solver.velocity(x, n / 2 - 1, 0).y +
+                  solver.velocity(x, n / 2, 0).y) /
+                 (2 * uLid));
+  Real maxErrV = 0;
+  for (const auto& [xFrac, ref] : kGhiaV)
+    maxErrV = std::max(maxErrV, std::abs(interpolate(uy, xFrac) - ref));
+  EXPECT_LT(maxErrV, 0.035) << "u_y centreline vs Ghia et al.";
+
+  // Qualitative checks: primary vortex centre slightly above centre and
+  // toward the right wall at Re = 100.
+  EXPECT_LT(interpolate(ux, Real(0.5)), 0.0);   // return flow at mid-height
+  EXPECT_GT(interpolate(ux, Real(0.97)), 0.5);  // strong flow under the lid
+}
+
+}  // namespace
+}  // namespace swlb

@@ -1,0 +1,227 @@
+// Message-passing runtime: point-to-point, non-blocking ops, collectives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/comm.hpp"
+
+namespace swlb::runtime {
+namespace {
+
+TEST(Comm, SendRecvPairwise) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const int v = 42;
+      c.sendValue(1, 0, v);
+    } else {
+      EXPECT_EQ(c.recvValue<int>(0, 0), 42);
+    }
+  });
+}
+
+TEST(Comm, MessagesMatchByTag) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(1, /*tag=*/7, 700);
+      c.sendValue(1, /*tag=*/3, 300);
+    } else {
+      // Receive in the opposite order of sending: tags must match.
+      EXPECT_EQ(c.recvValue<int>(0, 3), 300);
+      EXPECT_EQ(c.recvValue<int>(0, 7), 700);
+    }
+  });
+}
+
+TEST(Comm, FifoOrderPerSourceAndTag) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) c.sendValue(1, 0, i);
+    } else {
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(c.recvValue<int>(0, 0), i);
+    }
+  });
+}
+
+TEST(Comm, AnySourceReceivesFromWhoeverSent) {
+  World world(3);
+  world.run([](Comm& c) {
+    if (c.rank() != 0) {
+      c.sendValue(0, 5, c.rank());
+    } else {
+      int sum = 0;
+      sum += c.recvValue<int>(kAnySource, 5);
+      sum += c.recvValue<int>(kAnySource, 5);
+      EXPECT_EQ(sum, 3);
+    }
+  });
+}
+
+TEST(Comm, SelfMessagesWork) {
+  // Wrapped periodic axes with a 1-wide process grid send to self.
+  World world(1);
+  world.run([](Comm& c) {
+    c.sendValue(0, 1, 3.5);
+    EXPECT_EQ(c.recvValue<double>(0, 1), 3.5);
+  });
+}
+
+TEST(Comm, IsendIrecvRoundTrip) {
+  World world(2);
+  world.run([](Comm& c) {
+    std::vector<double> buf(64);
+    if (c.rank() == 0) {
+      std::iota(buf.begin(), buf.end(), 0.0);
+      Request r = c.isend(1, 2, buf.data(), buf.size() * sizeof(double));
+      r.wait();  // must be a no-op for eager sends
+    } else {
+      Request r = c.irecv(0, 2, buf.data(), buf.size() * sizeof(double));
+      r.wait();
+      for (int i = 0; i < 64; ++i) EXPECT_EQ(buf[i], i);
+    }
+  });
+}
+
+TEST(Comm, IrecvTestPollsWithoutBlocking) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.barrier();
+      c.sendValue(1, 9, 1);
+    } else {
+      int v = 0;
+      Request r = c.irecv(0, 9, &v, sizeof(v));
+      EXPECT_FALSE(r.test());  // nothing sent yet
+      c.barrier();
+      r.wait();
+      EXPECT_EQ(v, 1);
+      EXPECT_TRUE(r.test());
+    }
+  });
+}
+
+TEST(Comm, SizeMismatchThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const std::int32_t v = 1;
+      c.send(1, 0, &v, sizeof(v));
+    } else {
+      std::int64_t v;
+      c.recv(0, 0, &v, sizeof(v));
+    }
+  }),
+               Error);
+}
+
+TEST(Comm, BarrierSynchronizesPhases) {
+  const int ranks = 4;
+  World world(ranks);
+  std::atomic<int> phase1{0};
+  world.run([&](Comm& c) {
+    phase1.fetch_add(1);
+    c.barrier();
+    // After the barrier every rank must observe all increments.
+    EXPECT_EQ(phase1.load(), ranks);
+    c.barrier();
+  });
+}
+
+TEST(Comm, AllreduceSumMinMax) {
+  World world(4);
+  world.run([](Comm& c) {
+    const double v = c.rank() + 1;  // 1..4
+    EXPECT_EQ(c.allreduce(v, Comm::Op::Sum), 10.0);
+    EXPECT_EQ(c.allreduce(v, Comm::Op::Min), 1.0);
+    EXPECT_EQ(c.allreduce(v, Comm::Op::Max), 4.0);
+  });
+}
+
+TEST(Comm, BackToBackAllreducesDoNotInterfere) {
+  World world(3);
+  world.run([](Comm& c) {
+    for (int round = 0; round < 50; ++round) {
+      const double expect = 3.0 * round;
+      EXPECT_EQ(c.allreduce(round, Comm::Op::Sum), expect);
+    }
+  });
+}
+
+TEST(Comm, GatherCollectsRankOrder) {
+  World world(4);
+  world.run([](Comm& c) {
+    const std::int32_t mine = 100 + c.rank();
+    std::vector<std::int32_t> all(4, -1);
+    c.gather(0, &mine, sizeof(mine), c.rank() == 0 ? all.data() : nullptr);
+    if (c.rank() == 0) {
+      for (int r = 0; r < 4; ++r) EXPECT_EQ(all[r], 100 + r);
+    }
+  });
+}
+
+TEST(Comm, BroadcastDistributesFromRoot) {
+  World world(4);
+  world.run([](Comm& c) {
+    double v = c.rank() == 2 ? 3.14 : 0.0;
+    c.broadcast(2, &v, sizeof(v));
+    EXPECT_EQ(v, 3.14);
+  });
+}
+
+TEST(Comm, StatsCountTraffic) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const double v = 1;
+      c.send(1, 0, &v, sizeof(v));
+      c.send(1, 0, &v, sizeof(v));
+    } else {
+      double v;
+      c.recv(0, 0, &v, sizeof(v));
+      c.recv(0, 0, &v, sizeof(v));
+      EXPECT_EQ(c.stats().messagesReceived, 2u);
+      EXPECT_EQ(c.stats().bytesReceived, 2 * sizeof(double));
+    }
+  });
+  EXPECT_EQ(world.totalStats().messagesSent, 2u);
+  EXPECT_EQ(world.totalStats().bytesSent, 2 * sizeof(double));
+}
+
+TEST(Comm, ExceptionsPropagateToRunCaller) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& c) {
+    if (c.rank() == 1) throw Error("rank failure");
+    // rank 0 returns normally
+  }),
+               Error);
+}
+
+TEST(Comm, LatencyModelDelaysDelivery) {
+  WorldConfig cfg;
+  cfg.latency = 0.02;  // 20 ms per message
+  World world(2, cfg);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(1, 0, 1);
+    } else {
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)c.recvValue<int>(0, 0);
+      const double sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      EXPECT_GE(sec, 0.015);
+    }
+  });
+}
+
+TEST(World, RejectsNonPositiveSize) {
+  EXPECT_THROW(World(0), Error);
+  EXPECT_THROW(World(-3), Error);
+}
+
+}  // namespace
+}  // namespace swlb::runtime

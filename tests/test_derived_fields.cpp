@@ -1,0 +1,144 @@
+// Pressure and deviatoric-stress recovery, plus the core-group step-time
+// estimator combining the traffic meter with the pipeline model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/derived_fields.hpp"
+#include "core/solver.hpp"
+#include "perf/sw_estimate.hpp"
+
+namespace swlb {
+namespace {
+
+TEST(Pressure, GaugeAboutReferenceDensity) {
+  EXPECT_DOUBLE_EQ(lattice_pressure(1.0), 0.0);
+  EXPECT_NEAR(lattice_pressure(1.03), 0.01, 1e-12);
+  Grid g(4, 4, 1);
+  ScalarField rho(g, 1.06), p(g);
+  compute_pressure(rho, p);
+  EXPECT_NEAR(p(2, 2, 0), 0.02, 1e-12);
+}
+
+TEST(Stress, VanishesAtEquilibrium) {
+  Real f[D3Q19::Q];
+  equilibria<D3Q19>(1.05, {0.04, -0.02, 0.01}, f);
+  const SymTensor s = deviatoric_stress<D3Q19>(f, 1.3);
+  EXPECT_NEAR(s.xx, 0, 1e-14);
+  EXPECT_NEAR(s.xy, 0, 1e-14);
+  EXPECT_NEAR(s.yz, 0, 1e-14);
+}
+
+TEST(Stress, CouetteShearMatchesNewtonianLaw) {
+  // Steady Couette: sigma_xy = rho * nu * du/dy everywhere in the gap.
+  const int nx = 4, ny = 24;
+  const Real tau = 0.9;
+  const Real nu = viscosity_from_tau(tau);
+  const Real uw = 0.04;
+  CollisionConfig cfg;
+  cfg.omega = omega_from_tau(tau);
+  Solver<D2Q9> solver(Grid(nx, ny, 1), cfg, Periodicity{true, false, true});
+  const auto lid = solver.materials().addMovingWall({uw, 0, 0});
+  solver.paint({{0, ny - 1, 0}, {nx, ny, 1}}, lid);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0, 0, 0});
+  solver.run(12000);
+
+  // Apply the periodic wrap so the regather sees valid halo populations.
+  apply_periodic(solver.f(), Periodicity{true, false, true});
+  const Real dudy = uw / (ny - 1);  // linear profile across the gap
+  const Real expected = 1.0 * nu * dudy;
+  for (int y = 2; y < ny - 3; ++y) {
+    const SymTensor s = cell_stress<D2Q9>(solver.f(), solver.mask(),
+                                          solver.materials(), 1, y, 0,
+                                          cfg.omega);
+    EXPECT_NEAR(s.xy, expected, 0.03 * expected) << "row " << y;
+    // Normal deviatoric components stay negligible in simple shear.
+    EXPECT_LT(std::abs(s.xx), 0.1 * expected);
+  }
+}
+
+TEST(Stress, SymTensorComponentAccessor) {
+  SymTensor s{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(s.component(0, 0), 1);
+  EXPECT_EQ(s.component(1, 1), 2);
+  EXPECT_EQ(s.component(2, 2), 3);
+  EXPECT_EQ(s.component(0, 1), 4);
+  EXPECT_EQ(s.component(1, 0), 4);  // symmetric
+  EXPECT_EQ(s.component(0, 2), 5);
+  EXPECT_EQ(s.component(2, 1), 6);
+}
+
+// ----------------------------------------------------------- sw estimate
+
+TEST(SwEstimate, LbmIsMemoryBoundOnTheCpeCluster) {
+  // Build a fake report with the production traffic ratio and check the
+  // estimate composes as documented.
+  sw::SwKernelReport rep;
+  rep.cellsUpdated = 1000000;
+  rep.dmaSeconds = 0.012;
+  rep.fabricSeconds = 0.0005;
+
+  const auto spec = sw::MachineSpec::sw26010().cg;
+  const auto e = perf::estimate_sw_step(rep, spec, perf::LbmCostModel{}, 0.9);
+  EXPECT_TRUE(e.memoryBound());
+  EXPECT_NEAR(e.stepSeconds, std::max(e.dmaSeconds, e.computeSeconds) + 0.0005,
+              1e-15);
+  EXPECT_NEAR(e.mlups, 1.0 / e.stepSeconds, 1e-9);
+}
+
+TEST(SwEstimate, PoorSchedulingCanMakeComputeTheBottleneck) {
+  sw::SwKernelReport rep;
+  rep.cellsUpdated = 1000000;
+  rep.dmaSeconds = 0.0005;  // generous memory system: compute exposed
+  const auto spec = sw::MachineSpec::sw26010().cg;
+  const auto tuned = perf::estimate_sw_step(rep, spec, perf::LbmCostModel{}, 1.0);
+  const auto naive = perf::estimate_sw_step(rep, spec, perf::LbmCostModel{}, 0.0);
+  EXPECT_GT(naive.computeSeconds, tuned.computeSeconds);
+  EXPECT_GT(naive.stepSeconds, tuned.stepSeconds);
+}
+
+TEST(SwEstimate, WiderVectorsOfProCutComputeTime) {
+  sw::SwKernelReport rep;
+  rep.cellsUpdated = 1000000;
+  rep.dmaSeconds = 0.01;
+  const auto tl = perf::estimate_sw_step(rep, sw::MachineSpec::sw26010().cg,
+                                         perf::LbmCostModel{});
+  const auto pro = perf::estimate_sw_step(rep, sw::MachineSpec::sw26010pro().cg,
+                                          perf::LbmCostModel{});
+  EXPECT_LT(pro.computeSeconds, tl.computeSeconds);
+}
+
+TEST(SwEstimate, EndToEndWithRealEmulatedKernel) {
+  // Run a real block through the emulator and estimate its step time: the
+  // fused D3Q19 kernel must come out memory bound (the premise of the
+  // whole paper).
+  const int nx = 32, ny = 32, nz = 8;
+  Grid g(nx, ny, nz);
+  PopulationField src(g, D3Q19::Q), dst(g, D3Q19::Q);
+  MaskField mask(g, MaterialTable::kFluid);
+  MaterialTable mats;
+  fill_halo_mask(mask, Periodicity{true, true, true}, MaterialTable::kSolid);
+  Real feq[D3Q19::Q];
+  equilibria<D3Q19>(1.0, {0.02, 0, 0}, feq);
+  for (int q = 0; q < D3Q19::Q; ++q)
+    for (int z = -1; z <= nz; ++z)
+      for (int y = -1; y <= ny; ++y)
+        for (int x = -1; x <= nx; ++x) src(q, x, y, z) = feq[q];
+
+  sw::CpeCluster cluster(sw::MachineSpec::sw26010().cg);
+  sw::SwKernelConfig cfg;
+  cfg.collision.omega = 1.5;
+  const auto rep =
+      sw::sw_stream_collide<D3Q19>(cluster, src, dst, mask, mats, cfg);
+  const auto est = perf::estimate_sw_step(rep, sw::MachineSpec::sw26010().cg,
+                                          perf::LbmCostModel{}, 0.9);
+  EXPECT_TRUE(est.memoryBound());
+  // Small blocks pay heavy ghost-row overhead in the emulator's
+  // serialized DMA model; still a sane fraction of the roofline bound.
+  EXPECT_GT(est.mlups, 2.0);
+  EXPECT_LT(est.mlups, 90.4);  // below the roofline bound
+}
+
+}  // namespace
+}  // namespace swlb

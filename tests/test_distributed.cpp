@@ -1,0 +1,304 @@
+// Distributed solver correctness: any rank count / halo mode must
+// reproduce the single-block reference solver exactly, and the physics
+// validations must hold across subdomain boundaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/solver.hpp"
+#include "runtime/distributed_solver.hpp"
+
+namespace swlb::runtime {
+namespace {
+
+using swlb::Solver;
+
+struct DistCase {
+  int ranks;
+  Int3 procGrid;
+  HaloMode mode;
+  const char* label;
+};
+
+class DistributedEquivalence : public ::testing::TestWithParam<DistCase> {};
+
+/// Reference: single-block solver with a cylinder-ish obstacle, inlet and
+/// walls; distributed run must match the gathered populations exactly.
+TEST_P(DistributedEquivalence, MatchesSingleBlockReference) {
+  const DistCase& tc = GetParam();
+  const Int3 global{16, 12, 6};
+  const int steps = 12;
+
+  CollisionConfig col;
+  col.omega = 1.3;
+  const Periodicity per{false, false, true};
+
+  // Reference solution.
+  Solver<D3Q19> ref(Grid(global.x, global.y, global.z), col, per);
+  const auto refInlet = ref.materials().addVelocityInlet({0.04, 0, 0});
+  const auto refOut = ref.materials().addOutflow({-1, 0, 0});
+  ref.paint({{0, 0, 0}, {1, global.y, global.z}}, refInlet);
+  ref.paint({{global.x - 1, 0, 0}, {global.x, global.y, global.z}}, refOut);
+  ref.paint({{6, 4, 0}, {9, 8, global.z}}, MaterialTable::kSolid);
+  ref.finalizeMask();
+  ref.initUniform(1.0, {0.02, 0, 0});
+  ref.run(steps);
+
+  // Distributed solution.
+  World world(tc.ranks);
+  world.run([&](Comm& c) {
+    typename DistributedSolver<D3Q19>::Config cfg;
+    cfg.global = global;
+    cfg.collision = col;
+    cfg.periodic = per;
+    cfg.mode = tc.mode;
+    cfg.procGrid = tc.procGrid;
+    DistributedSolver<D3Q19> solver(c, cfg);
+    const auto inlet = solver.materials().addVelocityInlet({0.04, 0, 0});
+    const auto out = solver.materials().addOutflow({-1, 0, 0});
+    solver.paintGlobal({{0, 0, 0}, {1, global.y, global.z}}, inlet);
+    solver.paintGlobal({{global.x - 1, 0, 0}, {global.x, global.y, global.z}}, out);
+    solver.paintGlobal({{6, 4, 0}, {9, 8, global.z}}, MaterialTable::kSolid);
+    solver.finalizeMask();
+    solver.initUniform(1.0, {0.02, 0, 0});
+    solver.run(steps);
+
+    PopulationField gathered = solver.gatherPopulations(0);
+    if (c.rank() == 0) {
+      const PopulationField& expect = ref.f();
+      for (int q = 0; q < D3Q19::Q; ++q)
+        for (int z = 0; z < global.z; ++z)
+          for (int y = 0; y < global.y; ++y)
+            for (int x = 0; x < global.x; ++x)
+              ASSERT_EQ(gathered(q, x, y, z), expect(q, x, y, z))
+                  << tc.label << " q=" << q << " (" << x << "," << y << "," << z
+                  << ")";
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankGridsAndModes, DistributedEquivalence,
+    ::testing::Values(
+        DistCase{1, {1, 1, 1}, HaloMode::Sequential, "1rank-seq"},
+        DistCase{2, {2, 1, 1}, HaloMode::Sequential, "2x1-seq"},
+        DistCase{2, {1, 2, 1}, HaloMode::Overlap, "1x2-ovl"},
+        DistCase{4, {2, 2, 1}, HaloMode::Sequential, "2x2-seq"},
+        DistCase{4, {2, 2, 1}, HaloMode::Overlap, "2x2-ovl"},
+        DistCase{4, {4, 1, 1}, HaloMode::Overlap, "4x1-ovl"},
+        DistCase{6, {3, 2, 1}, HaloMode::Overlap, "3x2-ovl"}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      std::string s = info.param.label;
+      for (auto& ch : s)
+        if (ch == '-') ch = '_';
+      return s;
+    });
+
+TEST(DistributedPeriodic, FullyPeriodicMatchesReference) {
+  const Int3 global{12, 12, 4};
+  const int steps = 10;
+  CollisionConfig col;
+  col.omega = 1.1;
+  const Periodicity per{true, true, true};
+
+  Solver<D3Q19> ref(Grid(global.x, global.y, global.z), col, per);
+  ref.finalizeMask();
+  ref.initField([&](int x, int y, int z, Real& rho, Vec3& u) {
+    rho = 1.0 + 0.01 * std::sin(2 * std::numbers::pi * x / global.x);
+    u = {0.02 * std::cos(2 * std::numbers::pi * y / global.y),
+         0.01 * std::sin(2 * std::numbers::pi * z / global.z), 0.005};
+  });
+  ref.run(steps);
+
+  World world(4);
+  world.run([&](Comm& c) {
+    typename DistributedSolver<D3Q19>::Config cfg;
+    cfg.global = global;
+    cfg.collision = col;
+    cfg.periodic = per;
+    cfg.mode = HaloMode::Overlap;
+    cfg.procGrid = {2, 2, 1};
+    DistributedSolver<D3Q19> solver(c, cfg);
+    solver.finalizeMask();
+    solver.initField([&](int x, int y, int z, Real& rho, Vec3& u) {
+      // Wrap halo coordinates periodically to match the reference init.
+      const int gx = ((x % global.x) + global.x) % global.x;
+      const int gy = ((y % global.y) + global.y) % global.y;
+      const int gz = ((z % global.z) + global.z) % global.z;
+      rho = 1.0 + 0.01 * std::sin(2 * std::numbers::pi * gx / global.x);
+      u = {0.02 * std::cos(2 * std::numbers::pi * gy / global.y),
+           0.01 * std::sin(2 * std::numbers::pi * gz / global.z), 0.005};
+    });
+    solver.run(steps);
+
+    PopulationField gathered = solver.gatherPopulations(0);
+    if (c.rank() == 0) {
+      for (int q = 0; q < D3Q19::Q; ++q)
+        for (int z = 0; z < global.z; ++z)
+          for (int y = 0; y < global.y; ++y)
+            for (int x = 0; x < global.x; ++x)
+              ASSERT_EQ(gathered(q, x, y, z), ref.f()(q, x, y, z));
+    }
+  });
+}
+
+TEST(DistributedPhysics, TaylorGreenDecayAcrossRanks) {
+  const int n = 24;
+  const Real nu = 0.03, u0 = 0.02;
+  const Real k = 2 * std::numbers::pi / n;
+  CollisionConfig col;
+  col.omega = omega_from_tau(tau_from_viscosity(nu));
+
+  World world(4);
+  world.run([&](Comm& c) {
+    typename DistributedSolver<D2Q9>::Config cfg;
+    cfg.global = {n, n, 1};
+    cfg.collision = col;
+    cfg.periodic = {true, true, true};
+    cfg.mode = HaloMode::Overlap;
+    cfg.procGrid = {2, 2, 1};
+    DistributedSolver<D2Q9> solver(c, cfg);
+    solver.finalizeMask();
+    solver.initField([&](int x, int y, int, Real& rho, Vec3& u) {
+      rho = 1.0;
+      u.x = -u0 * std::cos(k * (x + 0.5)) * std::sin(k * (y + 0.5));
+      u.y = u0 * std::sin(k * (x + 0.5)) * std::cos(k * (y + 0.5));
+    });
+    const int steps = 300;
+    solver.run(steps);
+    const Real decay = std::exp(-2 * nu * k * k * steps);
+
+    // Every rank checks its own cells against the analytic solution.
+    const Box3 own = solver.ownedBox();
+    for (int ly = 0; ly < solver.localGrid().ny; ++ly)
+      for (int lx = 0; lx < solver.localGrid().nx; ++lx) {
+        const int gx = own.lo.x + lx;
+        const int gy = own.lo.y + ly;
+        const Real ex = -u0 * decay * std::cos(k * (gx + 0.5)) * std::sin(k * (gy + 0.5));
+        const Vec3 got = solver.velocity(lx, ly, 0);
+        ASSERT_NEAR(got.x, ex, 0.03 * u0);
+      }
+  });
+}
+
+TEST(DistributedAdvancedBcs, ZouHeAndPorousAcrossRankBoundaries) {
+  // Zou-He inlet/outlet plus a porous block straddling all four rank
+  // boundaries must still match the single-block reference bitwise.
+  const Int3 global{16, 12, 4};
+  const int steps = 10;
+  CollisionConfig col;
+  col.omega = 1.25;
+  const Periodicity per{false, true, true};
+
+  auto setup = [&](auto& s) {
+    const auto in = s.materials().addZouHeVelocity({0.04, 0, 0}, {1, 0, 0});
+    const auto out = s.materials().addZouHePressure(1.0, {-1, 0, 0});
+    const auto porous = s.materials().addPorous(0.25);
+    return std::tuple{in, out, porous};
+  };
+
+  Solver<D3Q19> ref(Grid(global.x, global.y, global.z), col, per);
+  {
+    auto [in, out, porous] = setup(ref);
+    ref.paint({{0, 0, 0}, {1, global.y, global.z}}, in);
+    ref.paint({{global.x - 1, 0, 0}, {global.x, global.y, global.z}}, out);
+    ref.paint({{6, 4, 1}, {10, 8, 3}}, porous);  // straddles the 2x2 cut
+  }
+  ref.finalizeMask();
+  ref.initUniform(1.0, {0.04, 0, 0});
+  ref.run(steps);
+
+  World world(4);
+  world.run([&](Comm& c) {
+    typename DistributedSolver<D3Q19>::Config cfg;
+    cfg.global = global;
+    cfg.collision = col;
+    cfg.periodic = per;
+    cfg.mode = HaloMode::Overlap;
+    cfg.procGrid = {2, 2, 1};
+    DistributedSolver<D3Q19> solver(c, cfg);
+    auto [in, out, porous] = setup(solver);
+    solver.paintGlobal({{0, 0, 0}, {1, global.y, global.z}}, in);
+    solver.paintGlobal({{global.x - 1, 0, 0}, {global.x, global.y, global.z}},
+                       out);
+    solver.paintGlobal({{6, 4, 1}, {10, 8, 3}}, porous);
+    solver.finalizeMask();
+    solver.initUniform(1.0, {0.04, 0, 0});
+    solver.run(steps);
+    PopulationField got = solver.gatherPopulations(0);
+    if (c.rank() == 0) {
+      for (int q = 0; q < D3Q19::Q; ++q)
+        for (int z = 0; z < global.z; ++z)
+          for (int y = 0; y < global.y; ++y)
+            for (int x = 0; x < global.x; ++x)
+              ASSERT_EQ(got(q, x, y, z), ref.f()(q, x, y, z))
+                  << q << " " << x << "," << y << "," << z;
+    }
+  });
+}
+
+TEST(DistributedSolverApi, MassIsConservedGlobally) {
+  World world(4);
+  world.run([](Comm& c) {
+    typename DistributedSolver<D3Q19>::Config cfg;
+    cfg.global = {12, 12, 6};
+    cfg.collision.omega = 1.4;
+    cfg.periodic = {true, true, true};
+    cfg.procGrid = {2, 2, 1};
+    DistributedSolver<D3Q19> solver(c, cfg);
+    solver.finalizeMask();
+    solver.initUniform(1.0, {0.02, -0.01, 0.01});
+    const Real m0 = solver.globalMass();
+    solver.run(20);
+    const Real m1 = solver.globalMass();
+    EXPECT_NEAR(m1, m0, 1e-9 * m0);
+  });
+}
+
+TEST(DistributedSolverApi, HaloBytesMatchPlanArea) {
+  World world(4);
+  world.run([](Comm& c) {
+    typename DistributedSolver<D3Q19>::Config cfg;
+    cfg.global = {16, 16, 8};
+    cfg.periodic = {false, false, false};
+    cfg.procGrid = {2, 2, 1};
+    DistributedSolver<D3Q19> solver(c, cfg);
+    // Each rank owns 8x8x8; 2 faces of 8x(8+2 halo) cells + 1 corner
+    // column of (8+2), all times Q populations of 8 bytes.
+    const std::size_t expect =
+        (2u * 8 * 10 + 1u * 10) * D3Q19::Q * sizeof(Real);
+    EXPECT_EQ(solver.haloBytesPerStep(), expect);
+  });
+}
+
+TEST(DistributedSolverApi, RunMeasuredAgreesAcrossRanks) {
+  World world(2);
+  std::vector<double> mlups(2, 0);
+  world.run([&](Comm& c) {
+    typename DistributedSolver<D3Q19>::Config cfg;
+    cfg.global = {16, 8, 8};
+    cfg.periodic = {true, true, true};
+    cfg.procGrid = {2, 1, 1};
+    DistributedSolver<D3Q19> solver(c, cfg);
+    solver.finalizeMask();
+    solver.initUniform(1.0, {0.01, 0, 0});
+    mlups[static_cast<std::size_t>(c.rank())] = solver.runMeasured(3);
+  });
+  EXPECT_GT(mlups[0], 0);
+  EXPECT_EQ(mlups[0], mlups[1]);
+}
+
+TEST(DistributedSolverApi, RejectsMismatchedProcessGrid) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& c) {
+    typename DistributedSolver<D3Q19>::Config cfg;
+    cfg.global = {8, 8, 8};
+    cfg.procGrid = {3, 1, 1};  // 3 blocks for 2 ranks
+    DistributedSolver<D3Q19> solver(c, cfg);
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace swlb::runtime

@@ -1,0 +1,127 @@
+// Equilibrium distribution properties: exact moments, Galilean terms,
+// positivity in the low-Mach regime.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/equilibrium.hpp"
+
+namespace swlb {
+namespace {
+
+template <class D>
+class EquilibriumTest : public ::testing::Test {};
+
+using Descriptors = ::testing::Types<D2Q9, D3Q15, D3Q19, D3Q27>;
+TYPED_TEST_SUITE(EquilibriumTest, Descriptors);
+
+template <class D>
+Vec3 clampToDim(Vec3 u) {
+  if (D::dim == 2) u.z = 0;
+  return u;
+}
+
+TYPED_TEST(EquilibriumTest, ZerothMomentIsDensity) {
+  using D = TypeParam;
+  for (Real rho : {0.5, 1.0, 1.2}) {
+    for (Vec3 u : {Vec3{0, 0, 0}, Vec3{0.05, -0.02, 0.01}, Vec3{-0.1, 0.1, 0.03}}) {
+      u = clampToDim<D>(u);
+      Real feq[D::Q];
+      equilibria<D>(rho, u, feq);
+      Real sum = 0;
+      for (int i = 0; i < D::Q; ++i) sum += feq[i];
+      EXPECT_NEAR(sum, rho, 1e-13);
+    }
+  }
+}
+
+TYPED_TEST(EquilibriumTest, FirstMomentIsMomentum) {
+  using D = TypeParam;
+  const Real rho = 1.1;
+  const Vec3 u = clampToDim<D>({0.08, -0.03, 0.05});
+  Real feq[D::Q];
+  equilibria<D>(rho, u, feq);
+  Vec3 mom{0, 0, 0};
+  for (int i = 0; i < D::Q; ++i) {
+    mom.x += feq[i] * D::c[i][0];
+    mom.y += feq[i] * D::c[i][1];
+    mom.z += feq[i] * D::c[i][2];
+  }
+  EXPECT_NEAR(mom.x, rho * u.x, 1e-13);
+  EXPECT_NEAR(mom.y, rho * u.y, 1e-13);
+  EXPECT_NEAR(mom.z, rho * u.z, 1e-13);
+}
+
+TYPED_TEST(EquilibriumTest, SecondMomentMatchesEulerStress) {
+  using D = TypeParam;
+  // sum_i feq_i c_ia c_ib = rho cs^2 delta_ab + rho u_a u_b  (exact for the
+  // second-order polynomial equilibrium on these lattices).
+  const Real rho = 0.9;
+  const Vec3 u = clampToDim<D>({0.06, 0.02, -0.04});
+  const Real uv[3] = {u.x, u.y, u.z};
+  Real feq[D::Q];
+  equilibria<D>(rho, u, feq);
+  const int dmax = D::dim;
+  for (int a = 0; a < dmax; ++a)
+    for (int b = 0; b < dmax; ++b) {
+      Real m = 0;
+      for (int i = 0; i < D::Q; ++i) m += feq[i] * D::c[i][a] * D::c[i][b];
+      const Real expected = rho * (kCs2 * (a == b ? 1 : 0) + uv[a] * uv[b]);
+      EXPECT_NEAR(m, expected, 1e-13) << "a=" << a << " b=" << b;
+    }
+}
+
+TYPED_TEST(EquilibriumTest, AtRestEqualsWeightTimesDensity) {
+  using D = TypeParam;
+  Real feq[D::Q];
+  equilibria<D>(2.0, {0, 0, 0}, feq);
+  for (int i = 0; i < D::Q; ++i) EXPECT_NEAR(feq[i], 2.0 * D::w[i], 1e-15);
+}
+
+TYPED_TEST(EquilibriumTest, PositiveAtLowMach) {
+  using D = TypeParam;
+  Real feq[D::Q];
+  const Vec3 u = clampToDim<D>({0.1, 0.1, 0.1});
+  equilibria<D>(1.0, u, feq);
+  for (int i = 0; i < D::Q; ++i) EXPECT_GT(feq[i], 0.0) << "direction " << i;
+}
+
+TYPED_TEST(EquilibriumTest, SingleAndBatchedFormsAgree) {
+  using D = TypeParam;
+  const Real rho = 1.05;
+  const Vec3 u = clampToDim<D>({0.03, -0.07, 0.02});
+  Real feq[D::Q];
+  equilibria<D>(rho, u, feq);
+  for (int i = 0; i < D::Q; ++i)
+    EXPECT_DOUBLE_EQ(feq[i], (equilibrium<D>(i, rho, u)));
+}
+
+TYPED_TEST(EquilibriumTest, ReflectionSymmetry) {
+  using D = TypeParam;
+  // feq_i(rho, u) == feq_opp(i)(rho, -u)
+  const Real rho = 1.0;
+  const Vec3 u = clampToDim<D>({0.04, 0.05, -0.06});
+  const Vec3 mu{-u.x, -u.y, -u.z};
+  Real a[D::Q], b[D::Q];
+  equilibria<D>(rho, u, a);
+  equilibria<D>(rho, mu, b);
+  for (int i = 0; i < D::Q; ++i) EXPECT_NEAR(a[i], b[D::opp(i)], 1e-15);
+}
+
+TYPED_TEST(EquilibriumTest, MomentsHelperInvertsEquilibria) {
+  using D = TypeParam;
+  const Real rho = 0.95;
+  const Vec3 u = clampToDim<D>({0.02, 0.08, -0.01});
+  Real feq[D::Q];
+  equilibria<D>(rho, u, feq);
+  Real r;
+  Vec3 mom;
+  moments<D>(feq, r, mom);
+  EXPECT_NEAR(r, rho, 1e-13);
+  EXPECT_NEAR(mom.x, rho * u.x, 1e-13);
+  EXPECT_NEAR(mom.y, rho * u.y, 1e-13);
+  EXPECT_NEAR(mom.z, rho * u.z, 1e-13);
+}
+
+}  // namespace
+}  // namespace swlb

@@ -1,0 +1,121 @@
+// Grid indexing, halo handling, SoA/AoS layout invariants.
+#include <gtest/gtest.h>
+
+#include "core/field.hpp"
+
+namespace swlb {
+namespace {
+
+TEST(Grid, SizesIncludeHalo) {
+  Grid g(4, 5, 6, 1);
+  EXPECT_EQ(g.sx(), 6);
+  EXPECT_EQ(g.sy(), 7);
+  EXPECT_EQ(g.sz(), 8);
+  EXPECT_EQ(g.volume(), 6u * 7 * 8);
+  EXPECT_EQ(g.interiorVolume(), 4u * 5 * 6);
+}
+
+TEST(Grid, XIsFastestAxis) {
+  Grid g(8, 4, 2, 1);
+  EXPECT_EQ(g.idx(1, 0, 0), g.idx(0, 0, 0) + 1);
+  EXPECT_EQ(g.idx(0, 1, 0), g.idx(0, 0, 0) + g.sx());
+  EXPECT_EQ(g.idx(0, 0, 1), g.idx(0, 0, 0) + static_cast<std::size_t>(g.sx()) * g.sy());
+}
+
+TEST(Grid, HaloCoordinatesAreAddressable) {
+  Grid g(3, 3, 3, 1);
+  EXPECT_EQ(g.idx(-1, -1, -1), 0u);
+  EXPECT_EQ(g.idx(3, 3, 3), g.volume() - 1);
+}
+
+TEST(Grid, IndexIsBijectiveOverFullBox) {
+  Grid g(3, 4, 2, 1);
+  std::vector<char> seen(g.volume(), 0);
+  for (int z = -1; z <= g.nz; ++z)
+    for (int y = -1; y <= g.ny; ++y)
+      for (int x = -1; x <= g.nx; ++x) {
+        const std::size_t i = g.idx(x, y, z);
+        ASSERT_LT(i, g.volume());
+        EXPECT_EQ(seen[i], 0);
+        seen[i] = 1;
+      }
+}
+
+TEST(Grid, InteriorBoxMatchesDimensions) {
+  Grid g(5, 6, 7);
+  EXPECT_EQ(g.interior().volume(), 5 * 6 * 7);
+  EXPECT_TRUE(g.interior().contains({0, 0, 0}));
+  EXPECT_TRUE(g.interior().contains({4, 5, 6}));
+  EXPECT_FALSE(g.interior().contains({5, 0, 0}));
+  EXPECT_FALSE(g.interior().contains({-1, 0, 0}));
+}
+
+TEST(Box3, VolumeAndIntersection) {
+  Box3 a{{0, 0, 0}, {4, 4, 4}};
+  Box3 b{{2, 2, 2}, {6, 6, 6}};
+  EXPECT_EQ(a.volume(), 64);
+  EXPECT_EQ(intersect(a, b).volume(), 8);
+  Box3 disjoint{{10, 10, 10}, {12, 12, 12}};
+  EXPECT_TRUE(intersect(a, disjoint).empty());
+}
+
+TEST(PopulationField, SoASlabsAreContiguousPerDirection) {
+  Grid g(4, 3, 2, 1);
+  PopulationField f(g, 19);
+  EXPECT_EQ(f.size(), g.volume() * 19);
+  // Direction q's slab starts at q * volume.
+  EXPECT_EQ(f.slab(0), 0u);
+  EXPECT_EQ(f.slab(5), 5 * g.volume());
+  f(7, 1, 2, 0) = 3.25;
+  EXPECT_EQ(f.data()[f.slab(7) + g.idx(1, 2, 0)], 3.25);
+}
+
+TEST(PopulationField, FillAndAccessors) {
+  Grid g(2, 2, 2, 1);
+  PopulationField f(g, 9);
+  f.fill(0.5);
+  EXPECT_EQ(f(8, -1, -1, -1), 0.5);
+  f.at(3, g.idx(0, 1, 1)) = 2.0;
+  EXPECT_EQ(f(3, 0, 1, 1), 2.0);
+}
+
+TEST(PopulationFieldAoS, CellPopulationsAreAdjacent) {
+  Grid g(4, 3, 2, 1);
+  PopulationFieldAoS f(g, 19);
+  f(0, 0, 0, 0) = 1.0;
+  f(1, 0, 0, 0) = 2.0;
+  const std::size_t base = g.idx(0, 0, 0) * 19;
+  EXPECT_EQ(f.data()[base + 0], 1.0);
+  EXPECT_EQ(f.data()[base + 1], 2.0);
+}
+
+TEST(CellField, MaskStoresBytes) {
+  Grid g(3, 3, 1, 1);
+  MaskField m(g, 0);
+  m(1, 1, 0) = 7;
+  EXPECT_EQ(m(1, 1, 0), 7);
+  EXPECT_EQ(m(0, 0, 0), 0);
+  m.fill(2);
+  EXPECT_EQ(m(-1, -1, -1), 2);
+}
+
+TEST(VectorField, SetAndGetRoundTrip) {
+  Grid g(2, 2, 2, 1);
+  VectorField v(g);
+  v.set(1, 0, 1, {1.0, -2.0, 3.0});
+  const Vec3 got = v.at(1, 0, 1);
+  EXPECT_EQ(got, (Vec3{1.0, -2.0, 3.0}));
+  EXPECT_EQ(v.x()(1, 0, 1), 1.0);
+}
+
+TEST(Vec3, Arithmetic) {
+  Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ((a + b), (Vec3{5, 7, 9}));
+  EXPECT_EQ((b - a), (Vec3{3, 3, 3}));
+  EXPECT_EQ((a * 2.0), (Vec3{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 14.0);
+}
+
+}  // namespace
+}  // namespace swlb

@@ -1,0 +1,146 @@
+// Halo-exchange plan unit tests: neighbour discovery, strip geometry,
+// inner/shell decomposition, traffic accounting (complements the
+// end-to-end equivalence tests in test_distributed.cpp).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/halo.hpp"
+
+namespace swlb::runtime {
+namespace {
+
+TEST(HaloPlan, InteriorRankHasEightNeighbours) {
+  Decomposition d({40, 40, 10}, {4, 4, 1});
+  // Rank at grid (1,1): fully interior.
+  const int rank = d.rankOf({1, 1, 0}, false, false, false);
+  HaloExchange h(d, rank, Periodicity{false, false, false},
+                 Grid(10, 10, 10));
+  EXPECT_EQ(h.neighborCount(), 8);
+}
+
+TEST(HaloPlan, CornerRankWithoutPeriodicityHasThree) {
+  Decomposition d({40, 40, 10}, {4, 4, 1});
+  HaloExchange h(d, 0, Periodicity{false, false, false}, Grid(10, 10, 10));
+  EXPECT_EQ(h.neighborCount(), 3);
+}
+
+TEST(HaloPlan, PeriodicWrapRestoresAllEight) {
+  Decomposition d({40, 40, 10}, {4, 4, 1});
+  HaloExchange h(d, 0, Periodicity{true, true, false}, Grid(10, 10, 10));
+  EXPECT_EQ(h.neighborCount(), 8);
+}
+
+TEST(HaloPlan, SingleColumnWrapsOntoItself) {
+  Decomposition d({40, 40, 10}, {1, 4, 1});
+  HaloExchange h(d, 0, Periodicity{true, true, false}, Grid(40, 10, 10));
+  // +x and -x neighbours are this rank itself; corners too.
+  EXPECT_EQ(h.neighborCount(), 8);
+}
+
+TEST(HaloPlan, BytesPerExchangeMatchStripGeometry) {
+  // 2x2 grid, non-periodic: each rank sends 1 x-face (ny rows), 1 y-face,
+  // 1 corner column, all spanning nz + 2 halo layers.
+  Decomposition d({20, 16, 8}, {2, 2, 1});
+  const Int3 local = d.localSize(0);  // 10 x 8 x 8
+  HaloExchange h(d, 0, Periodicity{false, false, false},
+                 Grid(local.x, local.y, local.z));
+  const std::size_t zExt = static_cast<std::size_t>(local.z) + 2;
+  const std::size_t cells = (local.y + local.x + 1) * zExt;
+  EXPECT_EQ(h.bytesPerExchange(19), cells * 19 * sizeof(Real));
+}
+
+TEST(HaloPlan, InnerBoxShrinksOnlyDecomposedAxes) {
+  {
+    Decomposition d({20, 16, 8}, {2, 1, 1});
+    HaloExchange h(d, 0, Periodicity{false, false, false}, Grid(10, 16, 8));
+    const Box3 inner = h.innerBox();
+    EXPECT_EQ(inner.lo.x, 1);
+    EXPECT_EQ(inner.hi.x, 9);
+    EXPECT_EQ(inner.lo.y, 0);  // y not decomposed, not shrunk
+    EXPECT_EQ(inner.hi.y, 16);
+  }
+  {
+    Decomposition d({20, 16, 8}, {1, 1, 1});
+    HaloExchange h(d, 0, Periodicity{false, false, false}, Grid(20, 16, 8));
+    EXPECT_EQ(h.innerBox(), (Grid(20, 16, 8)).interior());
+    EXPECT_TRUE(h.boundaryShell().empty());
+  }
+}
+
+TEST(HaloPlan, ShellPlusInnerTilesTheInteriorExactly) {
+  Decomposition d({24, 20, 6}, {2, 2, 1});
+  const Int3 local = d.localSize(3);
+  Grid g(local.x, local.y, local.z);
+  HaloExchange h(d, 3, Periodicity{true, true, false}, g);
+
+  std::set<std::tuple<int, int, int>> covered;
+  auto cover = [&](const Box3& b) {
+    for (int z = b.lo.z; z < b.hi.z; ++z)
+      for (int y = b.lo.y; y < b.hi.y; ++y)
+        for (int x = b.lo.x; x < b.hi.x; ++x) {
+          const auto [it, fresh] = covered.insert({x, y, z});
+          EXPECT_TRUE(fresh) << "cell covered twice: " << x << "," << y << "," << z;
+        }
+  };
+  cover(h.innerBox());
+  for (const Box3& b : h.boundaryShell()) cover(b);
+  EXPECT_EQ(static_cast<long long>(covered.size()), g.interior().volume());
+}
+
+TEST(HaloPlan, RejectsUnsupportedConfigurations) {
+  Decomposition dz({20, 20, 20}, {2, 1, 2});
+  EXPECT_THROW(HaloExchange(dz, 0, Periodicity{}, Grid(10, 20, 10)), Error);
+  Decomposition d({20, 20, 20}, {2, 1, 1});
+  EXPECT_THROW(HaloExchange(d, 0, Periodicity{}, Grid(10, 20, 20, /*halo=*/2)),
+               Error);
+}
+
+TEST(HaloExchangeData, MaskStripsArriveInNeighbourHalo) {
+  // Two ranks side by side: rank 0 paints a material column at its +x
+  // face; after exchangeMask rank 1 must see it in its -x halo.
+  World world(2);
+  world.run([](Comm& c) {
+    Decomposition d({8, 4, 2}, {2, 1, 1});
+    const Int3 local = d.localSize(c.rank());
+    Grid g(local.x, local.y, local.z);
+    MaskField mask(g, MaterialTable::kFluid);
+    if (c.rank() == 0) {
+      for (int z = 0; z < g.nz; ++z)
+        for (int y = 0; y < g.ny; ++y) mask(g.nx - 1, y, z) = 7;
+    }
+    HaloExchange h(d, c.rank(), Periodicity{false, false, false}, g);
+    h.exchangeMask(c, mask);
+    if (c.rank() == 1) {
+      for (int z = 0; z < g.nz; ++z)
+        for (int y = 0; y < g.ny; ++y)
+          EXPECT_EQ(mask(-1, y, z), 7) << y << "," << z;
+    }
+  });
+}
+
+TEST(HaloExchangeData, PopulationStripsIncludeZHaloRows) {
+  // The exchanged strips span z in [-1, nz+1): corner pulls across the
+  // subdomain edge need the sender's z-halo rows.
+  World world(2);
+  world.run([](Comm& c) {
+    Decomposition d({8, 4, 2}, {2, 1, 1});
+    const Int3 local = d.localSize(c.rank());
+    Grid g(local.x, local.y, local.z);
+    PopulationField f(g, 19);
+    f.fill(static_cast<Real>(c.rank() + 1));
+    if (c.rank() == 0) {
+      // Distinct marker in the z-halo row of the +x face.
+      f(5, g.nx - 1, 2, -1) = 42.0;
+    }
+    HaloExchange h(d, c.rank(), Periodicity{false, false, false}, g);
+    h.exchange(c, f);
+    if (c.rank() == 1) {
+      EXPECT_EQ(f(5, -1, 2, -1), 42.0);
+      EXPECT_EQ(f(0, -1, 0, 0), 1.0);  // rank 0's fill value
+    }
+  });
+}
+
+}  // namespace
+}  // namespace swlb::runtime

@@ -1,0 +1,127 @@
+// Property tests on all lattice descriptors: weights, symmetry, moment
+// isotropy, opposite-pair convention.
+#include <gtest/gtest.h>
+
+#include "core/lattice.hpp"
+
+namespace swlb {
+namespace {
+
+template <class D>
+class LatticeTest : public ::testing::Test {};
+
+using Descriptors = ::testing::Types<D2Q9, D3Q15, D3Q19, D3Q27>;
+TYPED_TEST_SUITE(LatticeTest, Descriptors);
+
+TYPED_TEST(LatticeTest, WeightsArePositiveAndSumToOne) {
+  using D = TypeParam;
+  Real sum = 0;
+  for (int i = 0; i < D::Q; ++i) {
+    EXPECT_GT(D::w[i], 0) << "direction " << i;
+    sum += D::w[i];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+TYPED_TEST(LatticeTest, RestPopulationIsFirst) {
+  using D = TypeParam;
+  EXPECT_EQ(D::c[0][0], 0);
+  EXPECT_EQ(D::c[0][1], 0);
+  EXPECT_EQ(D::c[0][2], 0);
+  EXPECT_EQ(D::opp(0), 0);
+}
+
+TYPED_TEST(LatticeTest, FirstMomentVanishes) {
+  using D = TypeParam;
+  for (int a = 0; a < 3; ++a) {
+    Real m = 0;
+    for (int i = 0; i < D::Q; ++i) m += D::w[i] * D::c[i][a];
+    EXPECT_NEAR(m, 0.0, 1e-14) << "axis " << a;
+  }
+}
+
+TYPED_TEST(LatticeTest, SecondMomentIsIsotropicCs2) {
+  using D = TypeParam;
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b) {
+      Real m = 0;
+      for (int i = 0; i < D::Q; ++i) m += D::w[i] * D::c[i][a] * D::c[i][b];
+      const Real expected = (a == b && (D::dim == 3 || a < 2)) ? kCs2 : 0.0;
+      EXPECT_NEAR(m, expected, 1e-14) << "axes " << a << "," << b;
+    }
+}
+
+TYPED_TEST(LatticeTest, ThirdMomentVanishes) {
+  using D = TypeParam;
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b)
+      for (int g = 0; g < 3; ++g) {
+        Real m = 0;
+        for (int i = 0; i < D::Q; ++i)
+          m += D::w[i] * D::c[i][a] * D::c[i][b] * D::c[i][g];
+        EXPECT_NEAR(m, 0.0, 1e-14);
+      }
+}
+
+TYPED_TEST(LatticeTest, OppositePairsAreExactNegations) {
+  using D = TypeParam;
+  for (int i = 0; i < D::Q; ++i) {
+    const int o = D::opp(i);
+    ASSERT_GE(o, 0);
+    ASSERT_LT(o, D::Q);
+    EXPECT_EQ(D::opp(o), i) << "opp is an involution";
+    for (int a = 0; a < 3; ++a)
+      EXPECT_EQ(D::c[i][a], -D::c[o][a]) << "direction " << i << " axis " << a;
+    EXPECT_DOUBLE_EQ(D::w[i], D::w[o]);
+  }
+}
+
+TYPED_TEST(LatticeTest, PairOrderingConvention) {
+  using D = TypeParam;
+  for (int i = 1; i < D::Q; i += 2) EXPECT_EQ(D::opp(i), i + 1);
+}
+
+TYPED_TEST(LatticeTest, VelocitiesAreUniqueAndUnitRange) {
+  using D = TypeParam;
+  for (int i = 0; i < D::Q; ++i) {
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_GE(D::c[i][a], -1);
+      EXPECT_LE(D::c[i][a], 1);
+    }
+    for (int j = i + 1; j < D::Q; ++j) {
+      EXPECT_FALSE(D::c[i][0] == D::c[j][0] && D::c[i][1] == D::c[j][1] &&
+                   D::c[i][2] == D::c[j][2])
+          << "duplicate velocity " << i << " vs " << j;
+    }
+  }
+}
+
+TYPED_TEST(LatticeTest, TwoDimensionalDescriptorsStayInPlane) {
+  using D = TypeParam;
+  if (D::dim == 3) return;
+  for (int i = 0; i < D::Q; ++i) EXPECT_EQ(D::c[i][2], 0);
+}
+
+TEST(LatticeHelpers, ViscosityTauRoundTrip) {
+  for (Real nu : {0.01, 0.1, 1.0 / 6.0, 0.5}) {
+    const Real tau = tau_from_viscosity(nu);
+    EXPECT_NEAR(viscosity_from_tau(tau), nu, 1e-14);
+    EXPECT_GT(tau, 0.5);
+  }
+}
+
+TEST(LatticeHelpers, PaperViscosityRelation) {
+  // Paper §IV-A: nu = (2 tau - 1) / 6.
+  EXPECT_NEAR(viscosity_from_tau(1.0), 1.0 / 6.0, 1e-15);
+  EXPECT_NEAR(omega_from_tau(0.8), 1.25, 1e-15);
+}
+
+TEST(LatticeNames, AreDistinct) {
+  EXPECT_STREQ(D3Q19::name(), "D3Q19");
+  EXPECT_STREQ(D2Q9::name(), "D2Q9");
+  EXPECT_STREQ(D3Q15::name(), "D3Q15");
+  EXPECT_STREQ(D3Q27::name(), "D3Q27");
+}
+
+}  // namespace
+}  // namespace swlb

@@ -1,0 +1,89 @@
+// Solver-level physics across every lattice descriptor: the D3Q15 and
+// D3Q27 variants must reproduce the same viscous decay as D3Q19/D2Q9.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/solver.hpp"
+
+namespace swlb {
+namespace {
+
+template <class D>
+class LatticeSweep : public ::testing::Test {};
+
+using AllDescriptors = ::testing::Types<D2Q9, D3Q15, D3Q19, D3Q27>;
+TYPED_TEST_SUITE(LatticeSweep, AllDescriptors);
+
+TYPED_TEST(LatticeSweep, TaylorGreenDecayRate) {
+  using D = TypeParam;
+  const int n = 24;
+  const Real nu = 0.04, u0 = 0.015;
+  const Real k = 2 * std::numbers::pi_v<Real> / n;
+  CollisionConfig cfg;
+  cfg.omega = omega_from_tau(tau_from_viscosity(nu));
+  Solver<D> solver(Grid(n, n, 1), cfg, Periodicity{true, true, true});
+  solver.finalizeMask();
+  solver.initField([&](int x, int y, int, Real& rho, Vec3& u) {
+    rho = 1.0;
+    u.x = -u0 * std::cos(k * (x + Real(0.5))) * std::sin(k * (y + Real(0.5)));
+    u.y = u0 * std::sin(k * (x + Real(0.5))) * std::cos(k * (y + Real(0.5)));
+  });
+  const int steps = 250;
+  solver.run(steps);
+  const Real decay = std::exp(-2 * nu * k * k * steps);
+  Real maxErr = 0;
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) {
+      const Real ex =
+          -u0 * decay * std::cos(k * (x + Real(0.5))) * std::sin(k * (y + Real(0.5)));
+      maxErr = std::max(maxErr, std::abs(solver.velocity(x, y, 0).x - ex));
+    }
+  EXPECT_LT(maxErr / u0, 0.03) << D::name();
+}
+
+TYPED_TEST(LatticeSweep, PoiseuilleProfile) {
+  using D = TypeParam;
+  const int nx = 4, ny = 20;
+  const Real nu = 1.0 / 6.0;
+  const Real g = 1e-6;
+  CollisionConfig cfg;
+  cfg.omega = omega_from_tau(tau_from_viscosity(nu));
+  cfg.bodyForce = {g, 0, 0};
+  Solver<D> solver(Grid(nx, ny, 1), cfg, Periodicity{true, false, true});
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0, 0, 0});
+  solver.run(6000);
+  const Real H = ny;
+  Real maxErr = 0, maxU = 0;
+  for (int y = 0; y < ny; ++y) {
+    const Real yw = y + 0.5;
+    const Real expected = g / (2 * nu) * yw * (H - yw);
+    maxErr = std::max(maxErr, std::abs(solver.velocity(1, y, 0).x - expected));
+    maxU = std::max(maxU, expected);
+  }
+  EXPECT_LT(maxErr / maxU, 0.01) << D::name();
+}
+
+TYPED_TEST(LatticeSweep, CavityMassConservedAndFinite) {
+  using D = TypeParam;
+  const int n = 10;
+  CollisionConfig cfg;
+  cfg.omega = 1.3;
+  Solver<D> solver(Grid(n, n, D::dim == 2 ? 1 : n), cfg);
+  const auto lid = solver.materials().addMovingWall({0.05, 0, 0});
+  const int zTop = D::dim == 2 ? 0 : n - 1;
+  solver.paint({{0, D::dim == 2 ? n - 1 : 0, zTop},
+                {n, n, zTop + 1}},
+               lid);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0, 0, 0});
+  const Real m0 = solver.totalMass();
+  solver.run(200);
+  EXPECT_NEAR(solver.totalMass(), m0, 1e-9 * m0) << D::name();
+  EXPECT_TRUE(std::isfinite(solver.velocity(n / 2, n / 2, 0).x));
+}
+
+}  // namespace
+}  // namespace swlb

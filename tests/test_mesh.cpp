@@ -1,0 +1,314 @@
+// Geometry generators, STL round trips, voxelizer, terrain, urban layout.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numbers>
+
+#include "core/boundary.hpp"
+#include "mesh/stl.hpp"
+#include "mesh/terrain.hpp"
+#include "mesh/urban.hpp"
+#include "mesh/voxelizer.hpp"
+
+namespace swlb::mesh {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmpPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+// ------------------------------------------------------------- geometry
+
+TEST(Geometry, TriangleNormalAndArea) {
+  Triangle t{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  EXPECT_EQ(t.normal(), (Vec3{0, 0, 1}));
+  EXPECT_DOUBLE_EQ(t.area(), 0.5);
+  Triangle degenerate{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}};
+  EXPECT_DOUBLE_EQ(degenerate.area(), 0.0);
+}
+
+TEST(Geometry, BoxHasTwelveOutwardTriangles) {
+  const TriangleMesh box = make_box({0, 0, 0}, {2, 3, 4});
+  EXPECT_EQ(box.size(), 12u);
+  const Bounds b = box.bounds();
+  EXPECT_EQ(b.lo, (Vec3{0, 0, 0}));
+  EXPECT_EQ(b.hi, (Vec3{2, 3, 4}));
+  // Surface area: 2*(2*3 + 3*4 + 2*4) = 52.
+  EXPECT_NEAR(box.surfaceArea(), 52.0, 1e-12);
+  // Outward orientation: every normal points away from the centre.
+  const Vec3 c = b.center();
+  for (const auto& t : box.triangles()) {
+    const Vec3 mid = (t.a + t.b + t.c) * (1.0 / 3.0);
+    EXPECT_GT(t.normal().dot(mid - c), 0.0);
+  }
+}
+
+TEST(Geometry, SphereAreaConvergesToAnalytic) {
+  const Real r = 1.5;
+  const TriangleMesh s = make_sphere({0, 0, 0}, r, 48, 24);
+  const Real analytic = 4 * std::numbers::pi_v<Real> * r * r;
+  EXPECT_NEAR(s.surfaceArea(), analytic, 0.01 * analytic);
+}
+
+TEST(Geometry, CylinderAreaMatchesAnalytic) {
+  const Real r = 1.0, h = 3.0;
+  const TriangleMesh c = make_cylinder({0, 0, 0}, r, h, 64);
+  const Real analytic =
+      2 * std::numbers::pi_v<Real> * r * h + 2 * std::numbers::pi_v<Real> * r * r;
+  EXPECT_NEAR(c.surfaceArea(), analytic, 0.01 * analytic);
+}
+
+TEST(Geometry, TransformsComposeCorrectly) {
+  TriangleMesh box = make_box({0, 0, 0}, {1, 1, 1});
+  box.scale(2.0).translate({10, 0, 0});
+  const Bounds b = box.bounds();
+  EXPECT_EQ(b.lo, (Vec3{10, 0, 0}));
+  EXPECT_EQ(b.hi, (Vec3{12, 2, 2}));
+}
+
+TEST(Geometry, SuboffProfileShape) {
+  // Closed nose, parallel midbody at full radius, tapered stern.
+  EXPECT_NEAR(suboff_profile(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(suboff_profile(0.4), 1.0, 1e-12);
+  EXPECT_NEAR(suboff_profile(0.6), 1.0, 1e-12);
+  EXPECT_LT(suboff_profile(0.95), 0.4);
+  EXPECT_GE(suboff_profile(1.0), 0.0);
+  // Monotone rise along the bow, monotone fall along the stern.
+  for (Real t = 0.01; t < 0.23; t += 0.02)
+    EXPECT_GE(suboff_profile(t + 0.01), suboff_profile(t));
+  for (Real t = 0.72; t < 0.99; t += 0.02)
+    EXPECT_LE(suboff_profile(t + 0.01), suboff_profile(t));
+}
+
+TEST(Geometry, RevolutionBodyBoundsMatchProfile) {
+  const TriangleMesh hull = make_suboff(100.0, 10.0);
+  const Bounds b = hull.bounds();
+  EXPECT_NEAR(b.lo.x, 0.0, 1e-9);
+  EXPECT_NEAR(b.hi.x, 100.0, 1e-9);
+  EXPECT_NEAR(b.hi.y, 10.0, 0.2);
+  EXPECT_NEAR(b.lo.y, -10.0, 0.2);
+}
+
+TEST(Geometry, RevolutionRejectsDegenerateParameters) {
+  EXPECT_THROW(make_revolution(1.0, [](Real) { return 1.0; }, 1, 8), Error);
+  EXPECT_THROW(make_revolution(1.0, [](Real) { return 1.0; }, 8, 2), Error);
+}
+
+// ------------------------------------------------------------------ STL
+
+TEST(Stl, BinaryRoundTripPreservesGeometry) {
+  const TriangleMesh mesh = make_sphere({1, 2, 3}, 0.5, 12, 6);
+  const std::string path = tmpPath("swlb_test_sphere.stl");
+  write_stl_binary(path, mesh);
+  const TriangleMesh back = read_stl(path);
+  ASSERT_EQ(back.size(), mesh.size());
+  // float32 storage: ~1e-6 relative accuracy.
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    EXPECT_NEAR(back.triangles()[i].a.x, mesh.triangles()[i].a.x, 1e-5);
+    EXPECT_NEAR(back.triangles()[i].c.z, mesh.triangles()[i].c.z, 1e-5);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Stl, AsciiRoundTripPreservesGeometry) {
+  const TriangleMesh mesh = make_box({0, 0, 0}, {1, 2, 3});
+  const std::string path = tmpPath("swlb_test_box.stl");
+  write_stl_ascii(path, mesh, "box");
+  const TriangleMesh back = read_stl(path);
+  ASSERT_EQ(back.size(), 12u);
+  EXPECT_NEAR(back.surfaceArea(), mesh.surfaceArea(), 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(Stl, AutodetectDistinguishesFormats) {
+  const TriangleMesh mesh = make_box({0, 0, 0}, {1, 1, 1});
+  const std::string pa = tmpPath("swlb_fmt_a.stl");
+  const std::string pb = tmpPath("swlb_fmt_b.stl");
+  write_stl_ascii(pa, mesh);
+  write_stl_binary(pb, mesh);
+  EXPECT_EQ(read_stl(pa).size(), 12u);
+  EXPECT_EQ(read_stl(pb).size(), 12u);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(Stl, MissingAndMalformedFilesThrow) {
+  EXPECT_THROW(read_stl(tmpPath("swlb_does_not_exist.stl")), Error);
+  const std::string path = tmpPath("swlb_bad.stl");
+  {
+    std::ofstream os(path);
+    os << "solid junk\nfacet vertex oops\n";
+  }
+  EXPECT_THROW(read_stl(path), Error);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ voxelizer
+
+TEST(Voxelizer, RayTriangleIntersectionBasics) {
+  Triangle t{{2, 0, 0}, {2, 4, 0}, {2, 0, 4}};
+  EXPECT_NEAR(ray_x_triangle({0, 1, 1}, t), 2.0, 1e-12);
+  EXPECT_LT(ray_x_triangle({0, 3.5, 3.5}, t), 0.0);  // outside the triangle
+  Triangle parallel{{0, 0, 0}, {1, 0, 0}, {0.5, 0, 1}};
+  EXPECT_LT(ray_x_triangle({0, 1, 0.2}, parallel), 0.0);
+}
+
+TEST(Voxelizer, SolidBoxFillsExpectedVolume) {
+  const TriangleMesh box = make_box({2, 2, 2}, {6, 6, 6});
+  const VoxelGrid g = voxelize(box, {8, 8, 8}, {0, 0, 0}, 1.0);
+  EXPECT_EQ(g.solidCount(), 4LL * 4 * 4);
+  EXPECT_TRUE(g.at(3, 3, 3));
+  EXPECT_FALSE(g.at(1, 3, 3));
+  EXPECT_FALSE(g.at(6, 6, 6));
+}
+
+TEST(Voxelizer, SphereVolumeApproximatesAnalytic) {
+  const Real r = 10.0;
+  const TriangleMesh s = make_sphere({16, 16, 16}, r, 48, 24);
+  const VoxelGrid g = voxelize(s, {32, 32, 32}, {0, 0, 0}, 1.0);
+  const double analytic = 4.0 / 3.0 * std::numbers::pi * r * r * r;
+  EXPECT_NEAR(static_cast<double>(g.solidCount()), analytic, 0.05 * analytic);
+}
+
+TEST(Voxelizer, FitModePlacesMeshInsideGrid) {
+  const TriangleMesh hull = make_suboff(50.0, 5.0);
+  const VoxelGrid g = voxelize_fit(hull, {64, 16, 16}, 2);
+  EXPECT_GT(g.solidCount(), 0);
+  // Padding ring stays empty.
+  for (int z = 0; z < 16; ++z)
+    for (int y = 0; y < 16; ++y) {
+      EXPECT_FALSE(g.at(0, y, z));
+      EXPECT_FALSE(g.at(63, y, z));
+    }
+}
+
+TEST(Voxelizer, PaintTransfersSolidsIntoMask) {
+  const TriangleMesh box = make_box({1, 1, 1}, {3, 3, 3});
+  const VoxelGrid g = voxelize(box, {4, 4, 4}, {0, 0, 0}, 1.0);
+  Grid lattice(10, 10, 10);
+  MaskField mask(lattice, swlb::MaterialTable::kFluid);
+  g.paint(mask, swlb::MaterialTable::kSolid, {2, 3, 4});
+  EXPECT_EQ(mask(3, 4, 5), swlb::MaterialTable::kSolid);
+  EXPECT_EQ(mask(1, 1, 1), swlb::MaterialTable::kFluid);
+  int solids = 0;
+  for (int z = 0; z < 10; ++z)
+    for (int y = 0; y < 10; ++y)
+      for (int x = 0; x < 10; ++x)
+        if (mask(x, y, z) == swlb::MaterialTable::kSolid) ++solids;
+  EXPECT_EQ(solids, 8);
+}
+
+TEST(Voxelizer, RejectsBadArguments) {
+  const TriangleMesh box = make_box({0, 0, 0}, {1, 1, 1});
+  EXPECT_THROW(voxelize(box, {0, 4, 4}, {0, 0, 0}, 1.0), Error);
+  EXPECT_THROW(voxelize(box, {4, 4, 4}, {0, 0, 0}, 0.0), Error);
+  EXPECT_THROW(voxelize_fit(TriangleMesh{}, {8, 8, 8}), Error);
+}
+
+TEST(Voxelizer, CellCentersAndWorldMapping) {
+  VoxelGrid g({4, 4, 4}, {10, 20, 30}, 0.5);
+  const Vec3 c = g.cellCenter(0, 0, 0);
+  EXPECT_NEAR(c.x, 10.25, 1e-12);
+  EXPECT_NEAR(c.y, 20.25, 1e-12);
+  EXPECT_NEAR(c.z, 30.25, 1e-12);
+  EXPECT_EQ(g.solidCount(), 0);
+  g.set(3, 3, 3, true);
+  EXPECT_EQ(g.solidCount(), 1);
+  g.set(3, 3, 3, false);
+  EXPECT_EQ(g.solidCount(), 0);
+}
+
+TEST(Voxelizer, SuboffHullIsWatertightUnderParityCounting) {
+  // A watertight surface voxelizes to a solid region with no stray cells
+  // outside the hull's bounding box and a plausible volume fraction.
+  const mesh::TriangleMesh hull = make_suboff(60.0, 6.0, 64, 32);
+  const VoxelGrid g = voxelize(hull, {64, 16, 16}, {-2, -8, -8}, 1.0);
+  const Bounds b = hull.bounds();
+  long long outside = 0;
+  for (int z = 0; z < 16; ++z)
+    for (int y = 0; y < 16; ++y)
+      for (int x = 0; x < 64; ++x) {
+        if (!g.at(x, y, z)) continue;
+        const Vec3 c = g.cellCenter(x, y, z);
+        if (c.x < b.lo.x - 0.5 || c.x > b.hi.x + 0.5 || c.y < b.lo.y - 0.5 ||
+            c.y > b.hi.y + 0.5 || c.z < b.lo.z - 0.5 || c.z > b.hi.z + 0.5)
+          ++outside;
+      }
+  EXPECT_EQ(outside, 0);
+  // Volume between a cylinder of max radius and a thin rod.
+  const double cylinderVol = std::numbers::pi * 6 * 6 * 60;
+  EXPECT_GT(static_cast<double>(g.solidCount()), 0.3 * cylinderVol);
+  EXPECT_LT(static_cast<double>(g.solidCount()), 1.0 * cylinderVol);
+}
+
+// -------------------------------------------------------------- terrain
+
+TEST(Terrain, RollingTerrainIsBoundedAndVaried) {
+  const Heightmap hm = make_rolling_terrain(64, 48, 12.0, 3);
+  EXPECT_GE(hm.minHeight(), 0.0);
+  EXPECT_LE(hm.maxHeight(), 12.0 + 1e-9);
+  EXPECT_GT(hm.maxHeight() - hm.minHeight(), 1.0);  // not flat
+}
+
+TEST(Terrain, PaintFillsBelowSurface) {
+  Heightmap hm(8, 8, 0);
+  hm.fill([](int x, int) { return static_cast<Real>(x); });
+  Grid g(8, 8, 8);
+  MaskField mask(g, swlb::MaterialTable::kFluid);
+  hm.paint(mask, swlb::MaterialTable::kSolid);
+  EXPECT_EQ(mask(0, 0, 0), swlb::MaterialTable::kFluid);  // height 0: nothing
+  EXPECT_EQ(mask(4, 0, 3), swlb::MaterialTable::kSolid);
+  EXPECT_EQ(mask(4, 0, 4), swlb::MaterialTable::kFluid);
+  EXPECT_EQ(mask(7, 7, 6), swlb::MaterialTable::kSolid);
+}
+
+TEST(Terrain, DeterministicForFixedSeed) {
+  const Heightmap a = make_rolling_terrain(32, 32, 5.0, 9);
+  const Heightmap b = make_rolling_terrain(32, 32, 5.0, 9);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) EXPECT_EQ(a.at(x, y), b.at(x, y));
+}
+
+// ---------------------------------------------------------------- urban
+
+TEST(Urban, GeneratesStreetGridWithBuildings) {
+  UrbanConfig cfg;
+  cfg.blockCells = 8;
+  cfg.streetCells = 4;
+  cfg.buildProbability = 1.0;
+  const Heightmap city = make_urban_heightmap(96, 96, cfg);
+  const UrbanStats stats = analyze_urban(city);
+  EXPECT_EQ(stats.buildings, 8 * 8);  // 96 / 12 lots each way
+  EXPECT_GE(stats.tallest, cfg.minHeight);
+  EXPECT_LE(stats.tallest, cfg.maxHeight);
+  // Streets stay open: built fraction well below 1.
+  EXPECT_GT(stats.builtFraction, 0.2);
+  EXPECT_LT(stats.builtFraction, 0.6);
+  // A street row between the first two building rows is empty.
+  EXPECT_EQ(city.at(0, 0), 0.0);
+}
+
+TEST(Urban, BuildProbabilityLeavesEmptyLots) {
+  UrbanConfig all;
+  all.buildProbability = 1.0;
+  UrbanConfig some;
+  some.buildProbability = 0.5;
+  const UrbanStats a = analyze_urban(make_urban_heightmap(120, 120, all));
+  const UrbanStats s = analyze_urban(make_urban_heightmap(120, 120, some));
+  EXPECT_LT(s.buildings, a.buildings);
+  EXPECT_GT(s.buildings, 0);
+}
+
+TEST(Urban, RejectsInvalidConfig) {
+  UrbanConfig bad;
+  bad.blockCells = 0;
+  EXPECT_THROW(make_urban_heightmap(32, 32, bad), Error);
+}
+
+}  // namespace
+}  // namespace swlb::mesh

@@ -1,0 +1,209 @@
+// Flow observables: momentum-exchange forces (including the
+// per-material-id scoping), vorticity, Q-criterion, kinetic energy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/observables.hpp"
+#include "core/solver.hpp"
+
+namespace swlb {
+namespace {
+
+TEST(MomentumExchange, UniformFlowPushesAPlate) {
+  // Uniform flow against a plate: the x-force must be positive and equal
+  // to the analytic momentum-exchange sum for an equilibrium state.
+  const int n = 10;
+  CollisionConfig cfg;
+  cfg.omega = 1.0;
+  Solver<D3Q19> solver(Grid(n, n, n), cfg, Periodicity{true, true, true});
+  const auto plate = solver.materials().add(
+      Material{CellClass::Solid, {0, 0, 0}, 1.0, {0, 0, 0}});
+  solver.paint({{5, 2, 2}, {6, 8, 8}}, plate);
+  solver.finalizeMask();
+  const Real ux = 0.04;
+  solver.initUniform(1.0, {ux, 0, 0});
+
+  // Force on the equilibrium state before any step: each fluid->plate
+  // link contributes 2 c_x feq_i.
+  const Vec3 f0 = momentum_exchange_force<D3Q19>(
+      solver.f(), solver.mask(), solver.materials(), plate);
+  EXPECT_GT(f0.x, 0.0);
+  EXPECT_NEAR(f0.y, 0.0, 1e-12);
+  EXPECT_NEAR(f0.z, 0.0, 1e-12);
+
+  solver.run(50);
+  const Vec3 f1 = momentum_exchange_force<D3Q19>(
+      solver.f(), solver.mask(), solver.materials(), plate);
+  EXPECT_GT(f1.x, 0.0);
+}
+
+TEST(MomentumExchange, ScopedToTheRequestedMaterialOnly) {
+  // Regression for the force-probe pitfall: with both an obstacle and
+  // solid channel walls, the probe on the obstacle id must not include
+  // the wall forces (which dwarf the obstacle drag).
+  const int n = 12;
+  CollisionConfig cfg;
+  cfg.omega = 1.0;
+  Solver<D3Q19> solver(Grid(n, n, n), cfg, Periodicity{true, false, false});
+  const auto obstacle = solver.materials().add(
+      Material{CellClass::Solid, {0, 0, 0}, 1.0, {0, 0, 0}});
+  solver.paint({{5, 5, 5}, {7, 7, 7}}, obstacle);
+  solver.finalizeMask();  // y/z walls use the built-in kSolid
+  solver.initUniform(1.0, {0.03, 0, 0});
+  solver.run(30);
+
+  const Vec3 onObstacle = momentum_exchange_force<D3Q19>(
+      solver.f(), solver.mask(), solver.materials(), obstacle);
+  const Vec3 onWalls = momentum_exchange_force<D3Q19>(
+      solver.f(), solver.mask(), solver.materials(), MaterialTable::kSolid);
+  EXPECT_GT(onObstacle.x, 0.0);
+  // Wall drag differs from the obstacle drag: the ids separate them.
+  EXPECT_NE(onObstacle.x, onWalls.x);
+}
+
+TEST(MomentumExchange, OppositeFlowsGiveOppositeForces) {
+  const int n = 10;
+  auto dragAt = [&](Real ux) {
+    CollisionConfig cfg;
+    cfg.omega = 1.2;
+    Solver<D3Q19> solver(Grid(n, n, n), cfg, Periodicity{true, true, true});
+    const auto obstacle = solver.materials().add(
+        Material{CellClass::Solid, {0, 0, 0}, 1.0, {0, 0, 0}});
+    solver.paint({{4, 4, 4}, {6, 6, 6}}, obstacle);
+    solver.finalizeMask();
+    solver.initUniform(1.0, {ux, 0, 0});
+    solver.run(20);
+    return momentum_exchange_force<D3Q19>(solver.f(), solver.mask(),
+                                          solver.materials(), obstacle)
+        .x;
+  };
+  const Real fPlus = dragAt(0.03);
+  const Real fMinus = dragAt(-0.03);
+  EXPECT_NEAR(fPlus, -fMinus, 1e-10);
+}
+
+TEST(MomentumExchange, MovingWallTermContributes) {
+  // A moving wall in quiescent fluid drags it: force on the wall opposes
+  // the motion direction initially (fluid resists).
+  const int n = 8;
+  CollisionConfig cfg;
+  cfg.omega = 1.0;
+  Solver<D2Q9> solver(Grid(n, n, 1), cfg, Periodicity{true, false, true});
+  const auto lid = solver.materials().addMovingWall({0.05, 0, 0});
+  solver.paint({{0, n - 1, 0}, {n, n, 1}}, lid);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0, 0, 0});
+  solver.run(10);
+  const Vec3 f = momentum_exchange_force<D2Q9>(solver.f(), solver.mask(),
+                                               solver.materials(), lid);
+  EXPECT_LT(f.x, 0.0);  // fluid pulls back on the lid
+}
+
+// ----------------------------------------------------------- derivatives
+
+TEST(Vorticity, RigidRotationHasConstantCurl) {
+  // u = Omega x r with Omega = (0, 0, w) -> curl u = (0, 0, 2w).
+  const int n = 16;
+  Grid g(n, n, 1);
+  VectorField u(g), curl(g);
+  const Real w = 0.01;
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      u.set(x, y, 0, {-w * (y - n / 2.0), w * (x - n / 2.0), 0});
+  vorticity(u, curl);
+  for (int y = 2; y < n - 2; ++y)
+    for (int x = 2; x < n - 2; ++x) {
+      const Vec3 c = curl.at(x, y, 0);
+      EXPECT_NEAR(c.z, 2 * w, 1e-12);
+      EXPECT_NEAR(c.x, 0.0, 1e-12);
+      EXPECT_NEAR(c.y, 0.0, 1e-12);
+    }
+}
+
+TEST(Vorticity, UniformFlowIsIrrotational) {
+  Grid g(8, 8, 8);
+  VectorField u(g), curl(g);
+  for (int z = 0; z < 8; ++z)
+    for (int y = 0; y < 8; ++y)
+      for (int x = 0; x < 8; ++x) u.set(x, y, z, {0.1, -0.05, 0.02});
+  vorticity(u, curl);
+  for (int z = 0; z < 8; ++z)
+    for (int y = 0; y < 8; ++y)
+      for (int x = 0; x < 8; ++x)
+        EXPECT_NEAR(std::sqrt(curl.at(x, y, z).norm2()), 0.0, 1e-14);
+}
+
+TEST(QCriterion, PositiveInVortexCoreNegativeInShear) {
+  const int n = 24;
+  Grid g(n, n, 1);
+  VectorField u(g);
+  ScalarField q(g);
+  // Rigid rotation: pure rotation -> Q = 0.5 |Omega|^2 > 0 everywhere.
+  const Real w = 0.01;
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      u.set(x, y, 0, {-w * (y - n / 2.0), w * (x - n / 2.0), 0});
+  q_criterion(u, q);
+  EXPECT_GT(q(n / 2, n / 2, 0), 0.0);
+
+  // Pure shear u = (k y, 0, 0): |S| == |Omega| -> Q == 0.
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) u.set(x, y, 0, {0.01 * y, 0, 0});
+  q_criterion(u, q);
+  EXPECT_NEAR(q(n / 2, n / 2, 0), 0.0, 1e-14);
+
+  // Pure strain u = (k x, -k y, 0): Q < 0.
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      u.set(x, y, 0, {0.01 * (x - n / 2.0), -0.01 * (y - n / 2.0), 0});
+  q_criterion(u, q);
+  EXPECT_LT(q(n / 2, n / 2, 0), 0.0);
+}
+
+TEST(KineticEnergy, CountsFluidCellsOnly) {
+  Grid g(6, 6, 1);
+  ScalarField rho(g, 1.0);
+  VectorField u(g);
+  MaskField mask(g, MaterialTable::kFluid);
+  MaterialTable mats;
+  for (int y = 0; y < 6; ++y)
+    for (int x = 0; x < 6; ++x) u.set(x, y, 0, {0.1, 0, 0});
+  // Solidify half the domain: energy halves.
+  const Real full = kinetic_energy(rho, u, mask, mats);
+  for (int y = 0; y < 6; ++y)
+    for (int x = 0; x < 3; ++x) mask(x, y, 0) = MaterialTable::kSolid;
+  const Real half = kinetic_energy(rho, u, mask, mats);
+  EXPECT_NEAR(full, 36 * 0.5 * 0.01, 1e-14);
+  EXPECT_NEAR(half, full / 2, 1e-14);
+}
+
+TEST(KineticEnergy, MonotonicallyDecaysInUnforcedFlow) {
+  const int n = 16;
+  CollisionConfig cfg;
+  cfg.omega = 1.2;
+  Solver<D2Q9> solver(Grid(n, n, 1), cfg, Periodicity{true, true, true});
+  solver.finalizeMask();
+  const Real k = 2 * std::numbers::pi / n;
+  solver.initField([&](int x, int y, int, Real& rho, Vec3& u) {
+    rho = 1.0;
+    u = {0.02 * std::sin(k * y), 0.02 * std::sin(k * x), 0};
+  });
+  auto energy = [&] {
+    ScalarField rho(solver.grid());
+    VectorField u(solver.grid());
+    solver.computeMacroscopic(rho, u);
+    return kinetic_energy(rho, u, solver.mask(), solver.materials());
+  };
+  Real prev = energy();
+  for (int i = 0; i < 5; ++i) {
+    solver.run(50);
+    const Real e = energy();
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+}  // namespace
+}  // namespace swlb

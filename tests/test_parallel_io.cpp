@@ -1,0 +1,209 @@
+// Group checkpoint/restart and gathered output for distributed runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numbers>
+#include <sstream>
+
+#include "core/solver.hpp"
+#include "runtime/parallel_io.hpp"
+
+namespace swlb::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmpPrefix(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+void removeGroup(const std::string& prefix, int ranks) {
+  std::remove(group_manifest_path(prefix).c_str());
+  for (int r = 0; r < ranks; ++r)
+    std::remove(group_checkpoint_path(prefix, r).c_str());
+}
+
+DistributedSolver<D2Q9>::Config tgvConfig(int n) {
+  DistributedSolver<D2Q9>::Config cfg;
+  cfg.global = {n, n, 1};
+  cfg.collision.omega = 1.3;
+  cfg.periodic = {true, true, true};
+  cfg.procGrid = {2, 2, 1};
+  return cfg;
+}
+
+void initTgv(DistributedSolver<D2Q9>& solver, int n) {
+  const Real k = 2 * std::numbers::pi_v<Real> / n;
+  solver.finalizeMask();
+  solver.initField([&](int x, int y, int, Real& rho, Vec3& u) {
+    rho = 1.0;
+    u = {-0.02 * std::cos(k * (x + Real(0.5))) * std::sin(k * (y + Real(0.5))),
+         0.02 * std::sin(k * (x + Real(0.5))) * std::cos(k * (y + Real(0.5))), 0};
+  });
+}
+
+TEST(GroupCheckpoint, RestartContinuesBitwiseAcrossWorlds) {
+  const int n = 24, total = 60, atStep = 24;
+  const std::string prefix = tmpPrefix("swlb_group_a");
+
+  // Uninterrupted reference run.
+  PopulationField reference;
+  {
+    World world(4);
+    world.run([&](Comm& c) {
+      DistributedSolver<D2Q9> solver(c, tgvConfig(n));
+      initTgv(solver, n);
+      solver.run(total);
+      PopulationField g = solver.gatherPopulations(0);
+      if (c.rank() == 0) reference = std::move(g);
+    });
+  }
+  // Run to the checkpoint, then "crash" (the World is destroyed).
+  {
+    World world(4);
+    world.run([&](Comm& c) {
+      DistributedSolver<D2Q9> solver(c, tgvConfig(n));
+      initTgv(solver, n);
+      solver.run(atStep);
+      save_group_checkpoint(solver, prefix);
+    });
+  }
+  // Fresh world: restore, finish, compare bit for bit.
+  {
+    World world(4);
+    world.run([&](Comm& c) {
+      DistributedSolver<D2Q9> solver(c, tgvConfig(n));
+      initTgv(solver, n);
+      load_group_checkpoint(solver, prefix);
+      EXPECT_EQ(solver.stepsDone(), static_cast<std::uint64_t>(atStep));
+      solver.run(total - atStep);
+      PopulationField got = solver.gatherPopulations(0);
+      if (c.rank() == 0) {
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+          ASSERT_EQ(got.data()[i], reference.data()[i]);
+      }
+    });
+  }
+  removeGroup(prefix, 4);
+}
+
+TEST(GroupCheckpoint, ManifestRecordsDecomposition) {
+  const std::string prefix = tmpPrefix("swlb_group_b");
+  World world(2);
+  world.run([&](Comm& c) {
+    DistributedSolver<D2Q9>::Config cfg;
+    cfg.global = {16, 8, 1};
+    cfg.periodic = {true, true, true};
+    cfg.procGrid = {2, 1, 1};
+    DistributedSolver<D2Q9> solver(c, cfg);
+    solver.finalizeMask();
+    solver.initUniform(1.0, {0, 0, 0});
+    solver.run(3);
+    save_group_checkpoint(solver, prefix);
+  });
+  std::ifstream in(group_manifest_path(prefix));
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string manifest = ss.str();
+  EXPECT_NE(manifest.find("ranks 2"), std::string::npos);
+  EXPECT_NE(manifest.find("global 16 8 1"), std::string::npos);
+  EXPECT_NE(manifest.find("procgrid 2 1 1"), std::string::npos);
+  EXPECT_NE(manifest.find("steps 3"), std::string::npos);
+  removeGroup(prefix, 2);
+}
+
+TEST(GroupCheckpoint, RejectsWrongDecomposition) {
+  const std::string prefix = tmpPrefix("swlb_group_c");
+  {
+    World world(4);
+    world.run([&](Comm& c) {
+      DistributedSolver<D2Q9> solver(c, tgvConfig(16));
+      initTgv(solver, 16);
+      save_group_checkpoint(solver, prefix);
+    });
+  }
+  // Restoring onto 2 ranks must fail loudly.
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& c) {
+    DistributedSolver<D2Q9>::Config cfg = tgvConfig(16);
+    cfg.procGrid = {2, 1, 1};
+    DistributedSolver<D2Q9> solver(c, cfg);
+    initTgv(solver, 16);
+    load_group_checkpoint(solver, prefix);
+  }),
+               Error);
+  removeGroup(prefix, 4);
+}
+
+TEST(GroupCheckpoint, MissingManifestThrows) {
+  World world(1);
+  EXPECT_THROW(world.run([&](Comm& c) {
+    DistributedSolver<D2Q9>::Config cfg = tgvConfig(8);
+    cfg.procGrid = {1, 1, 1};
+    DistributedSolver<D2Q9> solver(c, cfg);
+    initTgv(solver, 8);
+    load_group_checkpoint(solver, tmpPrefix("swlb_group_missing"));
+  }),
+               Error);
+}
+
+TEST(GatheredOutput, MacroscopicFieldsMatchSerialReference) {
+  const int n = 16;
+  // Serial reference.
+  CollisionConfig col;
+  col.omega = 1.3;
+  Solver<D2Q9> ref(Grid(n, n, 1), col, Periodicity{true, true, true});
+  ref.finalizeMask();
+  const Real k = 2 * std::numbers::pi_v<Real> / n;
+  ref.initField([&](int x, int y, int, Real& rho, Vec3& u) {
+    rho = 1.0;
+    u = {-0.02 * std::cos(k * (x + Real(0.5))) * std::sin(k * (y + Real(0.5))),
+         0.02 * std::sin(k * (x + Real(0.5))) * std::cos(k * (y + Real(0.5))), 0};
+  });
+  ref.run(20);
+  ScalarField rhoRef(ref.grid());
+  VectorField uRef(ref.grid());
+  ref.computeMacroscopic(rhoRef, uRef);
+
+  World world(4);
+  world.run([&](Comm& c) {
+    DistributedSolver<D2Q9> solver(c, tgvConfig(n));
+    initTgv(solver, n);
+    solver.run(20);
+    ScalarField rho;
+    VectorField u;
+    gather_macroscopic(solver, 0, rho, u);
+    if (c.rank() == 0) {
+      for (int y = 0; y < n; ++y)
+        for (int x = 0; x < n; ++x) {
+          ASSERT_EQ(rho(x, y, 0), rhoRef(x, y, 0));
+          ASSERT_EQ(u.at(x, y, 0), uRef.at(x, y, 0));
+        }
+    }
+  });
+}
+
+TEST(GatheredOutput, VtkFileWrittenOnRootOnly) {
+  const std::string path = tmpPrefix("swlb_gathered.vtk");
+  World world(4);
+  world.run([&](Comm& c) {
+    DistributedSolver<D2Q9> solver(c, tgvConfig(16));
+    initTgv(solver, 16);
+    solver.run(5);
+    write_vtk_gathered(solver, 0, path);
+  });
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("DIMENSIONS 16 16 1"), std::string::npos);
+  EXPECT_NE(ss.str().find("VECTORS velocity"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swlb::runtime

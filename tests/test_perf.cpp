@@ -1,0 +1,277 @@
+// Performance model: the reproduced numbers must match the paper's §V
+// analysis (roofline bounds, utilization) and the scaling/ladder shapes.
+#include <gtest/gtest.h>
+
+#include "perf/gpu_model.hpp"
+#include "perf/ladder.hpp"
+#include "perf/report.hpp"
+#include "perf/roofline.hpp"
+#include "perf/scaling.hpp"
+
+namespace swlb::perf {
+namespace {
+
+// ----------------------------------------------------------------- cost
+
+TEST(CostModel, PaperBytesPerUpdate) {
+  LbmCostModel c;
+  // Paper §IV-C3: 380 bytes per lattice update including write allocate.
+  EXPECT_DOUBLE_EQ(c.bytesPerLup(), 380.0);
+  EXPECT_NEAR(c.bytesPerLupUnfused(), 494.0, 1e-9);
+}
+
+TEST(CostModel, RooflineBoundPerCoreGroupIs90MLUPS) {
+  LbmCostModel c;
+  // Paper §V-A2: 32 GB/s / 380 B = 90.4 MLUPS per core group.
+  const double bound = c.lupsUpperBound(32.0 * (1ull << 30));
+  EXPECT_NEAR(bound / 1e6, 90.4, 0.5);
+  // ... and 14,464 GLUPS over 160,000 core groups.
+  EXPECT_NEAR(bound * 160000 / 1e9, 14464, 100);
+}
+
+TEST(CostModel, PaperUtilizationNumbersReproduce) {
+  LbmCostModel c;
+  // 11,245 GLUPS on 160,000 CGs => 77% of the aggregate bandwidth.
+  const double perCg = 11245e9 / 160000;
+  EXPECT_NEAR(c.bandwidthUtilization(perCg, 32.0 * (1ull << 30)), 0.77, 0.01);
+  // New Sunway: 6,583 GLUPS on 60,000 CGs at 51.2 GB/s => 81.4%.
+  const double perCgPro = 6583e9 / 60000;
+  EXPECT_NEAR(c.bandwidthUtilization(perCgPro, 51.2e9), 0.814, 0.01);
+}
+
+TEST(CostModel, FlopsPerLupMatchesReportedPFlops) {
+  LbmCostModel c;
+  // 11,245 GLUPS -> 4.7 PFlops (TaihuLight), 6,583 GLUPS -> 2.76 PFlops.
+  EXPECT_NEAR(c.flops(11245e9) / 1e15, 4.7, 0.05);
+  EXPECT_NEAR(c.flops(6583e9) / 1e15, 2.76, 0.03);
+}
+
+// ------------------------------------------------------------- roofline
+
+TEST(RooflineTest, LbmIsMemoryBoundOnAllTargets) {
+  LbmCostModel c;
+  const double ai = c.arithmeticIntensity();  // ~1.1 flops/byte
+  EXPECT_NEAR(ai, 1.1, 0.05);
+
+  const auto tl = sw::MachineSpec::sw26010();
+  Roofline rTl{tl.cg.peakFlops(), tl.cg.dma.peakBandwidth};
+  EXPECT_TRUE(rTl.memoryBound(ai));
+  // B/F of SW26010-Pro is 0.022 (paper §III-C) => ridge point ~45.
+  const auto pro = sw::MachineSpec::sw26010pro();
+  Roofline rPro{pro.cg.peakFlops(), pro.cg.dma.peakBandwidth};
+  EXPECT_TRUE(rPro.memoryBound(ai));
+  EXPECT_NEAR(pro.cg.dma.peakBandwidth * 6 / (pro.cg.peakFlops() * 6), 0.022,
+              0.003);
+
+  // Attainable performance is the bandwidth roof.
+  EXPECT_NEAR(rTl.attainable(ai), ai * tl.cg.dma.peakBandwidth, 1);
+}
+
+// -------------------------------------------------------------- network
+
+TEST(NetworkModelTest, LocalWithinSupernodeRemoteBeyond) {
+  const auto tl = sw::MachineSpec::sw26010();
+  NetworkModel net(tl.net, tl.coreGroupsPerProcessor);
+  EXPECT_EQ(net.ranksPerSupernode(), 1024);  // 256 procs x 4 CGs
+  EXPECT_EQ(net.remoteLinkFraction(512), 0.0);
+  EXPECT_GT(net.remoteLinkFraction(160000), 0.0);
+  EXPECT_LE(net.remoteLinkFraction(160000), 1.0);
+}
+
+TEST(NetworkModelTest, ExchangeTimeScalesWithBytesAndRanks) {
+  const auto tl = sw::MachineSpec::sw26010();
+  NetworkModel net(tl.net, tl.coreGroupsPerProcessor);
+  const double small = net.haloExchangeSeconds(1 << 20, 8, 1024);
+  const double big = net.haloExchangeSeconds(16u << 20, 8, 1024);
+  EXPECT_GT(big, 10 * small);
+  // Crossing supernodes costs more for the same volume.
+  const double remote = net.haloExchangeSeconds(16u << 20, 8, 160000);
+  EXPECT_GT(remote, big);
+  EXPECT_GT(net.syncSeconds(160000), net.syncSeconds(1024));
+}
+
+// -------------------------------------------------------------- scaling
+
+class TaihuLightScaling : public ::testing::Test {
+ protected:
+  ScalingSimulator sim{sw::MachineSpec::sw26010(), LbmCostModel{}};
+};
+
+TEST_F(TaihuLightScaling, DmaEfficiencyGrowsWithRowLength) {
+  EXPECT_LT(sim.dmaEfficiency(1), 0.3);
+  EXPECT_GT(sim.dmaEfficiency(500), 0.85);
+  EXPECT_GT(sim.dmaEfficiency(500), sim.dmaEfficiency(32));
+}
+
+TEST_F(TaihuLightScaling, Fig13WeakScalingReachesPaperThroughput) {
+  // Paper Fig. 13: 500x700x100 per CG, up to 160,000 CGs = 10.4M cores,
+  // 5.6T cells, 11,245 GLUPS, 4.7 PFlops, ~94% parallel efficiency.
+  const auto pts = sim.weakScaling({500, 700, 100},
+                                   {{1, 1}, {10, 10}, {100, 100}, {400, 400}});
+  const ScalingPoint& last = pts.back();
+  EXPECT_EQ(last.nCg, 160000);
+  EXPECT_EQ(last.cores, 10400000);
+  EXPECT_NEAR(last.cells, 5.6e12, 1e10);
+  EXPECT_NEAR(last.glups, 11245, 0.15 * 11245);
+  EXPECT_NEAR(last.pflops, 4.7, 0.15 * 4.7);
+  EXPECT_GT(last.efficiency, 0.90);
+  EXPECT_NEAR(last.bwUtilization, 0.77, 0.08);
+  // Efficiency is non-increasing along the series.
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LE(pts[i].efficiency, pts[i - 1].efficiency + 1e-12);
+}
+
+TEST_F(TaihuLightScaling, Fig14StrongScalingEfficiencyBand) {
+  // Paper Fig. 14: 10000x10000x5000 cylinder case, 1.06M -> 10.4M cores,
+  // 71.48% parallel efficiency at the largest run.
+  const auto pts = sim.strongScaling(
+      {10000, 10000, 5000}, {{128, 128}, {181, 181}, {256, 256}, {400, 400}});
+  EXPECT_EQ(pts.front().cores, 128 * 128 * 65);
+  const ScalingPoint& last = pts.back();
+  EXPECT_EQ(last.cores, 10400000);
+  EXPECT_GT(last.efficiency, 0.55);
+  EXPECT_LT(last.efficiency, 0.88);
+  // Throughput still increases with cores (the curve bends but rises).
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_GT(pts[i].glups, pts[i - 1].glups);
+  // ... while efficiency decreases.
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LT(pts[i].efficiency, pts[i - 1].efficiency);
+}
+
+TEST_F(TaihuLightScaling, OverlapBeatsSequentialHalo) {
+  ScalingOptions seq;
+  seq.overlapHalo = false;
+  ScalingSimulator simSeq(sw::MachineSpec::sw26010(), LbmCostModel{}, seq);
+  const auto ovl = sim.weakPoint({500, 700, 100}, 400, 400);
+  const auto noOvl = simSeq.weakPoint({500, 700, 100}, 400, 400);
+  EXPECT_GT(ovl.glups, noOvl.glups);
+}
+
+TEST(NewSunwayScaling, Fig15WeakScalingReachesPaperThroughput) {
+  // Paper Fig. 15: 1000x700x100 per CG, 6,000 -> 60,000 CGs (3.9M cores),
+  // 4.2T cells, 6,583 GLUPS, 81.4% utilization, 2.76 PFlops.
+  ScalingSimulator sim(sw::MachineSpec::sw26010pro(), LbmCostModel{});
+  const auto pts = sim.weakScaling({1000, 700, 100},
+                                   {{100, 60}, {200, 100}, {300, 200}});
+  const ScalingPoint& last = pts.back();
+  EXPECT_EQ(last.nCg, 60000);
+  EXPECT_EQ(last.cores, 3900000);
+  EXPECT_NEAR(last.cells, 4.2e12, 1e10);
+  EXPECT_NEAR(last.glups, 6583, 0.15 * 6583);
+  EXPECT_NEAR(last.pflops, 2.76, 0.15 * 2.76);
+  EXPECT_NEAR(last.bwUtilization, 0.814, 0.08);
+}
+
+TEST(NewSunwayScaling, Fig16StrongScalingCylinderCase) {
+  // Flow past cylinder, 10000x7000x5000, 390k -> 3.9M cores, 72.2% eff.
+  ScalingSimulator sim(sw::MachineSpec::sw26010pro(), LbmCostModel{});
+  const auto pts = sim.strongScaling({10000, 7000, 5000},
+                                     {{100, 60}, {200, 100}, {300, 200}});
+  EXPECT_EQ(pts.front().cores, 390000);
+  EXPECT_EQ(pts.back().cores, 3900000);
+  EXPECT_GT(pts.back().efficiency, 0.55);
+  EXPECT_LT(pts.back().efficiency, 0.90);
+}
+
+TEST(ScalingHelpers, SquareGridFactorization) {
+  EXPECT_EQ(ScalingSimulator::squareGrid(16), (std::pair<int, int>{4, 4}));
+  EXPECT_EQ(ScalingSimulator::squareGrid(12), (std::pair<int, int>{4, 3}));
+  EXPECT_EQ(ScalingSimulator::squareGrid(7), (std::pair<int, int>{7, 1}));
+}
+
+TEST(ScalingErrors, StrongScalingRejectsOversubscription) {
+  ScalingSimulator sim(sw::MachineSpec::sw26010(), LbmCostModel{});
+  EXPECT_THROW(sim.strongScaling({100, 100, 100}, {{128, 128}}), Error);
+}
+
+// ---------------------------------------------------------------- ladder
+
+TEST(Fig8Ladder, ReproducesPaperStageGains) {
+  const auto stages =
+      taihulight_ladder(sw::MachineSpec::sw26010(), LbmCostModel{});
+  ASSERT_EQ(stages.size(), 5u);
+
+  // Baseline ~73.6 s per step on the 35M-cell block.
+  EXPECT_NEAR(stages[0].stepSeconds, 73.6, 0.15 * 73.6);
+  // CPE blocking & sharing: paper says > 75x.
+  EXPECT_GT(stages[1].speedup, 70);
+  // On-the-fly halo exchange: ~10% improvement.
+  EXPECT_GT(stages[2].gainOverPrev, 1.04);
+  EXPECT_LT(stages[2].gainOverPrev, 1.20);
+  // Kernel fusion: ~30% boost.
+  EXPECT_GT(stages[3].gainOverPrev, 1.15);
+  EXPECT_LT(stages[3].gainOverPrev, 1.45);
+  // Final: 172x overall, 0.426 s per step.
+  EXPECT_NEAR(stages[4].speedup, 172, 0.2 * 172);
+  EXPECT_NEAR(stages[4].stepSeconds, 0.426, 0.2 * 0.426);
+  // Monotone improvement.
+  for (std::size_t i = 1; i < stages.size(); ++i)
+    EXPECT_LT(stages[i].stepSeconds, stages[i - 1].stepSeconds);
+}
+
+// ------------------------------------------------------------------- GPU
+
+TEST(GpuModel, Fig11LadderEndsNear191x) {
+  GpuClusterModel gpu;
+  const auto stages = gpu.nodeLadder();
+  ASSERT_EQ(stages.size(), 5u);
+  // Fusion on the CPU: 1.3x traffic reduction.
+  EXPECT_NEAR(stages[1].gainOverPrev, 1.3, 0.05);
+  // Parallelization is the big jump (paper: ~200x for 1 GPU vs 1 core;
+  // node-level vs socket here).
+  EXPECT_GT(stages[2].gainOverPrev, 30);
+  // Each remaining stage still helps.
+  EXPECT_GT(stages[3].gainOverPrev, 1.1);
+  EXPECT_GT(stages[4].gainOverPrev, 1.02);
+  // Paper: 191x speedup, 83.8% bandwidth utilization.
+  EXPECT_NEAR(stages[4].speedup, 191, 0.12 * 191);
+  const double cells = 1400.0 * 2800 * 100;
+  EXPECT_NEAR(gpu.bandwidthUtilization(cells, stages[4].stepSeconds), 0.838,
+              0.05);
+}
+
+TEST(GpuModel, Fig17StrongScalingEfficiency) {
+  GpuClusterModel gpu;
+  const auto pts = gpu.strongScaling();
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts.back().gpus, 64);
+  // Paper: 86.3% strong-scaling efficiency at 8 nodes.
+  EXPECT_NEAR(pts.back().efficiency, 0.863, 0.06);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i].efficiency, pts[i - 1].efficiency + 1e-12);
+    EXPECT_GT(pts[i].glups, pts[i - 1].glups);
+  }
+}
+
+TEST(GpuModel, Fp32CostHalvesTraffic) {
+  EXPECT_DOUBLE_EQ(GpuClusterModel::fp32Cost().bytesPerLup(), 190.0);
+}
+
+// ---------------------------------------------------------------- report
+
+TEST(Report, TableFormatsAlignedRows) {
+  Table t({"cores", "GLUPS"});
+  t.addRow({"65", Table::num(0.07, 2)});
+  t.addRow({"10400000", Table::num(11245.0, 0)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("cores"), std::string::npos);
+  EXPECT_NE(s.find("11245"), std::string::npos);
+  EXPECT_THROW(t.addRow({"only-one"}), Error);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.77), "77.0%");
+  EXPECT_EQ(Table::eng(11245e9, "LUPS", 1), "11.2 TLUPS");
+  EXPECT_EQ(Table::eng(90.4e6, "LUPS", 1), "90.4 MLUPS");
+  // Edge cases: negatives keep their sign, sub-kilo values no prefix.
+  EXPECT_EQ(Table::eng(-2.5e6, "B", 1), "-2.5 MB");
+  EXPECT_EQ(Table::eng(512.0, "B", 0), "512 B");
+  EXPECT_EQ(Table::num(-0.005, 2), "-0.01");
+}
+
+}  // namespace
+}  // namespace swlb::perf

@@ -1,0 +1,169 @@
+// Partial bounce-back porous media (Walsh-Burwinkle-Saar model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "sw/sw_kernels.hpp"
+
+namespace swlb {
+namespace {
+
+TEST(Porous, SolidityZeroIsBitwiseFluid) {
+  // A porous region with sigma = 0 must evolve exactly like plain fluid.
+  auto run = [](bool markPorous) {
+    CollisionConfig cfg;
+    cfg.omega = 1.4;
+    Solver<D3Q19> solver(Grid(10, 8, 4), cfg, Periodicity{true, true, true});
+    if (markPorous) {
+      const auto p = solver.materials().addPorous(0.0);
+      solver.paint({{3, 2, 1}, {7, 6, 3}}, p);
+    }
+    solver.finalizeMask();
+    solver.initField([](int x, int y, int z, Real& rho, Vec3& u) {
+      rho = 1.0 + 0.004 * ((x + y + z) % 3);
+      u = {0.02, 0.01 * (y % 2), 0};
+    });
+    solver.run(10);
+    return solver;
+  };
+  Solver<D3Q19> plain = run(false);
+  Solver<D3Q19> porous = run(true);
+  for (std::size_t i = 0; i < plain.f().size(); ++i)
+    ASSERT_EQ(plain.f().data()[i], porous.f().data()[i]);
+}
+
+TEST(Porous, ConservesMass) {
+  CollisionConfig cfg;
+  cfg.omega = 1.2;
+  Solver<D3Q19> solver(Grid(10, 8, 4), cfg, Periodicity{true, true, true});
+  const auto p = solver.materials().addPorous(0.35);
+  solver.paint({{4, 0, 0}, {6, 8, 4}}, p);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0.03, 0, 0});
+  // Mass over *all* streaming cells (fluid + porous).
+  auto mass = [&] {
+    Real m = 0;
+    const Grid& g = solver.grid();
+    for (int z = 0; z < g.nz; ++z)
+      for (int y = 0; y < g.ny; ++y)
+        for (int x = 0; x < g.nx; ++x)
+          for (int i = 0; i < D3Q19::Q; ++i) m += solver.f()(i, x, y, z);
+    return m;
+  };
+  const Real m0 = mass();
+  solver.run(30);
+  EXPECT_NEAR(mass(), m0, 1e-10 * m0);
+}
+
+TEST(Porous, ActsAsMomentumSink) {
+  // A porous slab across a periodic channel decelerates the flow; higher
+  // solidity decelerates more.
+  auto momentumAfter = [](Real sigma) {
+    CollisionConfig cfg;
+    cfg.omega = 1.2;
+    Solver<D2Q9> solver(Grid(24, 8, 1), cfg, Periodicity{true, true, true});
+    if (sigma > 0) {
+      const auto p = solver.materials().addPorous(sigma);
+      solver.paint({{10, 0, 0}, {14, 8, 1}}, p);
+    }
+    solver.finalizeMask();
+    solver.initUniform(1.0, {0.05, 0, 0});
+    solver.run(100);
+    Real px = 0;
+    const Grid& g = solver.grid();
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x)
+        for (int i = 0; i < D2Q9::Q; ++i)
+          px += solver.f()(i, x, y, 0) * D2Q9::c[i][0];
+    return px;
+  };
+  const Real free = momentumAfter(0.0);
+  const Real light = momentumAfter(0.1);
+  const Real dense = momentumAfter(0.5);
+  EXPECT_LT(light, free);
+  EXPECT_LT(dense, light);
+  // Strong solidity kills the through-flow almost entirely (the periodic
+  // plug sloshes around zero): well under a tenth of the free momentum.
+  EXPECT_LT(std::abs(dense), 0.1 * free);
+}
+
+TEST(Porous, WakeDeficitBehindADisk) {
+  // Actuator-disk style: a porous strip in a channel leaves a velocity
+  // deficit behind it while bypass flow accelerates around it.
+  const int nx = 48, ny = 24;
+  CollisionConfig cfg;
+  cfg.omega = 1.3;
+  Solver<D2Q9> solver(Grid(nx, ny, 1), cfg, Periodicity{false, true, true});
+  const auto in = solver.materials().addVelocityInlet({0.05, 0, 0});
+  const auto out = solver.materials().addOutflow({-1, 0, 0});
+  solver.paint({{0, 0, 0}, {1, ny, 1}}, in);
+  solver.paint({{nx - 1, 0, 0}, {nx, ny, 1}}, out);
+  const auto disk = solver.materials().addPorous(0.4);
+  solver.paint({{12, 8, 0}, {14, 16, 1}}, disk);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0.05, 0, 0});
+  solver.run(1500);
+
+  const Real wake = solver.velocity(24, 12, 0).x;    // behind the disk
+  const Real bypass = solver.velocity(24, 2, 0).x;   // beside it
+  EXPECT_LT(wake, 0.045);
+  EXPECT_GT(bypass, wake);
+}
+
+TEST(Porous, AllKernelsAgreeBitwise) {
+  using D = D3Q19;
+  const int nx = 12, ny = 10, nz = 4;
+  Grid grid(nx, ny, nz);
+  MaterialTable mats;
+  const auto p = mats.addPorous(0.3);
+  MaskField mask(grid, MaterialTable::kFluid);
+  for (int z = 0; z < nz; ++z)
+    for (int y = 3; y < 7; ++y)
+      for (int x = 4; x < 8; ++x) mask(x, y, z) = p;
+  const Periodicity per{true, true, true};
+  fill_halo_mask(mask, per, MaterialTable::kSolid);
+
+  PopulationField src(grid, D::Q);
+  Real feq[D::Q];
+  for (int z = -1; z <= nz; ++z)
+    for (int y = -1; y <= ny; ++y)
+      for (int x = -1; x <= nx; ++x) {
+        equilibria<D>(1.0 + 0.002 * ((x + y) % 5), {0.03, 0.005 * (z % 2), 0},
+                      feq);
+        for (int i = 0; i < D::Q; ++i) src(i, x, y, z) = feq[i];
+      }
+  apply_periodic(src, per);
+
+  CollisionConfig cfg;
+  cfg.omega = 1.5;
+  PopulationField a(grid, D::Q), b(grid, D::Q), c(grid, D::Q), d(grid, D::Q);
+  stream_collide_fused<D>(src, a, mask, mats, cfg, grid.interior());
+  stream_collide_generic<D>(src, b, mask, mats, cfg, grid.interior());
+  stream_only<D>(src, c, mask, mats, grid.interior());
+  collide_inplace<D>(c, mask, mats, cfg, grid.interior());
+  sw::CpeCluster cluster(sw::MachineSpec::sw26010().cg);
+  sw::SwKernelConfig swCfg;
+  swCfg.collision = cfg;
+  swCfg.chunkX = 12;
+  sw::sw_stream_collide<D>(cluster, src, d, mask, mats, swCfg);
+
+  for (int q = 0; q < D::Q; ++q)
+    for (int z = 0; z < nz; ++z)
+      for (int y = 0; y < ny; ++y)
+        for (int x = 0; x < nx; ++x) {
+          ASSERT_EQ(a(q, x, y, z), b(q, x, y, z)) << "fused vs generic";
+          ASSERT_EQ(a(q, x, y, z), c(q, x, y, z)) << "fused vs two-step";
+          ASSERT_EQ(a(q, x, y, z), d(q, x, y, z)) << "fused vs emulator";
+        }
+}
+
+TEST(Porous, RejectsOutOfRangeSolidity) {
+  MaterialTable mats;
+  EXPECT_THROW(mats.addPorous(-0.1), Error);
+  EXPECT_THROW(mats.addPorous(1.5), Error);
+  EXPECT_NO_THROW(mats.addPorous(1.0));
+}
+
+}  // namespace
+}  // namespace swlb

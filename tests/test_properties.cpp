@@ -1,0 +1,208 @@
+// Property-based sweeps: physical invariants that must hold across the
+// whole parameter grid of (omega, kernel variant, lattice).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <tuple>
+
+#include "core/solver.hpp"
+
+namespace swlb {
+namespace {
+
+// ---------------------------------------------------------- conservation
+
+using SweepParam = std::tuple<double, KernelVariant>;
+
+class ConservationSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ConservationSweep, MassAndMomentumExactOnPeriodicBox) {
+  const auto [omega, variant] = GetParam();
+  CollisionConfig cfg;
+  cfg.omega = omega;
+  Solver<D3Q19> solver(Grid(10, 8, 6), cfg, Periodicity{true, true, true});
+  solver.setVariant(variant);
+  solver.finalizeMask();
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<Real> dist(-0.03, 0.03);
+  // Random-ish smooth initial field (deterministic across variants).
+  solver.initField([&](int x, int y, int z, Real& rho, Vec3& u) {
+    rho = 1.0 + 0.01 * std::sin(0.7 * x + 1.3 * y + 0.4 * z);
+    u = {0.02 * std::sin(0.5 * y), 0.02 * std::cos(0.3 * z),
+         0.01 * std::sin(0.9 * x)};
+    (void)dist;
+    (void)rng;
+  });
+  const Real m0 = solver.totalMass();
+  const Vec3 p0 = solver.totalMomentum();
+  solver.run(15);
+  EXPECT_NEAR(solver.totalMass(), m0, 1e-11 * m0);
+  const Vec3 p1 = solver.totalMomentum();
+  EXPECT_NEAR(p1.x, p0.x, 1e-12);
+  EXPECT_NEAR(p1.y, p0.y, 1e-12);
+  EXPECT_NEAR(p1.z, p0.z, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OmegaByVariant, ConservationSweep,
+    ::testing::Combine(::testing::Values(0.6, 1.0, 1.5, 1.9),
+                       ::testing::Values(KernelVariant::Fused,
+                                         KernelVariant::Generic,
+                                         KernelVariant::TwoStep,
+                                         KernelVariant::Push)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      const double omega = std::get<0>(info.param);
+      const KernelVariant variant = std::get<1>(info.param);
+      std::string v = variant == KernelVariant::Fused     ? "Fused"
+                      : variant == KernelVariant::Generic ? "Generic"
+                      : variant == KernelVariant::TwoStep ? "TwoStep"
+                                                          : "Push";
+      return v + "_omega" + std::to_string(static_cast<int>(omega * 10));
+    });
+
+// --------------------------------------------------------------- symmetry
+
+TEST(Symmetry, MirrorSymmetricStateStaysMirrorSymmetric) {
+  // Initial condition and geometry symmetric under y -> ny-1-y with
+  // u_y -> -u_y: the evolution must preserve the symmetry exactly.
+  const int nx = 12, ny = 10;
+  CollisionConfig cfg;
+  cfg.omega = 1.4;
+  Solver<D2Q9> solver(Grid(nx, ny, 1), cfg, Periodicity{true, false, true});
+  // Symmetric obstacle pair.
+  solver.paint({{5, 2, 0}, {7, 3, 1}}, MaterialTable::kSolid);
+  solver.paint({{5, ny - 3, 0}, {7, ny - 2, 1}}, MaterialTable::kSolid);
+  solver.finalizeMask();
+  solver.initField([&](int x, int y, int, Real& rho, Vec3& u) {
+    rho = 1.0 + 0.005 * std::cos(0.5 * x);
+    const Real yc = y - (ny - 1) / 2.0;
+    u = {0.02 * std::cos(0.4 * x), 0.015 * yc / ny, 0};  // u_y odd in y
+  });
+  solver.run(40);
+
+  for (int y = 0; y < ny; ++y)
+    for (int x = 0; x < nx; ++x) {
+      const int ym = ny - 1 - y;
+      Real rhoA, rhoB;
+      Vec3 uA, uB;
+      cell_macroscopic<D2Q9>(solver.f(), x, y, 0, cfg, rhoA, uA);
+      cell_macroscopic<D2Q9>(solver.f(), x, ym, 0, cfg, rhoB, uB);
+      ASSERT_NEAR(rhoA, rhoB, 1e-13);
+      ASSERT_NEAR(uA.x, uB.x, 1e-13);
+      ASSERT_NEAR(uA.y, -uB.y, 1e-13);
+    }
+}
+
+TEST(Symmetry, QuarterRotationEquivariance2D) {
+  // Rotating the initial state and geometry by 90 degrees must rotate the
+  // solution: run two solvers related by (x,y) -> (y, nx-1-x).
+  const int n = 10;
+  CollisionConfig cfg;
+  cfg.omega = 1.2;
+
+  auto makeSolver = [&](bool rotated) {
+    Solver<D2Q9> s(Grid(n, n, 1), cfg, Periodicity{true, true, true});
+    s.finalizeMask();
+    s.initField([&, rotated](int x, int y, int, Real& rho, Vec3& u) {
+      int ox = x, oy = y;
+      if (rotated) {
+        // Inverse of the +90-degree rotation R(ox, oy) = (n-1-oy, ox).
+        ox = y;
+        oy = n - 1 - x;
+      }
+      rho = 1.0 + 0.004 * std::sin(0.6 * ox + 0.2 * oy);
+      const Vec3 u0{0.02 * std::sin(0.5 * oy), 0.01 * std::cos(0.8 * ox), 0};
+      u = rotated ? Vec3{-u0.y, u0.x, 0} : u0;
+    });
+    return s;
+  };
+
+  Solver<D2Q9> a = makeSolver(false);
+  Solver<D2Q9> b = makeSolver(true);
+  a.run(30);
+  b.run(30);
+
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) {
+      // Cell (x, y) in A maps to (n-1-y, x) in B.
+      const Vec3 uA = a.velocity(x, y, 0);
+      const Vec3 uB = b.velocity(n - 1 - y, x, 0);
+      ASSERT_NEAR(a.density(x, y, 0), b.density(n - 1 - y, x, 0), 1e-13);
+      ASSERT_NEAR(uB.x, -uA.y, 1e-13);
+      ASSERT_NEAR(uB.y, uA.x, 1e-13);
+    }
+}
+
+TEST(Symmetry, TimeReversalOfStreamingOnly) {
+  // Pure streaming is exactly reversible: stream with velocities c_i, then
+  // swap opposite populations, stream again, swap back => original state.
+  using D = D3Q19;
+  Grid g(6, 6, 6);
+  MaskField mask(g, MaterialTable::kFluid);
+  MaterialTable mats;
+  const Periodicity per{true, true, true};
+  fill_halo_mask(mask, per, MaterialTable::kSolid);
+
+  PopulationField f0(g, D::Q), f1(g, D::Q), f2(g, D::Q);
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<Real> dist(0.01, 1.0);
+  for (int q = 0; q < D::Q; ++q)
+    for (int z = 0; z < 6; ++z)
+      for (int y = 0; y < 6; ++y)
+        for (int x = 0; x < 6; ++x) f0(q, x, y, z) = dist(rng);
+
+  apply_periodic(f0, per);
+  stream_only<D>(f0, f1, mask, mats, g.interior());
+  // Reverse: swap opposite pairs.
+  auto reverse = [&](PopulationField& f) {
+    for (int q = 1; q < D::Q; q += 2)
+      for (int z = 0; z < 6; ++z)
+        for (int y = 0; y < 6; ++y)
+          for (int x = 0; x < 6; ++x) std::swap(f(q, x, y, z), f(q + 1, x, y, z));
+  };
+  reverse(f1);
+  apply_periodic(f1, per);
+  stream_only<D>(f1, f2, mask, mats, g.interior());
+  reverse(f2);
+
+  for (int q = 0; q < D::Q; ++q)
+    for (int z = 0; z < 6; ++z)
+      for (int y = 0; y < 6; ++y)
+        for (int x = 0; x < 6; ++x)
+          ASSERT_EQ(f2(q, x, y, z), f0(q, x, y, z));
+}
+
+// ------------------------------------------------------------- stability
+
+class StabilitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StabilitySweep, LidCavityStaysFiniteAcrossOmega) {
+  const double omega = GetParam();
+  const int n = 10;
+  CollisionConfig cfg;
+  cfg.omega = omega;
+  Solver<D3Q19> solver(Grid(n, n, n), cfg);
+  const auto lid = solver.materials().addMovingWall({0.05, 0, 0});
+  solver.paint({{0, 0, n - 1}, {n, n, n}}, lid);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0, 0, 0});
+  solver.run(200);
+  const Real m = solver.totalMass();
+  EXPECT_TRUE(std::isfinite(m));
+  for (int i = 0; i < n; i += 3) {
+    const Vec3 u = solver.velocity(i, n / 2, n / 2);
+    EXPECT_TRUE(std::isfinite(u.x) && std::isfinite(u.y) && std::isfinite(u.z));
+    EXPECT_LT(std::abs(u.x), 1.0);  // sub-lattice-speed
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OmegaGrid, StabilitySweep,
+                         ::testing::Values(0.55, 0.8, 1.0, 1.3, 1.6, 1.9),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "omega" +
+                                  std::to_string(static_cast<int>(info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace swlb

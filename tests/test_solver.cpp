@@ -1,0 +1,178 @@
+// Solver orchestration: masks, A-B pattern, boundary materials, units.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "core/units.hpp"
+
+namespace swlb {
+namespace {
+
+TEST(Solver, DefaultDomainIsClosedBox) {
+  // With no periodicity the halo mask is solid: fluid started moving
+  // toward a wall loses momentum (walls absorb it) but conserves mass.
+  CollisionConfig cfg;
+  cfg.omega = 1.2;
+  Solver<D3Q19> solver(Grid(8, 8, 8), cfg);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0.03, 0, 0});
+  const Real m0 = solver.totalMass();
+  solver.run(50);
+  EXPECT_NEAR(solver.totalMass(), m0, 1e-9 * m0);
+  const Vec3 p = solver.totalMomentum();
+  EXPECT_LT(std::abs(p.x), std::abs(0.03 * m0));
+}
+
+TEST(Solver, UniformStateIsSteadyOnPeriodicBox) {
+  CollisionConfig cfg;
+  cfg.omega = 1.0;
+  Solver<D3Q19> solver(Grid(6, 6, 6), cfg, Periodicity{true, true, true});
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0.02, 0.01, -0.03});
+  solver.run(20);
+  for (int z = 0; z < 6; ++z)
+    for (int y = 0; y < 6; ++y)
+      for (int x = 0; x < 6; ++x) {
+        const Vec3 u = solver.velocity(x, y, z);
+        EXPECT_NEAR(u.x, 0.02, 1e-12);
+        EXPECT_NEAR(u.y, 0.01, 1e-12);
+        EXPECT_NEAR(u.z, -0.03, 1e-12);
+        EXPECT_NEAR(solver.density(x, y, z), 1.0, 1e-12);
+      }
+}
+
+TEST(Solver, PaintClipsToInterior) {
+  CollisionConfig cfg;
+  Solver<D3Q19> solver(Grid(4, 4, 4), cfg);
+  solver.paint({{-10, -10, -10}, {100, 100, 2}}, MaterialTable::kSolid);
+  int solids = 0;
+  for (int z = 0; z < 4; ++z)
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 4; ++x)
+        if (solver.mask()(x, y, z) == MaterialTable::kSolid) ++solids;
+  EXPECT_EQ(solids, 4 * 4 * 2);
+}
+
+TEST(Solver, ParityAlternatesEachStep) {
+  CollisionConfig cfg;
+  Solver<D2Q9> solver(Grid(4, 4, 1), cfg, Periodicity{true, true, true});
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0, 0, 0});
+  EXPECT_EQ(solver.parity(), 0);
+  solver.step();
+  EXPECT_EQ(solver.parity(), 1);
+  solver.step();
+  EXPECT_EQ(solver.parity(), 0);
+  EXPECT_EQ(solver.stepsDone(), 2u);
+}
+
+TEST(Solver, VelocityInletImposesEquilibrium) {
+  CollisionConfig cfg;
+  cfg.omega = 1.0;
+  Solver<D3Q19> solver(Grid(8, 4, 4), cfg);
+  const Vec3 uin{0.05, 0, 0};
+  const auto inlet = solver.materials().addVelocityInlet(uin);
+  const auto outlet = solver.materials().addOutflow({-1, 0, 0});
+  solver.paint({{0, 0, 0}, {1, 4, 4}}, inlet);
+  solver.paint({{7, 0, 0}, {8, 4, 4}}, outlet);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0, 0, 0});
+  solver.run(200);
+
+  // Inlet cells hold exactly the prescribed equilibrium.
+  const Vec3 u = solver.velocity(0, 1, 1);
+  EXPECT_NEAR(u.x, uin.x, 1e-12);
+  // Downstream fluid is dragged forward.
+  EXPECT_GT(solver.velocity(4, 1, 1).x, 0.0);
+}
+
+TEST(Solver, OutflowTracksUpstreamNeighbour) {
+  CollisionConfig cfg;
+  cfg.omega = 1.0;
+  Solver<D3Q19> solver(Grid(8, 4, 4), cfg, Periodicity{false, true, true});
+  const auto inlet = solver.materials().addVelocityInlet({0.04, 0, 0});
+  const auto outlet = solver.materials().addOutflow({-1, 0, 0});
+  solver.paint({{0, 0, 0}, {1, 4, 4}}, inlet);
+  solver.paint({{7, 0, 0}, {8, 4, 4}}, outlet);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0.04, 0, 0});
+  solver.run(300);
+  // Steady plug flow: outflow plane matches its upstream neighbour closely.
+  const Real uOut = solver.velocity(7, 2, 2).x;
+  const Real uUp = solver.velocity(6, 2, 2).x;
+  EXPECT_NEAR(uOut, uUp, 5e-3);
+  EXPECT_GT(uOut, 0.02);
+}
+
+TEST(Solver, MovingWallDragsFluid) {
+  CollisionConfig cfg;
+  cfg.omega = 1.0;
+  Solver<D2Q9> solver(Grid(8, 8, 1), cfg, Periodicity{true, false, true});
+  const auto lid = solver.materials().addMovingWall({0.05, 0, 0});
+  solver.paint({{0, 7, 0}, {8, 8, 1}}, lid);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0, 0, 0});
+  solver.run(400);
+  EXPECT_GT(solver.velocity(4, 6, 0).x, 0.01);
+  EXPECT_GT(solver.velocity(4, 6, 0).x, solver.velocity(4, 1, 0).x);
+}
+
+TEST(Solver, RunMeasuredReportsPositiveMlups) {
+  CollisionConfig cfg;
+  Solver<D3Q19> solver(Grid(12, 12, 12), cfg, Periodicity{true, true, true});
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0.01, 0, 0});
+  EXPECT_GT(solver.runMeasured(5), 0.0);
+}
+
+TEST(MaterialTableTest, BuiltinsAndLimits) {
+  MaterialTable t;
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[MaterialTable::kFluid].cls, CellClass::Fluid);
+  EXPECT_EQ(t[MaterialTable::kSolid].cls, CellClass::Solid);
+  const auto id = t.addVelocityInlet({0.1, 0, 0}, 1.05);
+  EXPECT_EQ(t[id].cls, CellClass::VelocityInlet);
+  EXPECT_EQ(t[id].rho, 1.05);
+}
+
+TEST(MaterialTableTest, RejectsOverflow) {
+  MaterialTable t;
+  for (int i = 0; i < 253; ++i) t.add(Material{});
+  EXPECT_THROW(t.add(Material{}), Error);
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, DerivedQuantitiesAreConsistent) {
+  // L = 1 m, U = 1 m/s, nu = 1e-3 -> Re = 1000.
+  UnitConverter uc(1.0, 1.0, 1e-3, 1000.0, 100, 0.05);
+  EXPECT_NEAR(uc.reynolds(), 1e3, 1e-9);
+  EXPECT_NEAR(uc.dx(), 0.01, 1e-12);
+  EXPECT_NEAR(uc.dt(), 0.05 * 0.01, 1e-12);
+  EXPECT_GT(uc.tau(), 0.5);
+  // Round trips.
+  EXPECT_NEAR(uc.toPhysVelocity(uc.toLatticeVelocity(0.7)), 0.7, 1e-12);
+  EXPECT_NEAR(uc.toPhysLength(uc.toLatticeLength(0.3)), 0.3, 1e-12);
+  EXPECT_NEAR(uc.toPhysTime(uc.toLatticeTime(2.5)), 2.5, 1e-12);
+}
+
+TEST(Units, LatticeViscosityMatchesReynolds) {
+  UnitConverter uc(2.0, 3.0, 1.5e-3, 1.2, 64, 0.08);
+  // Re in lattice units must equal the physical Reynolds number.
+  const Real reLat = uc.latticeVelocity() * uc.resolution() / uc.latticeViscosity();
+  EXPECT_NEAR(reLat, uc.reynolds(), 1e-6 * uc.reynolds());
+}
+
+TEST(Units, RejectsUnstableAndInvalidSetups) {
+  EXPECT_THROW(UnitConverter(1, 1, 1e-9, 1000, 4, 0.01), Error);  // tau ~ 0.5
+  EXPECT_THROW(UnitConverter(-1, 1, 1e-6, 1000, 10, 0.05), Error);
+  EXPECT_THROW(UnitConverter(1, 1, 1e-6, 1000, 10, -0.05), Error);
+}
+
+TEST(Units, PressureConversionIsGaugeAtRest) {
+  UnitConverter uc(1.0, 1.0, 1e-3, 1000.0, 50, 0.05);
+  EXPECT_NEAR(uc.toPhysPressure(1.0), 0.0, 1e-12);
+  EXPECT_GT(uc.toPhysPressure(1.01), 0.0);
+}
+
+}  // namespace
+}  // namespace swlb

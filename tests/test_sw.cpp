@@ -1,0 +1,214 @@
+// Sunway substrate emulator: LDM arena, metered DMA, register/RMA
+// fabrics, CPE cluster.
+#include <gtest/gtest.h>
+
+#include "sw/cpe.hpp"
+
+namespace swlb::sw {
+namespace {
+
+// ---------------------------------------------------------------------- LDM
+
+TEST(LdmTest, AllocatesWithinCapacity) {
+  Ldm ldm(1024);
+  auto a = ldm.alloc<Real>(64, "a");  // 512 B
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_EQ(ldm.used(), 512u);
+  auto b = ldm.alloc<std::uint8_t>(512, "b");
+  EXPECT_EQ(b.size(), 512u);
+  EXPECT_EQ(ldm.freeBytes(), 0u);
+}
+
+TEST(LdmTest, OverflowIsAHardError) {
+  Ldm ldm(64 * 1024);  // one SW26010 CPE
+  EXPECT_THROW(ldm.alloc<Real>(64 * 1024 / 8 + 1, "too big"), Error);
+  // A D3Q19 row plan that fits on SW26010-Pro but not on SW26010:
+  Ldm pro(256 * 1024);
+  EXPECT_NO_THROW(pro.alloc<Real>(3 * 3 * 19 * 130, "pro window"));
+  Ldm light(64 * 1024);
+  EXPECT_THROW(light.alloc<Real>(3 * 3 * 19 * 130, "light window"), Error);
+}
+
+TEST(LdmTest, ResetReclaimsEverythingAndTracksHighWater) {
+  Ldm ldm(1000);
+  ldm.alloc<std::uint8_t>(900, "x");
+  ldm.reset();
+  EXPECT_EQ(ldm.used(), 0u);
+  EXPECT_EQ(ldm.highWater(), 900u);
+  auto y = ldm.alloc<std::uint8_t>(1000, "y");
+  EXPECT_EQ(y.size(), 1000u);
+  EXPECT_EQ(ldm.highWater(), 1000u);
+}
+
+TEST(LdmTest, RespectsAlignment) {
+  Ldm ldm(1024);
+  ldm.alloc<std::uint8_t>(3, "odd");
+  auto d = ldm.alloc<double>(4, "aligned");
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+}
+
+// ---------------------------------------------------------------------- DMA
+
+TEST(DmaTest, GetPutMoveDataAndMeter) {
+  DmaModel model{32.0 * (1ull << 30), 1e-7};
+  DmaEngine dma(model);
+  std::vector<Real> mem(100, 7.5);
+  Ldm ldm(8192);
+  auto buf = ldm.alloc<Real>(100, "buf");
+  dma.get(mem.data(), buf);
+  EXPECT_EQ(buf[99], 7.5);
+  for (auto& v : buf) v = 2.0;
+  dma.put(mem.data(), std::span<const Real>(buf.data(), buf.size()));
+  EXPECT_EQ(mem[0], 2.0);
+  EXPECT_EQ(dma.stats().getTransactions, 1u);
+  EXPECT_EQ(dma.stats().putTransactions, 1u);
+  EXPECT_EQ(dma.stats().bytes(), 2 * 100 * sizeof(Real));
+}
+
+TEST(DmaTest, StridedTransfersCostOneTransactionPerRow) {
+  DmaEngine dma(DmaModel{1e9, 1e-7});
+  std::vector<Real> mem(1000);
+  for (int i = 0; i < 1000; ++i) mem[static_cast<std::size_t>(i)] = i;
+  Ldm ldm(8192);
+  auto buf = ldm.alloc<Real>(40, "tile");
+  dma.getStrided(mem.data(), /*stride=*/100, /*rows=*/4, /*rowElems=*/10, buf);
+  EXPECT_EQ(dma.stats().getTransactions, 4u);
+  EXPECT_EQ(buf[10], 100.0);  // second row starts at mem[100]
+  EXPECT_EQ(buf[39], 309.0);
+}
+
+TEST(DmaTest, SmallTransfersWasteBandwidth) {
+  // The latency/bandwidth model is what punishes AoS/per-cell access
+  // (paper §III-C): 8-byte transfers see a tiny effective bandwidth.
+  DmaModel model{32.0 * (1ull << 30), 1e-7};
+  EXPECT_LT(model.effectiveBandwidth(8), 0.01 * model.peakBandwidth);
+  EXPECT_GT(model.effectiveBandwidth(1 << 20), 0.9 * model.peakBandwidth);
+  // Monotone in transfer size.
+  double prev = 0;
+  for (std::size_t b = 8; b <= (1u << 22); b *= 2) {
+    const double bw = model.effectiveBandwidth(b);
+    EXPECT_GT(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(DmaTest, ModeledSecondsMatchClosedForm) {
+  DmaModel model{1e9, 1e-6};
+  DmaEngine dma(model);
+  std::vector<Real> mem(125);
+  Ldm ldm(8192);
+  auto buf = ldm.alloc<Real>(125, "b");
+  dma.get(mem.data(), buf);
+  dma.get(mem.data(), buf);
+  EXPECT_NEAR(dma.modeledSeconds(), 2 * 1e-6 + 2 * 1000.0 / 1e9, 1e-12);
+}
+
+// ------------------------------------------------------------------ fabrics
+
+TEST(RegComm, TopologyIsRowOrColumnOnly) {
+  RegCommFabric f(8, 8);
+  EXPECT_TRUE(f.reachable(0, 7));    // same row
+  EXPECT_TRUE(f.reachable(0, 56));   // same column
+  EXPECT_TRUE(f.reachable(9, 9));    // itself
+  EXPECT_FALSE(f.reachable(7, 8));   // row 0 col 7 vs row 1 col 0
+  EXPECT_FALSE(f.reachable(0, 9));   // diagonal
+}
+
+TEST(RegComm, TransferCopiesAndMetersPackets) {
+  RegCommFabric f(8, 8);
+  std::vector<Real> in(10, 3.0), out(10, 0.0);
+  f.transfer(1, 2, in, out);
+  EXPECT_EQ(out[9], 3.0);
+  EXPECT_EQ(f.stats().bytes, 80u);
+  EXPECT_EQ(f.stats().packets, (80u + 31) / 32);  // 256-bit packets
+}
+
+TEST(RegComm, OffBusTransferThrows) {
+  RegCommFabric f(8, 8);
+  std::vector<Real> in(4), out(4);
+  EXPECT_THROW(f.transfer(0, 9, in, out), Error);
+}
+
+TEST(Rma, AnyPairReachableAndMetered) {
+  RmaFabric f(8, 8);
+  std::vector<Real> in(6, -1.5), out(6, 0.0);
+  f.put(0, 9, in, out);  // diagonal pair: fine on SW26010-Pro
+  EXPECT_EQ(out[5], -1.5);
+  EXPECT_EQ(f.stats().bytes, 48u);
+  std::vector<Real> got(6, 0.0);
+  f.get(63, 0, in, got);
+  EXPECT_EQ(got[0], -1.5);
+}
+
+// ------------------------------------------------------------------ cluster
+
+TEST(CpeClusterTest, SpansAll64CpesWithMeshCoordinates) {
+  CpeCluster cluster(MachineSpec::sw26010().cg);
+  int visits = 0;
+  cluster.run([&](CpeContext& ctx) {
+    EXPECT_EQ(ctx.id, ctx.row * 8 + ctx.col);
+    EXPECT_EQ(ctx.count, 64);
+    EXPECT_NE(ctx.ldm, nullptr);
+    EXPECT_NE(ctx.dma, nullptr);
+    EXPECT_NE(ctx.reg, nullptr);   // SW26010 has register communication
+    EXPECT_EQ(ctx.rma, nullptr);   // ... but no RMA
+    ++visits;
+  });
+  EXPECT_EQ(visits, 64);
+}
+
+TEST(CpeClusterTest, ProExposesRmaInsteadOfRegComm) {
+  CpeCluster cluster(MachineSpec::sw26010pro().cg);
+  cluster.run([&](CpeContext& ctx) {
+    EXPECT_EQ(ctx.reg, nullptr);
+    EXPECT_NE(ctx.rma, nullptr);
+    EXPECT_EQ(ctx.ldm->capacity(), 256u * 1024);
+  });
+}
+
+TEST(CpeClusterTest, AggregatesDmaAcrossCpes) {
+  CpeCluster cluster(MachineSpec::sw26010().cg);
+  std::vector<Real> mem(64);
+  cluster.run([&](CpeContext& ctx) {
+    auto buf = ctx.ldm->alloc<Real>(1, "v");
+    ctx.dma->get(mem.data() + ctx.id, buf);
+  });
+  EXPECT_EQ(cluster.dmaTotal().getTransactions, 64u);
+  EXPECT_EQ(cluster.dmaTotal().getBytes, 64 * sizeof(Real));
+  EXPECT_GT(cluster.dmaModeledSeconds(), 64 * 1e-7 * 0.99);
+  cluster.resetStats();
+  EXPECT_EQ(cluster.dmaTotal().transactions(), 0u);
+}
+
+TEST(CpeClusterTest, LdmResetBetweenRunsAndHighWaterKept) {
+  CpeCluster cluster(MachineSpec::sw26010().cg);
+  cluster.run([&](CpeContext& ctx) { ctx.ldm->alloc<Real>(1000, "big"); });
+  cluster.run([&](CpeContext& ctx) { EXPECT_EQ(ctx.ldm->used(), 0u); });
+  EXPECT_EQ(cluster.ldmHighWater(), 8000u);
+}
+
+// --------------------------------------------------------------------- spec
+
+TEST(SpecTest, PaperHeadlineNumbers) {
+  const MachineSpec tl = MachineSpec::sw26010();
+  // SW26010: 4 CGs, 64 CPEs each, 64 KB LDM, 32 GB/s DMA per CG.
+  EXPECT_EQ(tl.coreGroupsPerProcessor, 4);
+  EXPECT_EQ(tl.cg.cpeCount(), 64);
+  EXPECT_EQ(tl.cg.ldmBytes, 64u * 1024);
+  EXPECT_NEAR(tl.cg.dma.peakBandwidth, 32.0 * (1ull << 30), 1);
+  // ~3.06 TFlops per processor (paper §III-B).
+  EXPECT_NEAR(tl.processorPeakFlops(), 3.06e12, 0.1e12);
+
+  const MachineSpec pro = MachineSpec::sw26010pro();
+  EXPECT_EQ(pro.coreGroupsPerProcessor, 6);
+  EXPECT_EQ(pro.cg.ldmBytes, 256u * 1024);
+  // 307.2 GB/s aggregate = 51.2 GB/s per CG.
+  EXPECT_NEAR(pro.cg.dma.peakBandwidth * 6, 307.2e9, 1e6);
+  // ~14 TFlops per processor at FP64.
+  EXPECT_NEAR(pro.processorPeakFlops(), 14.03e12, 0.3e12);
+  EXPECT_TRUE(pro.cg.hasRma);
+  EXPECT_FALSE(pro.cg.hasRegisterComm);
+}
+
+}  // namespace
+}  // namespace swlb::sw
