@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_blocking_sweep"
+  "../bench/bench_blocking_sweep.pdb"
+  "CMakeFiles/bench_blocking_sweep.dir/bench_blocking_sweep.cpp.o"
+  "CMakeFiles/bench_blocking_sweep.dir/bench_blocking_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocking_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

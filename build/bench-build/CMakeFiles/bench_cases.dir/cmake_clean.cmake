@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cases"
+  "../bench/bench_cases.pdb"
+  "CMakeFiles/bench_cases.dir/bench_cases.cpp.o"
+  "CMakeFiles/bench_cases.dir/bench_cases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_collision_ops"
+  "../bench/bench_collision_ops.pdb"
+  "CMakeFiles/bench_collision_ops.dir/bench_collision_ops.cpp.o"
+  "CMakeFiles/bench_collision_ops.dir/bench_collision_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collision_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

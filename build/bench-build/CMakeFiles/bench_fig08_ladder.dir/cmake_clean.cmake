@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_ladder"
+  "../bench/bench_fig08_ladder.pdb"
+  "CMakeFiles/bench_fig08_ladder.dir/bench_fig08_ladder.cpp.o"
+  "CMakeFiles/bench_fig08_ladder.dir/bench_fig08_ladder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

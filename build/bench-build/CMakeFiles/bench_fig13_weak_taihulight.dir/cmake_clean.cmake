@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_weak_taihulight"
+  "../bench/bench_fig13_weak_taihulight.pdb"
+  "CMakeFiles/bench_fig13_weak_taihulight.dir/bench_fig13_weak_taihulight.cpp.o"
+  "CMakeFiles/bench_fig13_weak_taihulight.dir/bench_fig13_weak_taihulight.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_weak_taihulight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_weak_newsw"
+  "../bench/bench_fig15_weak_newsw.pdb"
+  "CMakeFiles/bench_fig15_weak_newsw.dir/bench_fig15_weak_newsw.cpp.o"
+  "CMakeFiles/bench_fig15_weak_newsw.dir/bench_fig15_weak_newsw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_weak_newsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

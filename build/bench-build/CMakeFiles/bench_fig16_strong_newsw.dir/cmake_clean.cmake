@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_strong_newsw"
+  "../bench/bench_fig16_strong_newsw.pdb"
+  "CMakeFiles/bench_fig16_strong_newsw.dir/bench_fig16_strong_newsw.cpp.o"
+  "CMakeFiles/bench_fig16_strong_newsw.dir/bench_fig16_strong_newsw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_strong_newsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

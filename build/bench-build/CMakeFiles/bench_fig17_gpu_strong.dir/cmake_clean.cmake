@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_gpu_strong"
+  "../bench/bench_fig17_gpu_strong.pdb"
+  "CMakeFiles/bench_fig17_gpu_strong.dir/bench_fig17_gpu_strong.cpp.o"
+  "CMakeFiles/bench_fig17_gpu_strong.dir/bench_fig17_gpu_strong.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_gpu_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_halo_overlap"
+  "../bench/bench_halo_overlap.pdb"
+  "CMakeFiles/bench_halo_overlap.dir/bench_halo_overlap.cpp.o"
+  "CMakeFiles/bench_halo_overlap.dir/bench_halo_overlap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_halo_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

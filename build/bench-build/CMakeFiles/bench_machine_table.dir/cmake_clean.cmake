@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_machine_table"
+  "../bench/bench_machine_table.pdb"
+  "CMakeFiles/bench_machine_table.dir/bench_machine_table.cpp.o"
+  "CMakeFiles/bench_machine_table.dir/bench_machine_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_machine_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

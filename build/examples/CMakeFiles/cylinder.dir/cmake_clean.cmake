@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cylinder.dir/cylinder.cpp.o"
+  "CMakeFiles/cylinder.dir/cylinder.cpp.o.d"
+  "cylinder"
+  "cylinder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cylinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

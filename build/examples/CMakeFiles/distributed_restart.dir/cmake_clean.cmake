@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_restart.dir/distributed_restart.cpp.o"
+  "CMakeFiles/distributed_restart.dir/distributed_restart.cpp.o.d"
+  "distributed_restart"
+  "distributed_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suboff.dir/suboff.cpp.o"
+  "CMakeFiles/suboff.dir/suboff.cpp.o.d"
+  "suboff"
+  "suboff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suboff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunway_emulated.dir/sunway_emulated.cpp.o"
+  "CMakeFiles/sunway_emulated.dir/sunway_emulated.cpp.o.d"
+  "sunway_emulated"
+  "sunway_emulated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunway_emulated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sunway_emulated.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sunway_emulated.
+# This may be replaced when dependencies are built.

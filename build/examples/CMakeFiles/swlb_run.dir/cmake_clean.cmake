@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swlb_run.dir/swlb_run.cpp.o"
+  "CMakeFiles/swlb_run.dir/swlb_run.cpp.o.d"
+  "swlb_run"
+  "swlb_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swlb_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

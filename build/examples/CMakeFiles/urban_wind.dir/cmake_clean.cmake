@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urban_wind.dir/urban_wind.cpp.o"
+  "CMakeFiles/urban_wind.dir/urban_wind.cpp.o.d"
+  "urban_wind"
+  "urban_wind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urban_wind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

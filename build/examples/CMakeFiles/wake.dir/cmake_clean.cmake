@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wake.dir/wake.cpp.o"
+  "CMakeFiles/wake.dir/wake.cpp.o.d"
+  "wake"
+  "wake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

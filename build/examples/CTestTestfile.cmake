@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "24" "300")
+set_tests_properties(example_quickstart PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;24;swlb_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cylinder "/root/repo/build/examples/cylinder" "12" "6000")
+set_tests_properties(example_cylinder PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;25;swlb_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_suboff "/root/repo/build/examples/suboff" "48" "250")
+set_tests_properties(example_suboff PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;26;swlb_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_urban_wind "/root/repo/build/examples/urban_wind" "60" "150")
+set_tests_properties(example_urban_wind PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;27;swlb_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distributed_restart "/root/repo/build/examples/distributed_restart" "16" "80")
+set_tests_properties(example_distributed_restart PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;28;swlb_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sunway_emulated "/root/repo/build/examples/sunway_emulated" "32" "32" "8")
+set_tests_properties(example_sunway_emulated PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;29;swlb_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wake "/root/repo/build/examples/wake" "30" "1200")
+set_tests_properties(example_wake PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;30;swlb_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_swlb_run "/root/repo/build/examples/swlb_run" "--demo")
+set_tests_properties(example_swlb_run PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/cases.cpp" "src/CMakeFiles/swlb.dir/app/cases.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/app/cases.cpp.o.d"
+  "/root/repo/src/app/config.cpp" "src/CMakeFiles/swlb.dir/app/config.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/app/config.cpp.o.d"
+  "/root/repo/src/core/collision_ops.cpp" "src/CMakeFiles/swlb.dir/core/collision_ops.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/core/collision_ops.cpp.o.d"
+  "/root/repo/src/core/derived_fields.cpp" "src/CMakeFiles/swlb.dir/core/derived_fields.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/core/derived_fields.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/CMakeFiles/swlb.dir/core/kernels.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/core/kernels.cpp.o.d"
+  "/root/repo/src/core/observables.cpp" "src/CMakeFiles/swlb.dir/core/observables.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/core/observables.cpp.o.d"
+  "/root/repo/src/io/checkpoint.cpp" "src/CMakeFiles/swlb.dir/io/checkpoint.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/io/checkpoint.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/swlb.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/ppm.cpp" "src/CMakeFiles/swlb.dir/io/ppm.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/io/ppm.cpp.o.d"
+  "/root/repo/src/io/vtk.cpp" "src/CMakeFiles/swlb.dir/io/vtk.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/io/vtk.cpp.o.d"
+  "/root/repo/src/mesh/geometry.cpp" "src/CMakeFiles/swlb.dir/mesh/geometry.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/mesh/geometry.cpp.o.d"
+  "/root/repo/src/mesh/stl.cpp" "src/CMakeFiles/swlb.dir/mesh/stl.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/mesh/stl.cpp.o.d"
+  "/root/repo/src/mesh/terrain.cpp" "src/CMakeFiles/swlb.dir/mesh/terrain.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/mesh/terrain.cpp.o.d"
+  "/root/repo/src/mesh/urban.cpp" "src/CMakeFiles/swlb.dir/mesh/urban.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/mesh/urban.cpp.o.d"
+  "/root/repo/src/mesh/voxelizer.cpp" "src/CMakeFiles/swlb.dir/mesh/voxelizer.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/mesh/voxelizer.cpp.o.d"
+  "/root/repo/src/perf/gpu_model.cpp" "src/CMakeFiles/swlb.dir/perf/gpu_model.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/perf/gpu_model.cpp.o.d"
+  "/root/repo/src/perf/ladder.cpp" "src/CMakeFiles/swlb.dir/perf/ladder.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/perf/ladder.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/CMakeFiles/swlb.dir/perf/report.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/perf/report.cpp.o.d"
+  "/root/repo/src/perf/scaling.cpp" "src/CMakeFiles/swlb.dir/perf/scaling.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/perf/scaling.cpp.o.d"
+  "/root/repo/src/runtime/comm.cpp" "src/CMakeFiles/swlb.dir/runtime/comm.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/runtime/comm.cpp.o.d"
+  "/root/repo/src/runtime/decomposition.cpp" "src/CMakeFiles/swlb.dir/runtime/decomposition.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/runtime/decomposition.cpp.o.d"
+  "/root/repo/src/runtime/halo.cpp" "src/CMakeFiles/swlb.dir/runtime/halo.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/runtime/halo.cpp.o.d"
+  "/root/repo/src/sw/cpe.cpp" "src/CMakeFiles/swlb.dir/sw/cpe.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/sw/cpe.cpp.o.d"
+  "/root/repo/src/sw/sw_kernels.cpp" "src/CMakeFiles/swlb.dir/sw/sw_kernels.cpp.o" "gcc" "src/CMakeFiles/swlb.dir/sw/sw_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cavity_ghia.dir/test_cavity_ghia.cpp.o"
+  "CMakeFiles/test_cavity_ghia.dir/test_cavity_ghia.cpp.o.d"
+  "test_cavity_ghia"
+  "test_cavity_ghia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cavity_ghia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cavity_ghia.
+# This may be replaced when dependencies are built.

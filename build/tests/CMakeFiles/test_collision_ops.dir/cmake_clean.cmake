@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collision_ops.dir/test_collision_ops.cpp.o"
+  "CMakeFiles/test_collision_ops.dir/test_collision_ops.cpp.o.d"
+  "test_collision_ops"
+  "test_collision_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collision_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

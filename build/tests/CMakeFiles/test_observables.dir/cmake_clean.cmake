@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observables.dir/test_observables.cpp.o"
+  "CMakeFiles/test_observables.dir/test_observables.cpp.o.d"
+  "test_observables"
+  "test_observables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

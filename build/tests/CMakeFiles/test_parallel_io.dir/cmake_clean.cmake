@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_io.dir/test_parallel_io.cpp.o"
+  "CMakeFiles/test_parallel_io.dir/test_parallel_io.cpp.o.d"
+  "test_parallel_io"
+  "test_parallel_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

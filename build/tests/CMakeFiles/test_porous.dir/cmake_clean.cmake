@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_porous.dir/test_porous.cpp.o"
+  "CMakeFiles/test_porous.dir/test_porous.cpp.o.d"
+  "test_porous"
+  "test_porous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_porous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sponge_profiler.dir/test_sponge_profiler.cpp.o"
+  "CMakeFiles/test_sponge_profiler.dir/test_sponge_profiler.cpp.o.d"
+  "test_sponge_profiler"
+  "test_sponge_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sponge_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zouhe.dir/test_zouhe.cpp.o"
+  "CMakeFiles/test_zouhe.dir/test_zouhe.cpp.o.d"
+  "test_zouhe"
+  "test_zouhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zouhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
