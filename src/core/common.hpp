@@ -22,6 +22,18 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// FNV-1a 64-bit hash: integrity checksum for checkpoint payloads and
+/// verified messages (shared by the io and runtime layers).
+inline std::uint64_t fnv1a_hash(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 #define SWLB_ASSERT(cond) assert(cond)
 
 /// Integer 3-vector (grid coordinates, lattice velocities).

@@ -1,7 +1,13 @@
 #include "io/checkpoint.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace swlb::io {
 
@@ -43,37 +49,65 @@ CheckpointMeta toMeta(const Header& h) {
 }  // namespace
 
 std::uint64_t fnv1a(const void* data, std::size_t bytes) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  std::uint64_t h = 14695981039346656037ull;
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
+  return fnv1a_hash(data, bytes);
 }
+
+namespace {
+
+/// Best-effort durability barrier: flush the file's data to storage so a
+/// crash after the rename cannot leave a committed-but-empty checkpoint.
+void syncToDisk(const std::string& path) {
+#ifdef __unix__
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
 
 void save_checkpoint(const std::string& path, const PopulationField& f,
                      std::uint64_t steps, int parity) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw Error("checkpoint: cannot open '" + path + "' for writing");
+  // Atomic commit: write the full payload to <path>.tmp, flush it, then
+  // rename over the destination.  A crash at any point leaves either the
+  // previous checkpoint intact or a stale .tmp that load ignores — never a
+  // torn file at the committed path.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw Error("checkpoint: cannot open '" + tmp + "' for writing");
 
-  Header h{};
-  std::memcpy(h.magic, kMagic, sizeof(kMagic));
-  h.version = kCheckpointVersion;
-  h.nx = f.grid().nx;
-  h.ny = f.grid().ny;
-  h.nz = f.grid().nz;
-  h.halo = f.grid().halo;
-  h.q = f.q();
-  h.parity = parity;
-  h.steps = steps;
-  h.payloadBytes = f.bytes();
-  h.checksum = fnv1a(f.data(), f.bytes());
+    Header h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.version = kCheckpointVersion;
+    h.nx = f.grid().nx;
+    h.ny = f.grid().ny;
+    h.nz = f.grid().nz;
+    h.halo = f.grid().halo;
+    h.q = f.q();
+    h.parity = parity;
+    h.steps = steps;
+    h.payloadBytes = f.bytes();
+    h.checksum = fnv1a(f.data(), f.bytes());
 
-  os.write(reinterpret_cast<const char*>(&h), sizeof(h));
-  os.write(reinterpret_cast<const char*>(f.data()),
-           static_cast<std::streamsize>(f.bytes()));
-  if (!os) throw Error("checkpoint: write failed for '" + path + "'");
+    os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    os.write(reinterpret_cast<const char*>(f.data()),
+             static_cast<std::streamsize>(f.bytes()));
+    os.flush();
+    if (!os) {
+      std::remove(tmp.c_str());
+      throw Error("checkpoint: write failed for '" + tmp + "'");
+    }
+  }
+  syncToDisk(tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("checkpoint: cannot rename '" + tmp + "' to '" + path + "'");
+  }
 }
 
 CheckpointMeta read_checkpoint_meta(const std::string& path) {

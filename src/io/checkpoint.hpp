@@ -22,7 +22,9 @@ struct CheckpointMeta {
 
 inline constexpr std::uint32_t kCheckpointVersion = 1;
 
-/// Save the population field plus solver step state.
+/// Save the population field plus solver step state.  The write is atomic:
+/// data goes to `<path>.tmp` (flushed/fsynced) and is renamed into place,
+/// so a crash mid-save never corrupts an existing checkpoint at `path`.
 void save_checkpoint(const std::string& path, const PopulationField& f,
                      std::uint64_t steps, int parity);
 
@@ -48,7 +50,8 @@ void load_checkpoint(const std::string& path, Solver<D>& solver) {
   load_checkpoint(path, solver.f());
 }
 
-/// FNV-1a 64-bit hash used for the payload checksum.
+/// FNV-1a 64-bit hash used for the payload checksum (delegates to
+/// swlb::fnv1a_hash, shared with the runtime's checksummed messaging).
 std::uint64_t fnv1a(const void* data, std::size_t bytes);
 
 }  // namespace swlb::io

@@ -3,8 +3,10 @@
 // for long campaigns (§IV-B).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <string>
 
 #include "io/checkpoint.hpp"
@@ -20,14 +22,58 @@ struct CheckpointPolicy {
 /// maybeSave(solver) once per step (cheap when not due).
 class CheckpointController {
  public:
-  CheckpointController(std::string prefix, const CheckpointPolicy& policy)
+  /// With discoverExisting the controller scans the prefix's directory for
+  /// retained `<prefix>.step*.ckpt` files, so restoreLatest works after a
+  /// real process restart (not just within one process).
+  CheckpointController(std::string prefix, const CheckpointPolicy& policy,
+                       bool discoverExisting = false)
       : prefix_(std::move(prefix)), policy_(policy) {
     if (policy_.interval == 0) throw Error("CheckpointPolicy: interval must be > 0");
     if (policy_.keep < 1) throw Error("CheckpointPolicy: keep must be >= 1");
+    if (discoverExisting) scanExisting();
   }
 
   std::string pathFor(std::uint64_t step) const {
     return prefix_ + ".step" + std::to_string(step) + ".ckpt";
+  }
+
+  /// Rediscover `<prefix>.step*.ckpt` files on disk: files with unreadable
+  /// or mismatched headers are skipped, survivors replace the in-memory
+  /// retained list (oldest beyond the keep policy are deleted, as a save
+  /// would).  Returns how many checkpoints are retained afterwards.
+  std::size_t scanExisting() {
+    namespace fs = std::filesystem;
+    const fs::path full(prefix_);
+    const fs::path dir =
+        full.has_parent_path() ? full.parent_path() : fs::path(".");
+    const std::string base = full.filename().string() + ".step";
+    std::deque<std::uint64_t> found;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() <= base.size() + 5 || name.rfind(base, 0) != 0 ||
+          name.substr(name.size() - 5) != ".ckpt")
+        continue;
+      const std::string digits =
+          name.substr(base.size(), name.size() - base.size() - 5);
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos)
+        continue;
+      const std::uint64_t step = std::stoull(digits);
+      try {
+        if (read_checkpoint_meta(pathFor(step)).steps != step) continue;
+      } catch (const Error&) {
+        continue;  // truncated/corrupt header: not restorable
+      }
+      found.push_back(step);
+    }
+    std::sort(found.begin(), found.end());
+    saved_ = std::move(found);
+    while (static_cast<int>(saved_.size()) > policy_.keep) {
+      std::remove(pathFor(saved_.front()).c_str());
+      saved_.pop_front();
+    }
+    return saved_.size();
   }
 
   /// Save when the solver's step count hits a multiple of the interval.

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <exception>
+#include <map>
 #include <thread>
+#include <tuple>
 
 namespace swlb::runtime {
 
@@ -15,7 +18,32 @@ namespace {
 /// tags must be non-negative; these never collide.
 constexpr int kGatherTag = -2;
 constexpr int kBcastTag = -3;
+
+constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+Clock::time_point deadlineFrom(double timeoutSec) {
+  if (timeoutSec <= 0) return kNoDeadline;
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(timeoutSec));
+}
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
 }  // namespace
+
+double fault_roll(std::uint64_t seed, int src, int dst, int tag, std::uint64_t n) {
+  std::uint64_t h = splitmix64(seed);
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) |
+                      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 32)));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  h = splitmix64(h ^ n);
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
 
 struct Request::State {
   // Completed-send requests are created with done = true.
@@ -54,8 +82,53 @@ struct World::Impl {
   std::vector<double> slots;
   double result = 0;
 
+  // Fault-injection state.  Flow counters are keyed by (rule, src, dst,
+  // tag) so "the nth message" is well defined per sender regardless of
+  // cross-rank interleaving.
+  std::mutex faultM;
+  std::map<std::tuple<std::size_t, int, int, int>, std::uint64_t> flowCounts;
+  bool killFired = false;
+  FaultStats faultStats;
+
   explicit Impl(int size, const WorldConfig& c)
       : cfg(c), boxes(size), slots(size, 0.0) {}
+
+  /// Apply matching message-fault rules to an outgoing message; returns
+  /// true when the message must be dropped.
+  bool applyMessageFaults(int src, int dst, int tag, Message& msg) {
+    const FaultPlan& fp = cfg.faults;
+    std::lock_guard<std::mutex> lock(faultM);
+    for (std::size_t i = 0; i < fp.messageFaults.size(); ++i) {
+      const FaultPlan::MessageFault& r = fp.messageFaults[i];
+      if ((r.src != kAnySource && r.src != src) ||
+          (r.dst != kAnySource && r.dst != dst) ||
+          (r.tag != kAnyTag && r.tag != tag))
+        continue;
+      const std::uint64_t n = flowCounts[{i, src, dst, tag}]++;
+      if (n < r.nth || n - r.nth >= r.count) continue;
+      if (r.probability < 1.0 &&
+          fault_roll(fp.seed ^ static_cast<std::uint64_t>(i), src, dst, tag, n) >=
+              r.probability)
+        continue;
+      switch (r.action) {
+        case FaultPlan::Action::Drop:
+          ++faultStats.dropped;
+          return true;
+        case FaultPlan::Action::Delay:
+          msg.availableAt += std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(r.delay));
+          ++faultStats.delayed;
+          break;
+        case FaultPlan::Action::Corrupt:
+          if (!msg.data.empty()) {
+            msg.data[r.corruptByte % msg.data.size()] ^= r.xorMask;
+            ++faultStats.corrupted;
+          }
+          break;
+      }
+    }
+    return false;
+  }
 
   Clock::time_point deliveryTime(std::size_t bytes) const {
     auto t = Clock::now();
@@ -87,38 +160,51 @@ struct World::Impl {
 
   /// Blocking receive with the synthetic network model: waits for a
   /// matching message, then until its modeled delivery time has passed.
-  void recvBlocking(int me, int src, int tag, void* data, std::size_t bytes) {
+  /// Throws TimeoutError when `deadline` passes first (kNoDeadline waits
+  /// forever — a dropped message then deadlocks, which is exactly what the
+  /// timeout path exists to avoid).
+  void recvBlocking(int me, int src, int tag, void* data, std::size_t bytes,
+                    Clock::time_point deadline) {
     Mailbox& box = boxes[static_cast<std::size_t>(me)];
     std::unique_lock<std::mutex> lock(box.m);
     for (;;) {
       auto it = findMatch(box.q, src, tag);
-      if (it == box.q.end()) {
-        box.cv.wait(lock);
-        continue;
-      }
-      const auto availableAt = it->availableAt;
       const auto now = Clock::now();
-      if (availableAt > now) {
+      if (it != box.q.end() && it->availableAt <= now) {
+        if (it->data.size() != bytes) {
+          throw Error("Comm::recv: message size mismatch (got " +
+                      std::to_string(it->data.size()) + ", expected " +
+                      std::to_string(bytes) + ")");
+        }
+        std::memcpy(data, it->data.data(), bytes);
+        box.q.erase(it);
+        return;
+      }
+      if (deadline != kNoDeadline && now >= deadline) {
+        throw TimeoutError("Comm::recv: rank " + std::to_string(me) +
+                           " timed out waiting for message (src=" +
+                           std::to_string(src) + ", tag=" + std::to_string(tag) +
+                           ")");
+      }
+      if (it != box.q.end()) {
+        // Matched but not yet delivered by the network model: wait out the
+        // modeled latency (bounded by the deadline).
+        auto until = it->availableAt;
+        if (deadline != kNoDeadline && deadline < until) until = deadline;
         lock.unlock();
         if (cfg.busyWait) {
-          while (Clock::now() < availableAt) {
+          while (Clock::now() < until) {
             // spin: the MPE polls the interconnect
           }
         } else {
-          std::this_thread::sleep_until(availableAt);
+          std::this_thread::sleep_until(until);
         }
         lock.lock();
-        it = findMatch(box.q, src, tag);
-        if (it == box.q.end()) continue;  // raced with another receiver
+      } else if (deadline == kNoDeadline) {
+        box.cv.wait(lock);
+      } else {
+        box.cv.wait_until(lock, deadline);
       }
-      if (it->data.size() != bytes) {
-        throw Error("Comm::recv: message size mismatch (got " +
-                    std::to_string(it->data.size()) + ", expected " +
-                    std::to_string(bytes) + ")");
-      }
-      std::memcpy(data, it->data.data(), bytes);
-      box.q.erase(it);
-      return;
     }
   }
 
@@ -145,6 +231,13 @@ void Request::wait() {
   state_->done = true;
 }
 
+void Request::wait(double timeoutSec) {
+  if (!state_ || state_->done) return;
+  state_->comm->recv(state_->src, state_->tag, state_->buf, state_->bytes,
+                     timeoutSec);
+  state_->done = true;
+}
+
 bool Request::test() {
   if (!state_ || state_->done) return true;
   World::Impl& impl = *state_->comm->world_->impl_;
@@ -168,15 +261,71 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   msg.data.resize(bytes);
   std::memcpy(msg.data.data(), data, bytes);
   msg.availableAt = impl.deliveryTime(bytes);
-  impl.deliver(dst, std::move(msg));
   ++stats_.messagesSent;
   stats_.bytesSent += bytes;
+  if (impl.cfg.faults.enabled() &&
+      impl.applyMessageFaults(rank_, dst, tag, msg))
+    return;  // dropped by the fault plan
+  impl.deliver(dst, std::move(msg));
 }
 
 void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
-  world_->impl_->recvBlocking(rank_, src, tag, data, bytes);
+  recv(src, tag, data, bytes, recvTimeout_);
+}
+
+void Comm::recv(int src, int tag, void* data, std::size_t bytes,
+                double timeoutSec) {
+  world_->impl_->recvBlocking(rank_, src, tag, data, bytes,
+                              deadlineFrom(timeoutSec));
   ++stats_.messagesReceived;
   stats_.bytesReceived += bytes;
+}
+
+void Comm::sendChecksummed(int dst, int tag, const void* data,
+                           std::size_t bytes) {
+  std::vector<std::uint8_t> frame(bytes + sizeof(std::uint64_t));
+  std::memcpy(frame.data(), data, bytes);
+  const std::uint64_t h = fnv1a_hash(data, bytes);
+  std::memcpy(frame.data() + bytes, &h, sizeof(h));
+  send(dst, tag, frame.data(), frame.size());
+}
+
+void Comm::recvChecksummed(int src, int tag, void* data, std::size_t bytes) {
+  std::vector<std::uint8_t> frame(bytes + sizeof(std::uint64_t));
+  recv(src, tag, frame.data(), frame.size());
+  std::uint64_t h = 0;
+  std::memcpy(&h, frame.data() + bytes, sizeof(h));
+  if (fnv1a_hash(frame.data(), bytes) != h) {
+    throw CorruptionError("Comm::recvChecksummed: checksum mismatch on rank " +
+                          std::to_string(rank_) + " (src=" + std::to_string(src) +
+                          ", tag=" + std::to_string(tag) +
+                          "): payload corrupted in transit");
+  }
+  std::memcpy(data, frame.data(), bytes);
+}
+
+void Comm::faultTick(std::uint64_t step) {
+  World::Impl& impl = *world_->impl_;
+  const FaultPlan& fp = impl.cfg.faults;
+  if (fp.killRank != rank_ || step != fp.killAtStep) return;
+  std::lock_guard<std::mutex> lock(impl.faultM);
+  if (impl.killFired) return;  // one-shot: the respawned rank survives
+  impl.killFired = true;
+  ++impl.faultStats.kills;
+  throw RankKilledError(rank_, step);
+}
+
+std::size_t Comm::drainMailbox() {
+  Mailbox& box = world_->impl_->boxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(box.m);
+  const std::size_t n = box.q.size();
+  box.q.clear();
+  return n;
+}
+
+int Comm::livenessVote(bool alive) {
+  return static_cast<int>(
+      std::llround(allreduce(alive ? 1.0 : 0.0, Op::Sum)));
 }
 
 Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
@@ -297,6 +446,11 @@ void World::run(const std::function<void(Comm&)>& fn) {
   lastStats_.clear();
   for (const auto& c : comms) lastStats_.push_back(c.stats());
   if (firstError) std::rethrow_exception(firstError);
+}
+
+FaultStats World::faultStats() const {
+  std::lock_guard<std::mutex> lock(impl_->faultM);
+  return impl_->faultStats;
 }
 
 CommStats World::totalStats() const {

@@ -12,6 +12,13 @@
 // byte-rate) lets benchmarks reproduce communication/computation overlap
 // effects (paper Fig. 6): with zero-cost delivery the on-the-fly scheme
 // would show no benefit on shared memory.
+//
+// For fault-tolerance work (paper §IV-B checkpoint/restart controller) the
+// runtime also supports deterministic fault injection (drop / delay /
+// corrupt tagged messages, kill a rank at a chosen step), receive deadlines
+// that surface lost messages as TimeoutError instead of deadlock, and an
+// allreduce-based liveness vote — the failure paths a 160,000-rank campaign
+// must survive.
 #pragma once
 
 #include <condition_variable>
@@ -28,6 +35,72 @@ namespace swlb::runtime {
 
 /// Matches any source rank in recv/irecv.
 inline constexpr int kAnySource = -1;
+/// Matches any tag in FaultPlan rules (user tags are non-negative).
+inline constexpr int kAnyTag = -1;
+
+/// A receive (or Request::wait) exceeded its deadline without a matching
+/// message becoming deliverable.  Distinct from Error so resilient drivers
+/// can treat it as a recoverable communication failure.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// A checksummed message failed payload verification on receive.
+class CorruptionError : public Error {
+ public:
+  explicit CorruptionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by Comm::faultTick on the rank the FaultPlan marked for death —
+/// models a fail-stop crash at a chosen simulation step.
+class RankKilledError : public Error {
+ public:
+  RankKilledError(int rank, std::uint64_t step)
+      : Error("rank " + std::to_string(rank) + " killed by fault plan at step " +
+              std::to_string(step)),
+        rank_(rank),
+        step_(step) {}
+  int rank() const { return rank_; }
+  std::uint64_t step() const { return step_; }
+
+ private:
+  int rank_;
+  std::uint64_t step_;
+};
+
+/// Deterministic fault-injection plan for a World.  Message rules match on
+/// (src, dst, tag) with kAnySource/kAnyTag wildcards and apply to the
+/// nth..nth+count-1 matching messages *of each flow* (a flow is a concrete
+/// (src, dst, tag) triple, counted in send order, which is deterministic
+/// per sender).  Probabilistic rules draw from a hash of (seed, flow, n),
+/// never from global state, so the same seed reproduces the same faults
+/// regardless of thread interleaving.
+struct FaultPlan {
+  enum class Action { Drop, Delay, Corrupt };
+  struct MessageFault {
+    Action action = Action::Drop;
+    int src = kAnySource;
+    int dst = kAnySource;
+    int tag = kAnyTag;
+    std::uint64_t nth = 0;    ///< first matching flow index affected (0-based)
+    std::uint64_t count = 1;  ///< how many consecutive matches to affect
+    double probability = 1.0; ///< per-match apply probability (seeded hash)
+    double delay = 0.0;       ///< Delay: extra seconds before delivery
+    std::size_t corruptByte = 0;      ///< Corrupt: byte offset (mod size)
+    std::uint8_t xorMask = 0x01;      ///< Corrupt: flipped bits
+  };
+  std::vector<MessageFault> messageFaults;
+  /// Kill this rank (fail-stop) when it calls faultTick(killAtStep); -1
+  /// disables.  One-shot: the "restarted" rank survives replayed steps.
+  int killRank = -1;
+  std::uint64_t killAtStep = 0;
+  std::uint64_t seed = 0;
+  bool enabled() const { return killRank >= 0 || !messageFaults.empty(); }
+};
+
+/// Deterministic [0,1) roll used for probabilistic message faults.
+double fault_roll(std::uint64_t seed, int src, int dst, int tag, std::uint64_t n);
 
 struct WorldConfig {
   /// Synthetic per-message latency (seconds); 0 disables the network model.
@@ -40,6 +113,16 @@ struct WorldConfig {
   /// scheme (Fig. 6(2)) avoids.  Meaningful on oversubscribed hosts where
   /// sleeping would hand the core to another rank.
   bool busyWait = false;
+  /// Injected faults (drop/delay/corrupt messages, kill a rank).
+  FaultPlan faults;
+};
+
+/// Counters of injected faults actually applied (whole world).
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t kills = 0;
 };
 
 /// Per-rank communication counters.
@@ -58,7 +141,11 @@ class Request {
  public:
   Request() = default;
   /// Block until the operation finishes (recv: data landed in the buffer).
+  /// Honors the owning Comm's default receive timeout (TimeoutError).
   void wait();
+  /// Block at most `timeoutSec` seconds; throws TimeoutError on expiry.
+  /// timeoutSec <= 0 waits forever.
+  void wait(double timeoutSec);
   /// Poll without blocking.
   bool test();
 
@@ -76,10 +163,39 @@ class Comm {
 
   // ---- point to point ------------------------------------------------
   void send(int dst, int tag, const void* data, std::size_t bytes);
+  /// Blocking receive; honors the default receive timeout (setRecvTimeout).
   void recv(int src, int tag, void* data, std::size_t bytes);
+  /// Blocking receive with an explicit deadline: throws TimeoutError after
+  /// `timeoutSec` seconds without a deliverable match (<= 0 waits forever).
+  void recv(int src, int tag, void* data, std::size_t bytes, double timeoutSec);
   /// Buffered (eager) send: safe to reuse `data` immediately.
   Request isend(int dst, int tag, const void* data, std::size_t bytes);
   Request irecv(int src, int tag, void* data, std::size_t bytes);
+
+  /// Send with an appended FNV-1a payload checksum; the matching
+  /// recvChecksummed verifies it and throws CorruptionError on mismatch —
+  /// the detection path for bit-corrupted halo/checkpoint traffic.
+  void sendChecksummed(int dst, int tag, const void* data, std::size_t bytes);
+  void recvChecksummed(int src, int tag, void* data, std::size_t bytes);
+
+  /// Default timeout (seconds) applied by recv/Request::wait when no
+  /// explicit deadline is given; 0 (the default) blocks forever.  Resilient
+  /// drivers set this so a lost message surfaces as TimeoutError instead
+  /// of deadlocking the world.
+  void setRecvTimeout(double seconds) { recvTimeout_ = seconds; }
+  double recvTimeout() const { return recvTimeout_; }
+
+  // ---- fault tolerance -------------------------------------------------
+  /// Report the local simulation step to the fault plan; throws
+  /// RankKilledError on the configured victim rank (one-shot).
+  void faultTick(std::uint64_t step);
+  /// Discard every pending message in this rank's mailbox (recovery path:
+  /// stale halo traffic from an aborted step must not leak into the replay).
+  /// Returns the number of messages discarded.
+  std::size_t drainMailbox();
+  /// Allreduce-based liveness vote callable between steps: every rank
+  /// reports its own health; returns how many ranks said alive.
+  int livenessVote(bool alive);
 
   template <typename T>
   void sendValue(int dst, int tag, const T& v) {
@@ -111,6 +227,7 @@ class Comm {
   World* world_;
   int rank_;
   CommStats stats_;
+  double recvTimeout_ = 0;  ///< seconds; 0 = block forever
 };
 
 /// Owns the mailboxes and collective state; runs rank functions on threads.
@@ -130,6 +247,10 @@ class World {
 
   /// Aggregate statistics over all ranks of the last run.
   CommStats totalStats() const;
+
+  /// Counters of injected faults applied so far (deterministic for fully
+  /// specified rules; reproducible per seed for probabilistic ones).
+  FaultStats faultStats() const;
 
  private:
   friend class Comm;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 
 #include "core/kernels.hpp"
 #include "core/macroscopic.hpp"
@@ -166,6 +167,27 @@ class DistributedSolver {
   /// Total fluid mass across all ranks (collective).
   Real globalMass() {
     return comm_.allreduce(total_mass<D>(f(), mask_, mats_), Comm::Op::Sum);
+  }
+
+  /// Fluid mass of this rank's block only (local; the resilient runner's
+  /// divergence guard folds it into one well-ordered allreduce).
+  Real localMass() const { return total_mass<D>(f(), mask_, mats_); }
+
+  /// Local NaN/Inf guard over the interior of the current population
+  /// buffer.  Purely local so it can run inside a step's try block without
+  /// risking a mismatched collective.  Ghost layers are excluded: they are
+  /// rewritten by the halo exchange before every read, but a stale NaN can
+  /// linger there across a rollback (streaming never writes ghosts) and
+  /// must not re-trip the guard after recovery.
+  bool populationsFinite() const {
+    const PopulationField& field = f();
+    const Grid& g = field.grid();
+    for (int q = 0; q < D::Q; ++q)
+      for (int z = 0; z < g.nz; ++z)
+        for (int y = 0; y < g.ny; ++y)
+          for (int x = 0; x < g.nx; ++x)
+            if (!std::isfinite(field(q, x, y, z))) return false;
+    return true;
   }
 
   /// Gather the full population field on `root` (interior cells only;

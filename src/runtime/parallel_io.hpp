@@ -9,6 +9,7 @@
 // written with the serial writers.
 #pragma once
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -29,23 +30,38 @@ inline std::string group_manifest_path(const std::string& prefix) {
 }
 
 /// Write one checkpoint file per rank plus the root manifest.  Collective.
+/// The manifest is the generation's commit record: it is written (atomic
+/// tmp-then-rename) only after a barrier proves every rank's block landed,
+/// so a crash mid-save can leave stray rank files but never a manifest
+/// that points at an incomplete generation.
 template <class D>
 void save_group_checkpoint(DistributedSolver<D>& solver,
                            const std::string& prefix) {
   Comm& comm = solver.comm();
   io::save_checkpoint(group_checkpoint_path(prefix, comm.rank()), solver.f(),
                       solver.stepsDone(), solver.parity());
+  comm.barrier();  // every block durable before the manifest commits them
   if (comm.rank() == 0) {
-    std::ofstream os(group_manifest_path(prefix));
-    if (!os) throw Error("group checkpoint: cannot write manifest");
-    const auto& d = solver.decomposition();
-    os << "swlb-group-checkpoint 1\n"
-       << "ranks " << comm.size() << "\n"
-       << "global " << d.globalSize().x << ' ' << d.globalSize().y << ' '
-       << d.globalSize().z << "\n"
-       << "procgrid " << d.procGrid().x << ' ' << d.procGrid().y << ' '
-       << d.procGrid().z << "\n"
-       << "steps " << solver.stepsDone() << "\n";
+    const std::string path = group_manifest_path(prefix);
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::trunc);
+      if (!os) throw Error("group checkpoint: cannot write manifest");
+      const auto& d = solver.decomposition();
+      os << "swlb-group-checkpoint 1\n"
+         << "ranks " << comm.size() << "\n"
+         << "global " << d.globalSize().x << ' ' << d.globalSize().y << ' '
+         << d.globalSize().z << "\n"
+         << "procgrid " << d.procGrid().x << ' ' << d.procGrid().y << ' '
+         << d.procGrid().z << "\n"
+         << "steps " << solver.stepsDone() << "\n";
+      os.flush();
+      if (!os) throw Error("group checkpoint: manifest write failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      throw Error("group checkpoint: cannot commit manifest '" + path + "'");
+    }
   }
   comm.barrier();  // manifest visible before anyone reports success
 }

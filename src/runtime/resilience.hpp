@@ -1,0 +1,270 @@
+// Fault-tolerant runtime: distributed checkpoint generations and a
+// rollback-recovery driver (paper §IV-B: "a checkpoint and restart
+// controller which enables fast recover from system-level or hardware
+// fault").
+//
+// Failure model: fail-stop with warm respawn.  A failure (injected rank
+// kill, receive timeout from a lost message, or a NaN / mass-divergence
+// guard trip) aborts the current step on the affected rank; the per-step
+// consensus vote (allreduce Max over local failure flags) makes the abort
+// collective, survivors drain stale halo traffic, and every rank rolls
+// back to the newest *complete* checkpoint generation on disk before
+// resuming.  Because checkpoints restore the populations, step counter and
+// A-B parity bit-exactly, a recovered run is bit-identical to an
+// uninterrupted one.
+//
+// Checkpoint generation layout (all writes atomic tmp-then-rename):
+//   <prefix>.g<step>.rank<r>.ckpt   one checksummed block per rank
+//   <prefix>.g<step>.manifest      root-written commit record (appears
+//                                  only after a barrier proves all blocks
+//                                  landed; a generation without a valid
+//                                  manifest + full set of blocks is
+//                                  ignored on restore)
+#pragma once
+
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/parallel_io.hpp"
+
+namespace swlb::runtime {
+
+struct DistributedCheckpointPolicy {
+  std::uint64_t interval = 50;  ///< save every this many steps
+  int keep = 2;                 ///< retain the newest K generations
+};
+
+/// Rotated multi-generation group checkpoints for a DistributedSolver.
+/// Every rank writes its own block; the root's manifest commits a
+/// generation.  Construction scans the disk so recovery works across real
+/// process restarts, not just within one process.
+template <class D>
+class DistributedCheckpointController {
+ public:
+  DistributedCheckpointController(Comm& comm, std::string prefix,
+                                  const DistributedCheckpointPolicy& policy)
+      : comm_(comm), prefix_(std::move(prefix)), policy_(policy) {
+    if (policy_.interval == 0)
+      throw Error("DistributedCheckpointPolicy: interval must be > 0");
+    if (policy_.keep < 1)
+      throw Error("DistributedCheckpointPolicy: keep must be >= 1");
+    generations_ = scanGenerations();
+  }
+
+  std::string generationPrefix(std::uint64_t step) const {
+    return prefix_ + ".g" + std::to_string(step);
+  }
+
+  /// Steps of the generations currently retained (oldest first).
+  const std::deque<std::uint64_t>& generations() const { return generations_; }
+
+  /// Save a generation at the solver's current step and rotate old ones
+  /// out.  Collective.
+  void save(DistributedSolver<D>& solver) {
+    const std::uint64_t step = solver.stepsDone();
+    save_group_checkpoint(solver, generationPrefix(step));
+    if (generations_.empty() || generations_.back() != step)
+      generations_.push_back(step);
+    while (static_cast<int>(generations_.size()) > policy_.keep) {
+      removeGeneration(generations_.front());
+      generations_.pop_front();
+    }
+  }
+
+  /// Save when the step count hits a multiple of the interval.  Collective
+  /// when due (and only then).  Returns true when a generation was written.
+  bool maybeSave(DistributedSolver<D>& solver) {
+    const std::uint64_t step = solver.stepsDone();
+    if (step == 0 || step % policy_.interval != 0) return false;
+    if (!generations_.empty() && generations_.back() == step) return false;
+    save(solver);
+    return true;
+  }
+
+  /// Roll every rank back to the newest generation whose manifest AND all
+  /// rank blocks validate on every rank (allreduce Min agreement per
+  /// candidate, so all ranks restore the same generation or none).
+  /// Collective; throws when no complete generation exists.
+  std::uint64_t restoreNewestComplete(DistributedSolver<D>& solver) {
+    std::deque<std::uint64_t> candidates = scanGenerations();
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+      const std::uint64_t step = *it;
+      double ok = 1;
+      try {
+        const io::CheckpointMeta meta = io::read_checkpoint_meta(
+            group_checkpoint_path(generationPrefix(step), comm_.rank()));
+        if (meta.steps != step) ok = 0;
+      } catch (const Error&) {
+        ok = 0;
+      }
+      if (comm_.allreduce(ok, Comm::Op::Min) < 1) continue;
+      load_group_checkpoint(solver, generationPrefix(step));
+      generations_ = candidates;
+      while (!generations_.empty() && generations_.back() > step)
+        generations_.pop_back();
+      return step;
+    }
+    throw Error("DistributedCheckpointController: no complete checkpoint "
+                "generation under '" + prefix_ + "'");
+  }
+
+  /// Delete every retained generation (end of campaign).  Collective.
+  void clear() {
+    comm_.barrier();
+    for (const std::uint64_t step : generations_) removeGeneration(step);
+    generations_.clear();
+    comm_.barrier();
+  }
+
+ private:
+  /// Committed (manifest present) generations on disk, oldest first.  All
+  /// ranks see the same quiescent filesystem when this runs (post-vote or
+  /// at construction), so the scan agrees across ranks.
+  std::deque<std::uint64_t> scanGenerations() const {
+    namespace fs = std::filesystem;
+    const fs::path full(prefix_);
+    const fs::path dir =
+        full.has_parent_path() ? full.parent_path() : fs::path(".");
+    const std::string base = full.filename().string() + ".g";
+    const std::string suffix = ".manifest";
+    std::deque<std::uint64_t> found;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() <= base.size() + suffix.size() ||
+          name.rfind(base, 0) != 0 ||
+          name.substr(name.size() - suffix.size()) != suffix)
+        continue;
+      const std::string digits =
+          name.substr(base.size(), name.size() - base.size() - suffix.size());
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos)
+        continue;
+      found.push_back(std::stoull(digits));
+    }
+    std::sort(found.begin(), found.end());
+    return found;
+  }
+
+  /// Each rank deletes its own block; root deletes the manifest first so a
+  /// half-deleted generation is never mistaken for a complete one.
+  void removeGeneration(std::uint64_t step) {
+    const std::string gp = generationPrefix(step);
+    if (comm_.rank() == 0)
+      std::remove(group_manifest_path(gp).c_str());
+    std::remove(group_checkpoint_path(gp, comm_.rank()).c_str());
+  }
+
+  Comm& comm_;
+  std::string prefix_;
+  DistributedCheckpointPolicy policy_;
+  std::deque<std::uint64_t> generations_;
+};
+
+template <class D>
+struct ResilientRunnerConfig {
+  DistributedCheckpointPolicy checkpoint;
+  /// Receive deadline while the runner drives the solver: a lost halo
+  /// message surfaces as TimeoutError within this many seconds instead of
+  /// deadlocking the world.
+  double recvTimeout = 2.0;
+  /// Check NaN and global mass conservation every this many steps
+  /// (0 disables the guard).
+  std::uint64_t guardInterval = 0;
+  /// Relative tolerance on global mass drift before the guard trips.
+  double massTolerance = 1e-8;
+  /// Give up (throw) after this many rollbacks.
+  int maxRecoveries = 8;
+  /// Test hook, called on every rank right before each step attempt
+  /// (e.g. to poke a NaN into the field and exercise the guard).
+  std::function<void(DistributedSolver<D>&, std::uint64_t)> beforeStep;
+};
+
+/// Drives a DistributedSolver to a target step, detecting failures and
+/// recovering by collective rollback to the newest complete checkpoint
+/// generation.  Call run() from every rank.
+template <class D>
+class ResilientRunner {
+ public:
+  struct Report {
+    std::uint64_t recoveries = 0;       ///< rollbacks performed
+    std::uint64_t lastRestoredStep = 0; ///< step of the newest rollback target
+    std::uint64_t drainedMessages = 0;  ///< stale messages discarded (this rank)
+  };
+
+  ResilientRunner(DistributedSolver<D>& solver, std::string prefix,
+                  const ResilientRunnerConfig<D>& cfg = {})
+      : solver_(solver), cfg_(cfg),
+        ckpt_(solver.comm(), std::move(prefix), cfg.checkpoint) {}
+
+  DistributedCheckpointController<D>& checkpoints() { return ckpt_; }
+
+  /// Run until solver.stepsDone() == targetStep.  Collective.
+  Report run(std::uint64_t targetStep) {
+    Comm& comm = solver_.comm();
+    const double oldTimeout = comm.recvTimeout();
+    comm.setRecvTimeout(cfg_.recvTimeout);
+    Report rep;
+    // Baseline generation: a failure before the first periodic checkpoint
+    // must still have a rollback target.
+    if (ckpt_.generations().empty()) ckpt_.save(solver_);
+    const bool guard = cfg_.guardInterval > 0;
+    const double mass0 =
+        guard ? comm.allreduce(solver_.localMass(), Comm::Op::Sum) : 0;
+
+    while (solver_.stepsDone() < targetStep) {
+      int fail = 0;
+      const bool guardDue =
+          guard && (solver_.stepsDone() + 1) % cfg_.guardInterval == 0;
+      try {
+        if (cfg_.beforeStep) cfg_.beforeStep(solver_, solver_.stepsDone());
+        comm.faultTick(solver_.stepsDone());
+        solver_.step();
+        if (guardDue && !solver_.populationsFinite()) fail = 1;
+      } catch (const RankKilledError&) {
+        fail = 1;
+      } catch (const TimeoutError&) {
+        fail = 1;
+      }
+      // Consensus vote: any rank's failure aborts the step everywhere.
+      // This is the only collective a failed rank still participates in,
+      // so collectives stay aligned across ranks.
+      bool anyFail = comm.allreduce(fail, Comm::Op::Max) > 0;
+      if (!anyFail && guardDue) {
+        const double mass = comm.allreduce(solver_.localMass(), Comm::Op::Sum);
+        // NaN mass also fails this comparison, collapsing both guard
+        // conditions into one agreed-on verdict.
+        if (!(std::abs(mass - mass0) <=
+              cfg_.massTolerance * std::max(std::abs(mass0), 1.0)))
+          anyFail = true;
+      }
+      if (anyFail) {
+        if (static_cast<int>(++rep.recoveries) > cfg_.maxRecoveries)
+          throw Error("ResilientRunner: giving up after " +
+                      std::to_string(rep.recoveries - 1) + " recoveries");
+        // All ranks are past the vote: every message of the aborted step
+        // is already in some mailbox, so draining now removes exactly the
+        // stale traffic.  Barrier before restore so no rank resumes
+        // sending while a neighbour is still draining.
+        rep.drainedMessages += comm.drainMailbox();
+        comm.barrier();
+        rep.lastRestoredStep = ckpt_.restoreNewestComplete(solver_);
+        continue;
+      }
+      ckpt_.maybeSave(solver_);
+    }
+    comm.setRecvTimeout(oldTimeout);
+    return rep;
+  }
+
+ private:
+  DistributedSolver<D>& solver_;
+  ResilientRunnerConfig<D> cfg_;
+  DistributedCheckpointController<D> ckpt_;
+};
+
+}  // namespace swlb::runtime

@@ -223,5 +223,219 @@ TEST(World, RejectsNonPositiveSize) {
   EXPECT_THROW(World(-3), Error);
 }
 
+// ------------------------------------------------- fault injection & timeouts
+
+TEST(CommFaults, DroppedMessageRaisesTimeoutInsteadOfDeadlock) {
+  WorldConfig cfg;
+  FaultPlan::MessageFault drop;
+  drop.action = FaultPlan::Action::Drop;
+  drop.src = 0;
+  drop.dst = 1;
+  drop.tag = 5;
+  cfg.faults.messageFaults.push_back(drop);
+  World world(2, cfg);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(1, 5, 42);  // dropped in transit
+    } else {
+      int v = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      EXPECT_THROW(c.recv(0, 5, &v, sizeof(v), /*timeoutSec=*/0.05),
+                   TimeoutError);
+      const double sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      EXPECT_GE(sec, 0.04);  // waited out the deadline...
+      EXPECT_LT(sec, 2.0);   // ...but did not hang
+    }
+  });
+  EXPECT_EQ(world.faultStats().dropped, 1u);
+}
+
+TEST(CommFaults, DefaultRecvTimeoutAppliesToWaitAndRecv) {
+  WorldConfig cfg;
+  FaultPlan::MessageFault drop;
+  drop.action = FaultPlan::Action::Drop;
+  drop.src = 0;
+  drop.dst = 1;
+  drop.tag = 3;
+  drop.count = 2;
+  cfg.faults.messageFaults.push_back(drop);
+  World world(2, cfg);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(1, 3, 1);
+      c.sendValue(1, 3, 2);
+    } else {
+      c.setRecvTimeout(0.05);
+      int v = 0;
+      EXPECT_THROW(c.recv(0, 3, &v, sizeof(v)), TimeoutError);
+      Request r = c.irecv(0, 3, &v, sizeof(v));
+      EXPECT_THROW(r.wait(), TimeoutError);
+      c.setRecvTimeout(0);
+    }
+  });
+  EXPECT_EQ(world.faultStats().dropped, 2u);
+}
+
+TEST(CommFaults, DelayedMessageArrivesLateButCorrect) {
+  WorldConfig cfg;
+  FaultPlan::MessageFault delay;
+  delay.action = FaultPlan::Action::Delay;
+  delay.src = 0;
+  delay.dst = 1;
+  delay.tag = 4;
+  delay.delay = 0.03;
+  cfg.faults.messageFaults.push_back(delay);
+  World world(2, cfg);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(1, 4, 77);
+    } else {
+      const auto t0 = std::chrono::steady_clock::now();
+      EXPECT_EQ(c.recvValue<int>(0, 4), 77);  // late, not lost
+      const double sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      EXPECT_GE(sec, 0.025);
+    }
+  });
+  EXPECT_EQ(world.faultStats().delayed, 1u);
+}
+
+TEST(CommFaults, CorruptedMessageDetectedByChecksumPath) {
+  WorldConfig cfg;
+  FaultPlan::MessageFault corrupt;
+  corrupt.action = FaultPlan::Action::Corrupt;
+  corrupt.src = 0;
+  corrupt.dst = 1;
+  corrupt.tag = 6;
+  corrupt.corruptByte = 3;
+  cfg.faults.messageFaults.push_back(corrupt);
+  World world(2, cfg);
+  world.run([](Comm& c) {
+    std::vector<double> buf(16, 1.25);
+    if (c.rank() == 0) {
+      c.sendChecksummed(1, 6, buf.data(), buf.size() * sizeof(double));
+    } else {
+      EXPECT_THROW(
+          c.recvChecksummed(0, 6, buf.data(), buf.size() * sizeof(double)),
+          CorruptionError);
+    }
+  });
+  EXPECT_EQ(world.faultStats().corrupted, 1u);
+}
+
+TEST(CommFaults, ChecksummedRoundTripWithoutFaultsIsClean) {
+  World world(2);
+  world.run([](Comm& c) {
+    std::vector<double> buf(32);
+    if (c.rank() == 0) {
+      std::iota(buf.begin(), buf.end(), 0.5);
+      c.sendChecksummed(1, 8, buf.data(), buf.size() * sizeof(double));
+    } else {
+      c.recvChecksummed(0, 8, buf.data(), buf.size() * sizeof(double));
+      for (int i = 0; i < 32; ++i) EXPECT_EQ(buf[i], i + 0.5);
+    }
+  });
+}
+
+TEST(CommFaults, FaultTickKillsChosenRankOnce) {
+  WorldConfig cfg;
+  cfg.faults.killRank = 1;
+  cfg.faults.killAtStep = 3;
+  World world(2, cfg);
+  world.run([](Comm& c) {
+    int killedAt = -1;
+    for (int step = 0; step < 6; ++step) {
+      try {
+        c.faultTick(step);
+      } catch (const RankKilledError& e) {
+        killedAt = step;
+        EXPECT_EQ(e.rank(), 1);
+        EXPECT_EQ(e.step(), 3u);
+      }
+    }
+    if (c.rank() == 1) {
+      EXPECT_EQ(killedAt, 3);
+      // One-shot: a "respawned" rank replaying the same step survives.
+      EXPECT_NO_THROW(c.faultTick(3));
+    } else {
+      EXPECT_EQ(killedAt, -1);
+    }
+  });
+  EXPECT_EQ(world.faultStats().kills, 1u);
+}
+
+TEST(CommFaults, SeededDropsAreReproducible) {
+  auto runOnce = [](std::uint64_t seed) {
+    WorldConfig cfg;
+    FaultPlan::MessageFault drop;
+    drop.action = FaultPlan::Action::Drop;
+    drop.src = 0;
+    drop.dst = 1;
+    drop.tag = 0;
+    drop.count = std::uint64_t(-1);
+    drop.probability = 0.5;
+    cfg.faults.messageFaults.push_back(drop);
+    cfg.faults.seed = seed;
+    World world(2, cfg);
+    std::vector<int> received;
+    world.run([&](Comm& c) {
+      const int n = 40;
+      if (c.rank() == 0) {
+        for (int i = 0; i < n; ++i) c.sendValue(1, 0, i);
+        c.sendValue(1, 1, -1);  // sentinel on an unfaulted tag
+      } else {
+        (void)c.recvValue<int>(0, 1);  // all tag-0 sends already delivered
+        int v;
+        while (c.irecv(0, 0, &v, sizeof(v)).test()) received.push_back(v);
+      }
+    });
+    return std::make_pair(received, world.faultStats().dropped);
+  };
+  const auto [recvA, droppedA] = runOnce(12345);
+  const auto [recvB, droppedB] = runOnce(12345);
+  EXPECT_EQ(recvA, recvB);  // same seed => identical survivor set
+  EXPECT_EQ(droppedA, droppedB);
+  EXPECT_GT(droppedA, 0u);
+  EXPECT_LT(droppedA, 40u);
+  const auto [recvC, droppedC] = runOnce(999);
+  EXPECT_TRUE(recvC != recvA || droppedC != droppedA);  // seed matters
+}
+
+TEST(CommFaults, LivenessVoteCountsHealthyRanks) {
+  World world(4);
+  world.run([](Comm& c) {
+    EXPECT_EQ(c.livenessVote(true), 4);
+    EXPECT_EQ(c.livenessVote(c.rank() != 2), 3);
+  });
+}
+
+TEST(CommFaults, DrainMailboxDiscardsStaleMessages) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(1, 0, 1);
+      c.sendValue(1, 0, 2);
+      c.barrier();
+    } else {
+      c.barrier();  // both messages are in the mailbox now
+      EXPECT_EQ(c.drainMailbox(), 2u);
+      int v = 0;
+      EXPECT_THROW(c.recv(0, 0, &v, sizeof(v), 0.02), TimeoutError);
+    }
+  });
+}
+
+TEST(CommFaults, FaultRollIsDeterministic) {
+  const double a = fault_roll(7, 0, 1, 3, 10);
+  const double b = fault_roll(7, 0, 1, 3, 10);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LT(a, 1.0);
+  EXPECT_NE(fault_roll(8, 0, 1, 3, 10), a);
+}
+
 }  // namespace
 }  // namespace swlb::runtime
