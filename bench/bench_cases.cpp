@@ -3,11 +3,18 @@
 // modeled core-group MLUPS for the same block, and a key observable per
 // case.  These are the "who wins, what's the magnitude" measured rows
 // behind Figs. 12/18/19.
+//
+// With --json <path> the same rows are serialized as a swlb-bench-v1
+// BenchReport (per-case phase breakdowns from a bound MetricsRegistry) —
+// the writer behind the BENCH_baseline.json seed at the repo root.
+#include <cstring>
 #include <iostream>
 
 #include "app/cases.hpp"
 #include "core/observables.hpp"
 #include "core/profiler.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/context.hpp"
 #include "perf/report.hpp"
 #include "perf/scaling.hpp"
 
@@ -18,22 +25,32 @@ namespace {
 struct Row {
   std::string name;
   std::string size;
+  double cells;
+  double steps;
   double mlups;
   std::string observable;
+  obs::MetricsRegistry metrics;
 };
 
-Row runCase(const std::string& config, int steps, const std::string& obsName) {
+void runCase(Row& row, const std::string& config, int steps,
+             const std::string& obsName, bool withMetrics) {
   std::istringstream in(config);
   app::Case c = app::build_case(app::Config::parse(in));
   const Grid& g = c.solver->grid();
   StepProfiler prof(static_cast<double>(g.interiorVolume()));
-  for (int s = 0; s < steps; ++s)
-    prof.step([&] { c.solver->step(); });
+  {
+    // Bind the registry only for --json runs: the default path measures
+    // the kernel with observability fully off (the no-op TLS branch).
+    obs::ScopedBind bind(nullptr, withMetrics ? &row.metrics : nullptr);
+    for (int s = 0; s < steps; ++s)
+      prof.step([&] { c.solver->step(); });
+  }
 
-  Row row;
   row.name = c.name;
   row.size = std::to_string(g.nx) + "x" + std::to_string(g.ny) + "x" +
              std::to_string(g.nz);
+  row.cells = static_cast<double>(g.interiorVolume());
+  row.steps = steps;
   row.mlups = prof.mlups();
   if (c.obstacleId != 0) {
     const Vec3 f = momentum_exchange_force<D3Q19>(
@@ -43,29 +60,55 @@ Row runCase(const std::string& config, int steps, const std::string& obsName) {
     const Vec3 u = c.solver->velocity(g.nx / 2, g.ny / 2, g.nz / 2);
     row.observable = obsName + " = " + perf::Table::num(u.x, 5);
   }
-  return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      std::cerr << "usage: bench_cases [--json <path>]\n";
+      return 2;
+    }
+  }
+
   perf::printHeading("Measured flow cases (host, D3Q19 fused kernel)");
   perf::Table t({"case", "cells", "host MLUPS", "observable"});
 
-  const Row rows[] = {
-      runCase("case = cavity\nnx = 32\nny = 32\nnz = 32\nomega = 1.6\n", 150,
-              "u_x(centre)"),
-      runCase("case = channel\nnx = 8\nny = 24\nnz = 8\nbody_force = 1e-6\n",
-              400, "u_x(centre)"),
-      runCase(
+  const bool withMetrics = !jsonPath.empty();
+  Row rows[4];
+  runCase(rows[0], "case = cavity\nnx = 32\nny = 32\nnz = 32\nomega = 1.6\n",
+          150, "u_x(centre)", withMetrics);
+  runCase(rows[1],
+          "case = channel\nnx = 8\nny = 24\nnz = 8\nbody_force = 1e-6\n", 400,
+          "u_x(centre)", withMetrics);
+  runCase(rows[2],
           "case = cylinder\nnx = 96\nny = 48\nnz = 8\ndiameter = 10\n"
           "omega = 1.4\ninlet_velocity = 0.05\n",
-          300, "drag F_x"),
-      runCase("case = tgv\nnx = 48\nny = 48\nomega = 1.0\n", 300, "u_x(centre)"),
-  };
+          300, "drag F_x", withMetrics);
+  runCase(rows[3], "case = tgv\nnx = 48\nny = 48\nomega = 1.0\n", 300,
+          "u_x(centre)", withMetrics);
   for (const Row& r : rows)
     t.addRow({r.name, r.size, perf::Table::num(r.mlups, 2), r.observable});
   t.print();
+
+  if (!jsonPath.empty()) {
+    obs::BenchReport report("bench_cases");
+    for (const Row& r : rows) {
+      obs::BenchReport::Result& res = report.add(r.name);
+      res.set("mlups", r.mlups);
+      res.set("cells", r.cells);
+      res.set("steps", r.steps);
+      res.setText("size", r.size);
+      res.setText("observable", r.observable);
+      res.addMetrics(r.metrics);
+    }
+    report.write(jsonPath);
+    std::cout << "\nwrote " << jsonPath << "\n";
+  }
 
   // Modeled per-core-group rate for comparison: what one SW26010 CG would
   // sustain on the same kernel (90.4 MLUPS bound x efficiency).

@@ -4,8 +4,11 @@
 // Measured for real on the threads-as-ranks runtime with a synthetic
 // network latency (without it, shared-memory message passing is too fast
 // for the overlap to matter), plus the model's view at full scale.
+#include <cstring>
 #include <iostream>
 
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
 #include "perf/report.hpp"
 #include "perf/scaling.hpp"
 #include "runtime/distributed_solver.hpp"
@@ -19,10 +22,12 @@ using runtime::WorldConfig;
 
 namespace {
 
-double measure(HaloMode mode, double latency, int steps) {
+double measure(HaloMode mode, double latency, int steps,
+               obs::MetricsRegistry* metrics = nullptr) {
   WorldConfig wc;
   wc.latency = latency;
   wc.busyWait = true;  // the MPE polls while waiting (see WorldConfig)
+  wc.metrics = metrics;
   World world(4, wc);
   double mlups = 0;
   world.run([&](Comm& c) {
@@ -43,20 +48,52 @@ double measure(HaloMode mode, double latency, int steps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      std::cerr << "usage: bench_halo_overlap [--json <path>]\n";
+      return 2;
+    }
+  }
+  obs::BenchReport report("bench_halo_overlap");
+
   perf::printHeading(
       "On-the-fly halo exchange vs sequential (measured, 4 ranks, 64x64x32)");
   perf::Table t({"network latency", "sequential MLUPS", "overlapped MLUPS",
                  "overlap gain"});
   for (double latency : {0.0, 2e-3, 5e-3}) {
     const int steps = 20;
-    const double seq = measure(HaloMode::Sequential, latency, steps);
-    const double ovl = measure(HaloMode::Overlap, latency, steps);
+    const std::string label =
+        "latency_" + perf::Table::num(latency * 1e6, 0) + "us";
+    obs::MetricsRegistry seqReg, ovlReg;
+    const double seq = measure(HaloMode::Sequential, latency, steps,
+                               jsonPath.empty() ? nullptr : &seqReg);
+    const double ovl = measure(HaloMode::Overlap, latency, steps,
+                               jsonPath.empty() ? nullptr : &ovlReg);
     t.addRow({perf::Table::num(latency * 1e6, 0) + " us",
               perf::Table::num(seq, 2), perf::Table::num(ovl, 2),
               perf::Table::num((ovl / seq - 1.0) * 100, 1) + "%"});
+    if (!jsonPath.empty()) {
+      obs::BenchReport::Result& rs = report.add(label + "_sequential");
+      rs.set("mlups", seq);
+      rs.set("steps", steps);
+      rs.set("latency_s", latency);
+      rs.addMetrics(seqReg);
+      obs::BenchReport::Result& ro = report.add(label + "_overlap");
+      ro.set("mlups", ovl);
+      ro.set("steps", steps);
+      ro.set("latency_s", latency);
+      ro.addMetrics(ovlReg);
+    }
   }
   t.print();
+  if (!jsonPath.empty()) {
+    report.write(jsonPath);
+    std::cout << "wrote " << jsonPath << "\n";
+  }
 
   perf::printHeading("Model view at TaihuLight full scale (160,000 CGs)");
   perf::LbmCostModel cost;

@@ -10,16 +10,21 @@
 //      distributed checkpoint generation, and finish bit-identical to the
 //      fault-free run.
 //
-// Usage: distributed_restart [N] [steps]   (default 32^2, 200 steps)
+// Usage: distributed_restart [N] [steps] [--trace out.json]
+//        (default 32^2, 200 steps; --trace exports the 4-rank run of
+//        part 1 as Chrome-trace JSON for chrome://tracing / Perfetto)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <numbers>
 #include <string>
+#include <vector>
 
 #include "io/checkpoint.hpp"
+#include "obs/trace.hpp"
 #include "runtime/resilience.hpp"
 
 using namespace swlb;
@@ -40,8 +45,17 @@ void initTgv(int n, Real u0, int x, int y, Real& rho, Vec3& u) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 32;
-  const int steps = argc > 2 ? std::atoi(argv[2]) : 200;
+  std::string tracePath;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      tracePath = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int n = positional.size() > 0 ? std::atoi(positional[0]) : 32;
+  const int steps = positional.size() > 1 ? std::atoi(positional[1]) : 200;
   const Real u0 = 0.02;
 
   CollisionConfig collision;
@@ -68,8 +82,11 @@ int main(int argc, char** argv) {
     });
   }
   double mlups4 = 0;
+  obs::Tracer tracer;
   {
-    World world(4);
+    runtime::WorldConfig wcfg4;
+    if (!tracePath.empty()) wcfg4.tracer = &tracer;
+    World world(4, wcfg4);
     world.run([&](Comm& c) {
       DistributedSolver<D2Q9>::Config cfg;
       cfg.global = {n, n, 1};
@@ -93,6 +110,12 @@ int main(int argc, char** argv) {
     if (serial.data()[i] != parallel4.data()[i]) ++mismatches;
   std::cout << "4-rank overlapped run vs serial: " << mismatches
             << " mismatching values (expect 0), " << mlups4 << " MLUPS\n";
+  if (!tracePath.empty()) {
+    tracer.writeChromeTrace(tracePath);
+    std::cout << "wrote " << tracePath << " (" << tracer.eventCount()
+              << " events, " << tracer.threadCount()
+              << " rank timelines; open in chrome://tracing or Perfetto)\n";
+  }
 
   // ---- part 2: checkpoint, crash, restart ------------------------------
   auto makeSolver = [&] {

@@ -2,8 +2,12 @@
 // case description, runs it, and writes the requested outputs — the
 // "holistic solution" entry point of the paper's Fig. 4 framework.
 //
-// Usage: swlb_run <config-file>
-//        swlb_run --demo           (runs a built-in cavity demo config)
+// Usage: swlb_run <config-file> [--trace out.json]
+//        swlb_run --demo [--trace out.json]
+//
+// --trace records every solver phase (periodic wrap, fused kernel,
+// checkpoint writes) on a Chrome trace-event timeline; open the file in
+// chrome://tracing or https://ui.perfetto.dev (DESIGN.md §6).
 //
 // Example config:
 //   case = cylinder
@@ -18,6 +22,7 @@
 //   ppm = true
 //   output_prefix = cyl
 //   checkpoint_interval = 1000
+#include <cstring>
 #include <iostream>
 #include <sstream>
 
@@ -26,24 +31,37 @@
 #include "io/checkpoint_controller.hpp"
 #include "io/ppm.hpp"
 #include "io/vtk.hpp"
+#include "obs/context.hpp"
+#include "obs/trace.hpp"
 
 using namespace swlb;
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: swlb_run <config-file> | --demo\n";
+  std::string configArg, tracePath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      tracePath = argv[++i];
+    } else if (configArg.empty()) {
+      configArg = argv[i];
+    } else {
+      std::cerr << "usage: swlb_run <config-file> | --demo [--trace out.json]\n";
+      return 2;
+    }
+  }
+  if (configArg.empty()) {
+    std::cerr << "usage: swlb_run <config-file> | --demo [--trace out.json]\n";
     return 2;
   }
 
   app::Config cfg;
   try {
-    if (std::string(argv[1]) == "--demo") {
+    if (configArg == "--demo") {
       std::istringstream demo(
           "case = cavity\nnx = 32\nny = 32\nnz = 32\nsteps = 300\n"
           "omega = 1.6\nlid_velocity = 0.05\nppm = true\n");
       cfg = app::Config::parse(demo);
     } else {
-      cfg = app::Config::load(argv[1]);
+      cfg = app::Config::load(configArg);
     }
 
     app::Case sim = app::build_case(cfg);
@@ -61,10 +79,14 @@ int main(int argc, char** argv) {
                                        static_cast<int>(cfg.getInt("checkpoint_keep", 2))});
     }
 
+    obs::Tracer tracer;
     const auto t0 = std::chrono::steady_clock::now();
-    for (long s = 0; s < steps; ++s) {
-      sim.solver->step();
-      if (ckpt) ckpt->maybeSave(*sim.solver);
+    {
+      obs::ScopedBind bind(tracePath.empty() ? nullptr : &tracer, nullptr);
+      for (long s = 0; s < steps; ++s) {
+        sim.solver->step();
+        if (ckpt) ckpt->maybeSave(*sim.solver);
+      }
     }
     const double sec =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -72,6 +94,12 @@ int main(int argc, char** argv) {
     const double mlups = static_cast<double>(sim.solver->grid().interiorVolume()) *
                          static_cast<double>(steps) / sec / 1e6;
     std::cout << "done in " << sec << " s (" << mlups << " MLUPS)\n";
+
+    if (!tracePath.empty()) {
+      tracer.writeChromeTrace(tracePath);
+      std::cout << "wrote " << tracePath << " (" << tracer.eventCount()
+                << " events; open in chrome://tracing or Perfetto)\n";
+    }
 
     ScalarField rho(sim.solver->grid());
     VectorField u(sim.solver->grid());

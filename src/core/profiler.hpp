@@ -1,69 +1,7 @@
-// Per-step runtime profiler: the host-side stand-in for the Sunway PERF
-// monitor the paper measures with (§V).  Records wall time per step and
-// reports min/mean/max plus update rates.
+// Backward-compatible shim: StepProfiler moved into the observability
+// layer (obs/step_profiler.hpp) where it is the step-level aggregate next
+// to the per-phase Tracer and MetricsRegistry.  Include obs/ directly in
+// new code.
 #pragma once
 
-#include <algorithm>
-#include <chrono>
-#include <cstdint>
-#include <limits>
-
-#include "core/common.hpp"
-
-namespace swlb {
-
-class StepProfiler {
- public:
-  /// @param cellsPerStep lattice cells updated per step (for LUPS rates)
-  explicit StepProfiler(double cellsPerStep) : cells_(cellsPerStep) {
-    if (cellsPerStep <= 0) throw Error("StepProfiler: cells must be positive");
-  }
-
-  /// Time one step of `fn`.
-  template <typename Fn>
-  void step(Fn&& fn) {
-    const auto t0 = Clock::now();
-    fn();
-    record(std::chrono::duration<double>(Clock::now() - t0).count());
-  }
-
-  /// Record an externally measured step duration (seconds).
-  void record(double seconds) {
-    ++steps_;
-    total_ += seconds;
-    minS_ = std::min(minS_, seconds);
-    maxS_ = std::max(maxS_, seconds);
-  }
-
-  std::uint64_t steps() const { return steps_; }
-  double totalSeconds() const { return total_; }
-  double meanSeconds() const { return steps_ ? total_ / steps_ : 0; }
-  double minSeconds() const { return steps_ ? minS_ : 0; }
-  double maxSeconds() const { return steps_ ? maxS_ : 0; }
-
-  /// Mean million lattice updates per second.
-  double mlups() const {
-    return steps_ ? cells_ * static_cast<double>(steps_) / total_ / 1e6 : 0;
-  }
-  /// Sustained flops implied by a flops-per-update constant (PERF-style).
-  double gflops(double flopsPerLup) const {
-    return mlups() * 1e6 * flopsPerLup / 1e9;
-  }
-
-  void reset() {
-    steps_ = 0;
-    total_ = 0;
-    minS_ = std::numeric_limits<double>::infinity();
-    maxS_ = 0;
-  }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  double cells_;
-  std::uint64_t steps_ = 0;
-  double total_ = 0;
-  double minS_ = std::numeric_limits<double>::infinity();
-  double maxS_ = 0;
-};
-
-}  // namespace swlb
+#include "obs/step_profiler.hpp"

@@ -8,6 +8,7 @@
 
 #include "core/kernels.hpp"
 #include "core/macroscopic.hpp"
+#include "obs/context.hpp"
 
 namespace swlb {
 
@@ -89,10 +90,15 @@ class Solver {
 
   /// Advance one time step: wrap periodic halos, fused update, A-B swap.
   void step() {
+    obs::TraceScope stepScope("step");
     SWLB_ASSERT(maskFinal_);
     PopulationField& src = f_[parity_];
     PopulationField& dst = f_[1 - parity_];
-    apply_periodic(src, periodic_);
+    {
+      obs::TraceScope wrapScope("periodic_wrap");
+      apply_periodic(src, periodic_);
+    }
+    obs::TraceScope kernelScope("compute.kernel");
     const Box3 range = grid_.interior();
     switch (variant_) {
       case KernelVariant::Fused:

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/context.hpp"
+
 #ifdef __unix__
 #include <fcntl.h>
 #include <unistd.h>
@@ -72,6 +74,8 @@ void syncToDisk(const std::string& path) {
 
 void save_checkpoint(const std::string& path, const PopulationField& f,
                      std::uint64_t steps, int parity) {
+  obs::TraceScope saveScope("checkpoint.save");
+  obs::count("checkpoint.bytes_written", sizeof(Header) + f.bytes());
   // Atomic commit: write the full payload to <path>.tmp, flush it, then
   // rename over the destination.  A crash at any point leaves either the
   // previous checkpoint intact or a stale .tmp that load ignores — never a
@@ -117,6 +121,8 @@ CheckpointMeta read_checkpoint_meta(const std::string& path) {
 }
 
 CheckpointMeta load_checkpoint(const std::string& path, PopulationField& f) {
+  obs::TraceScope restoreScope("checkpoint.restore");
+  obs::count("checkpoint.bytes_read", sizeof(Header) + f.bytes());
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("checkpoint: cannot open '" + path + "'");
   const Header h = readHeader(in, path);

@@ -1,0 +1,79 @@
+// Machine-readable benchmark reports (DESIGN.md §6).
+//
+// Every bench that prints a human table can also serialize its rows to a
+// stable JSON schema ("swlb-bench-v1") so performance trajectories are
+// diffable across commits — the BENCH_*.json seed files at the repo root
+// are produced by this writer.  Schema:
+//
+//   {
+//     "schema":  "swlb-bench-v1",
+//     "bench":   "<bench binary name>",
+//     "results": [
+//       { "name":     "<case / configuration>",
+//         "values":   { "<key>": <number>, ... },        // mlups, steps...
+//         "text":     { "<key>": "<string>", ... },      // sizes, notes
+//         "counters": { "<metric>": <integer>, ... },    // from the registry
+//         "gauges":   { "<metric>": <number>, ... },
+//         "phases":   { "<phase>": { "count": n, "total_s": t, "mean_s": m,
+//                                    "min_s": a, "max_s": b,
+//                                    "p50_s": p, "p95_s": q }, ... } }
+//     ]
+//   }
+//
+// Key order is lexicographic (std::map) so the output is byte-stable for
+// identical inputs.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace swlb::obs {
+
+inline constexpr const char* kBenchSchema = "swlb-bench-v1";
+
+class BenchReport {
+ public:
+  class Result {
+   public:
+    explicit Result(std::string name) : name_(std::move(name)) {}
+
+    void set(const std::string& key, double value) { values_[key] = value; }
+    void setText(const std::string& key, const std::string& value) {
+      text_[key] = value;
+    }
+    /// Fold a registry's counters, gauges and histogram summaries (as
+    /// phase breakdowns) into this result.
+    void addMetrics(const MetricsRegistry& reg) {
+      for (const auto& [k, v] : reg.counterSnapshot()) counters_[k] += v;
+      for (const auto& [k, v] : reg.gaugeSnapshot()) gauges_[k] = v;
+      for (const auto& [k, v] : reg.histogramSnapshot()) phases_[k] = v;
+    }
+
+   private:
+    friend class BenchReport;
+    std::string name_;
+    std::map<std::string, double> values_;
+    std::map<std::string, std::string> text_;
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram::Summary> phases_;
+  };
+
+  explicit BenchReport(std::string benchName) : bench_(std::move(benchName)) {}
+
+  /// Append a result row; the reference stays valid for the report's life.
+  Result& add(const std::string& name);
+
+  void write(std::ostream& os) const;
+  void write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::deque<Result> results_;  ///< deque: add() references stay valid
+};
+
+}  // namespace swlb::obs

@@ -1,0 +1,114 @@
+// Thread-bound observability context: which Tracer / MetricsRegistry (if
+// any) the calling thread reports to, and as which rank.
+//
+// Instrumentation sites (solver phases, Comm, halo exchange, checkpoints,
+// the sw emulator) are written against the *current thread's* context so
+// they cost one thread-local load plus a branch when observability is off
+// — the zero-overhead-when-disabled contract tested by test_obs.  World::run
+// binds each rank thread from WorldConfig; serial drivers (swlb_run,
+// benches) bind the main thread with ScopedBind.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace swlb::obs {
+
+struct Context {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  int rank = 0;
+};
+
+namespace detail {
+inline thread_local Context t_context;
+inline thread_local bool t_bound = false;
+}  // namespace detail
+
+/// The calling thread's context, or nullptr when observability is off.
+inline const Context* current() {
+  return detail::t_bound ? &detail::t_context : nullptr;
+}
+
+/// RAII binding of a context to the calling thread (nestable; restores the
+/// previous binding on destruction).  Binding two nullptrs is equivalent
+/// to unbinding — instrumentation reverts to the no-op path.
+class ScopedBind {
+ public:
+  ScopedBind(Tracer* tracer, MetricsRegistry* metrics, int rank = 0)
+      : prev_(detail::t_context), prevBound_(detail::t_bound) {
+    detail::t_context = {tracer, metrics, rank};
+    detail::t_bound = tracer != nullptr || metrics != nullptr;
+  }
+  ~ScopedBind() {
+    detail::t_context = prev_;
+    detail::t_bound = prevBound_;
+  }
+  ScopedBind(const ScopedBind&) = delete;
+  ScopedBind& operator=(const ScopedBind&) = delete;
+
+ private:
+  Context prev_;
+  bool prevBound_;
+};
+
+// ---- named-metric helpers (no-ops when the thread is unbound) ----------
+
+inline void count(const char* name, std::uint64_t n = 1) {
+  if (const Context* c = current(); c && c->metrics)
+    c->metrics->counter(name).add(n);
+}
+
+inline void observe(const char* name, double v) {
+  if (const Context* c = current(); c && c->metrics)
+    c->metrics->histogram(name).observe(v);
+}
+
+inline void gaugeSet(const char* name, double v) {
+  if (const Context* c = current(); c && c->metrics)
+    c->metrics->gauge(name).set(v);
+}
+
+inline void gaugeMax(const char* name, double v) {
+  if (const Context* c = current(); c && c->metrics)
+    c->metrics->gauge(name).setMax(v);
+}
+
+/// RAII phase scope: emits one complete trace event on the bound tracer
+/// AND one observation (seconds) into the same-named histogram of the
+/// bound registry.  `name` must be a static string (it is not copied).
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    const Context* c = current();
+    if (!c) return;
+    if (c->tracer && c->tracer->enabled()) tracer_ = c->tracer;
+    metrics_ = c->metrics;
+    if (!tracer_ && !metrics_) return;
+    name_ = name;
+    rank_ = c->rank;
+    begin_ = Tracer::Clock::now();
+  }
+  ~TraceScope() {
+    if (!name_) return;
+    const auto end = Tracer::Clock::now();
+    if (tracer_) tracer_->record(name_, begin_, end, rank_);
+    if (metrics_)
+      metrics_->histogram(name_).observe(
+          std::chrono::duration<double>(end - begin_).count());
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  const char* name_ = nullptr;
+  int rank_ = 0;
+  Tracer::Clock::time_point begin_;
+};
+
+}  // namespace swlb::obs

@@ -1,0 +1,213 @@
+// Metrics registry of the observability layer (DESIGN.md §6).
+//
+// Counters (monotonic, atomic), gauges (last value / high-water mark) and
+// histograms (exact count/total/min/max plus sample-backed nearest-rank
+// quantiles) keyed by name.  One registry is typically shared by all ranks
+// of a World: counters and gauges are lock-free atomics, histograms take a
+// short per-histogram mutex, and name lookup takes the registry mutex, so
+// concurrent ranks can record without coordinating.  References returned
+// by counter()/gauge()/histogram() stay valid for the registry's lifetime.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace swlb::obs {
+
+/// Monotonically increasing event count (messages, bytes, faults...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value with an optional high-water-mark update mode.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Keep the maximum of the current and the offered value (LDM high-water).
+  void setMax(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Distribution of observed values (phase durations in seconds).
+///
+/// count/total/min/max are exact for every observation; quantiles come
+/// from a bounded sample store (the first `sampleCap` observations) using
+/// the nearest-rank definition on the sorted samples, so memory stays
+/// bounded on arbitrarily long runs.
+class Histogram {
+ public:
+  static constexpr std::size_t kDefaultSampleCap = 1u << 16;
+
+  explicit Histogram(std::size_t sampleCap = kDefaultSampleCap)
+      : cap_(sampleCap) {}
+
+  void observe(double x) {
+    std::lock_guard<std::mutex> lock(m_);
+    ++count_;
+    total_ += x;
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    if (samples_.size() < cap_) samples_.push_back(x);
+  }
+
+  std::uint64_t count() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return count_;
+  }
+  double total() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return total_;
+  }
+  double mean() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return count_ ? total_ / static_cast<double>(count_) : 0;
+  }
+  double min() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return count_ ? min_ : 0;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return count_ ? max_ : 0;
+  }
+
+  /// Nearest-rank quantile over the stored samples: for q in (0, 1] the
+  /// value at 1-based rank ceil(q * n) of the sorted samples; q <= 0 gives
+  /// the smallest sample.  Returns 0 when nothing was observed.
+  double quantile(double q) const {
+    std::vector<double> s;
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      s = samples_;
+    }
+    if (s.empty()) return 0;
+    std::sort(s.begin(), s.end());
+    if (q <= 0) return s.front();
+    if (q >= 1) return s.back();
+    const auto n = static_cast<double>(s.size());
+    const auto rank = static_cast<std::size_t>(std::max(1.0, std::ceil(q * n)));
+    return s[rank - 1];
+  }
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double total = 0, mean = 0, min = 0, max = 0, p50 = 0, p95 = 0;
+  };
+  Summary summary() const {
+    Summary s;
+    s.count = count();
+    s.total = total();
+    s.mean = mean();
+    s.min = min();
+    s.max = max();
+    s.p50 = quantile(0.50);
+    s.p95 = quantile(0.95);
+    return s;
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::size_t cap_;
+  std::uint64_t count_ = 0;
+  double total_ = 0, min_ = 0, max_ = 0;
+  std::vector<double> samples_;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return *get(counters_, name); }
+  Gauge& gauge(const std::string& name) { return *get(gauges_, name); }
+  Histogram& histogram(const std::string& name) {
+    return *get(histograms_, name);
+  }
+
+  /// Read a counter without creating it (0 when absent).
+  std::uint64_t counterValue(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+  }
+  /// Read a gauge without creating it (0 when absent).
+  double gaugeValue(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second->value();
+  }
+  /// Summary of a histogram without creating it (all-zero when absent).
+  Histogram::Summary histogramSummary(const std::string& name) const {
+    const Histogram* h = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      const auto it = histograms_.find(name);
+      if (it != histograms_.end()) h = it->second.get();
+    }
+    return h ? h->summary() : Histogram::Summary{};
+  }
+
+  std::map<std::string, std::uint64_t> counterSnapshot() const {
+    std::lock_guard<std::mutex> lock(m_);
+    std::map<std::string, std::uint64_t> out;
+    for (const auto& [k, v] : counters_) out[k] = v->value();
+    return out;
+  }
+  std::map<std::string, double> gaugeSnapshot() const {
+    std::lock_guard<std::mutex> lock(m_);
+    std::map<std::string, double> out;
+    for (const auto& [k, v] : gauges_) out[k] = v->value();
+    return out;
+  }
+  std::map<std::string, Histogram::Summary> histogramSnapshot() const {
+    std::vector<std::pair<std::string, const Histogram*>> hs;
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      for (const auto& [k, v] : histograms_) hs.emplace_back(k, v.get());
+    }
+    std::map<std::string, Histogram::Summary> out;
+    for (const auto& [k, h] : hs) out[k] = h->summary();
+    return out;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  template <typename T>
+  T* get(std::map<std::string, std::unique_ptr<T>>& where,
+         const std::string& name) {
+    std::lock_guard<std::mutex> lock(m_);
+    auto& slot = where[name];
+    if (!slot) slot = std::make_unique<T>();
+    return slot.get();
+  }
+
+  mutable std::mutex m_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace swlb::obs

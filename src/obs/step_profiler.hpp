@@ -1,0 +1,82 @@
+// Step-level aggregate of the observability layer: the host-side stand-in
+// for the Sunway PERF monitor the paper measures with (§V).  Records wall
+// time per step and reports min/mean/max plus update rates; per-phase
+// breakdowns live in the Tracer / MetricsRegistry (obs/trace.hpp,
+// obs/metrics.hpp), this is the one-number-per-step view benches print.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "core/common.hpp"
+
+namespace swlb::obs {
+
+class StepProfiler {
+ public:
+  /// @param cellsPerStep lattice cells updated per step (for LUPS rates)
+  explicit StepProfiler(double cellsPerStep) : cells_(cellsPerStep) {
+    if (cellsPerStep <= 0) throw Error("StepProfiler: cells must be positive");
+  }
+
+  /// Time one step of `fn`.
+  template <typename Fn>
+  void step(Fn&& fn) {
+    const auto t0 = Clock::now();
+    fn();
+    record(std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+
+  /// Record an externally measured step duration (seconds).
+  void record(double seconds) {
+    ++steps_;
+    total_ += seconds;
+    minS_ = std::min(minS_, seconds);
+    maxS_ = std::max(maxS_, seconds);
+  }
+
+  std::uint64_t steps() const { return steps_; }
+  double totalSeconds() const { return total_; }
+  double meanSeconds() const { return steps_ ? total_ / steps_ : 0; }
+  double minSeconds() const { return steps_ ? minS_ : 0; }
+  double maxSeconds() const { return steps_ ? maxS_ : 0; }
+
+  /// Mean million lattice updates per second.  Zero until at least one
+  /// step with measurable (> 0) duration was recorded: a run of steps all
+  /// below the clock's resolution must report "no rate" rather than
+  /// divide by a zero total.
+  double mlups() const {
+    return (steps_ && total_ > 0)
+               ? cells_ * static_cast<double>(steps_) / total_ / 1e6
+               : 0;
+  }
+  /// Sustained flops implied by a flops-per-update constant (PERF-style).
+  double gflops(double flopsPerLup) const {
+    return mlups() * 1e6 * flopsPerLup / 1e9;
+  }
+
+  void reset() {
+    steps_ = 0;
+    total_ = 0;
+    minS_ = std::numeric_limits<double>::infinity();
+    maxS_ = 0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  double cells_;
+  std::uint64_t steps_ = 0;
+  double total_ = 0;
+  double minS_ = std::numeric_limits<double>::infinity();
+  double maxS_ = 0;
+};
+
+}  // namespace swlb::obs
+
+namespace swlb {
+/// StepProfiler predates the obs layer and is used throughout benches and
+/// tests under its original unqualified name.
+using obs::StepProfiler;
+}  // namespace swlb

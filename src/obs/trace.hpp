@@ -1,0 +1,95 @@
+// Per-rank event tracer of the observability layer (DESIGN.md §6).
+//
+// The tracer answers the question the paper's whole evaluation hangs on
+// (§V, Figs. 8-17): *where inside a step does the time go* — collide vs.
+// stream, halo pack/exchange/unpack, overlapped compute — per rank, on a
+// shared timeline.  Every rank thread records complete [begin, end) events
+// into its own bounded buffer (no locks on the hot path; registration of a
+// new thread takes the registry mutex once), and export merges all buffers
+// of a World into one Chrome-trace JSON timeline that loads directly in
+// chrome://tracing or Perfetto (one "thread" row per rank).
+//
+// Thread-safety contract: record() is called concurrently from many rank
+// threads (each touching only its own buffer); eventCount()/events()/
+// writeChromeTrace() must only run after those threads quiesced (e.g.
+// after World::run returned — thread join provides the happens-before).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace swlb::obs {
+
+/// One complete phase occurrence on one rank's timeline.
+struct TraceEvent {
+  const char* name = "";  ///< static phase label (not owned)
+  int rank = 0;
+  double beginUs = 0;  ///< microseconds since the tracer's epoch
+  double durUs = 0;
+};
+
+class Tracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// @param maxEventsPerThread bound on buffered events per recording
+  ///   thread; further events are counted as dropped, never allocated.
+  explicit Tracer(std::size_t maxEventsPerThread = 1u << 20);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Record one complete event on the calling thread's buffer.
+  void record(const char* name, Clock::time_point begin, Clock::time_point end,
+              int rank);
+
+  /// Total buffered events across all threads (quiesced readers only).
+  std::size_t eventCount() const;
+  /// Events rejected because a thread buffer hit its bound.
+  std::uint64_t droppedEvents() const;
+  /// Number of distinct recording threads seen so far.
+  std::size_t threadCount() const;
+  /// All events merged across threads, sorted by begin time.
+  std::vector<TraceEvent> events() const;
+  /// Drop all buffered events (buffers stay registered).
+  void clear();
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in microseconds,
+  /// tid = rank) merging every rank into one timeline.
+  void writeChromeTrace(std::ostream& os) const;
+  void writeChromeTrace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    int rank = 0;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+  };
+
+  ThreadBuffer& buffer(int rank);
+  double toUs(Clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
+
+  const std::uint64_t id_;  ///< process-unique, guards thread-local caches
+  const std::size_t cap_;
+  const Clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex m_;  ///< guards buffers_ registration and bulk reads
+  std::deque<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+}  // namespace swlb::obs

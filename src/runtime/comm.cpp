@@ -1,5 +1,7 @@
 #include "runtime/comm.hpp"
 
+#include "obs/context.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -113,16 +115,19 @@ struct World::Impl {
       switch (r.action) {
         case FaultPlan::Action::Drop:
           ++faultStats.dropped;
+          obs::count("comm.faults.dropped");
           return true;
         case FaultPlan::Action::Delay:
           msg.availableAt += std::chrono::duration_cast<Clock::duration>(
               std::chrono::duration<double>(r.delay));
           ++faultStats.delayed;
+          obs::count("comm.faults.delayed");
           break;
         case FaultPlan::Action::Corrupt:
           if (!msg.data.empty()) {
             msg.data[r.corruptByte % msg.data.size()] ^= r.xorMask;
             ++faultStats.corrupted;
+            obs::count("comm.faults.corrupted");
           }
           break;
       }
@@ -263,6 +268,8 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   msg.availableAt = impl.deliveryTime(bytes);
   ++stats_.messagesSent;
   stats_.bytesSent += bytes;
+  obs::count("comm.messages_sent");
+  obs::count("comm.bytes_sent", bytes);
   if (impl.cfg.faults.enabled() &&
       impl.applyMessageFaults(rank_, dst, tag, msg))
     return;  // dropped by the fault plan
@@ -275,10 +282,17 @@ void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
 
 void Comm::recv(int src, int tag, void* data, std::size_t bytes,
                 double timeoutSec) {
-  world_->impl_->recvBlocking(rank_, src, tag, data, bytes,
-                              deadlineFrom(timeoutSec));
+  try {
+    world_->impl_->recvBlocking(rank_, src, tag, data, bytes,
+                                deadlineFrom(timeoutSec));
+  } catch (const TimeoutError&) {
+    obs::count("comm.timeouts");
+    throw;
+  }
   ++stats_.messagesReceived;
   stats_.bytesReceived += bytes;
+  obs::count("comm.messages_received");
+  obs::count("comm.bytes_received", bytes);
 }
 
 void Comm::sendChecksummed(int dst, int tag, const void* data,
@@ -296,6 +310,7 @@ void Comm::recvChecksummed(int src, int tag, void* data, std::size_t bytes) {
   std::uint64_t h = 0;
   std::memcpy(&h, frame.data() + bytes, sizeof(h));
   if (fnv1a_hash(frame.data(), bytes) != h) {
+    obs::count("comm.corruption_detected");
     throw CorruptionError("Comm::recvChecksummed: checksum mismatch on rank " +
                           std::to_string(rank_) + " (src=" + std::to_string(src) +
                           ", tag=" + std::to_string(tag) +
@@ -312,6 +327,7 @@ void Comm::faultTick(std::uint64_t step) {
   if (impl.killFired) return;  // one-shot: the respawned rank survives
   impl.killFired = true;
   ++impl.faultStats.kills;
+  obs::count("comm.faults.kills");
   throw RankKilledError(rank_, step);
 }
 
@@ -433,6 +449,9 @@ void World::run(const std::function<void(Comm&)>& fn) {
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
+      // Observability binding covers the rank's whole lifetime so phase
+      // scopes and Comm counters attribute to the right rank timeline.
+      obs::ScopedBind obsBind(impl_->cfg.tracer, impl_->cfg.metrics, r);
       try {
         fn(comms[static_cast<std::size_t>(r)]);
       } catch (...) {

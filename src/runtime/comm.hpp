@@ -31,6 +31,11 @@
 
 #include "core/common.hpp"
 
+namespace swlb::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace swlb::obs
+
 namespace swlb::runtime {
 
 /// Matches any source rank in recv/irecv.
@@ -115,6 +120,12 @@ struct WorldConfig {
   bool busyWait = false;
   /// Injected faults (drop/delay/corrupt messages, kill a rank).
   FaultPlan faults;
+  /// Observability (DESIGN.md §6): when set, World::run binds every rank
+  /// thread to this tracer/registry (obs::ScopedBind), so solver phase
+  /// scopes trace per rank and Comm meters messages/bytes/timeouts/faults
+  /// into named counters.  Both optional and independent; neither is owned.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Counters of injected faults actually applied (whole world).

@@ -13,6 +13,7 @@
 
 #include "core/kernels.hpp"
 #include "core/macroscopic.hpp"
+#include "obs/context.hpp"
 #include "runtime/halo.hpp"
 
 namespace swlb::runtime {
@@ -98,23 +99,46 @@ class DistributedSolver {
     });
   }
 
+  // Phase names below ("z_wrap", "halo.post", "compute.interior", ...) are
+  // the observability layer's contract: each is one trace event per step
+  // per rank and one histogram observation (DESIGN.md §6).  Top-level
+  // phases are disjoint sub-intervals of "step", so their times sum to at
+  // most the step time — an invariant test_obs_integration checks.
   void step() {
+    obs::TraceScope stepScope("step");
     SWLB_ASSERT(maskFinal_);
     PopulationField& src = f_[parity_];
     PopulationField& dst = f_[1 - parity_];
-    // z is never decomposed: wrap it locally before the x/y exchange so
-    // the exchanged strips carry valid z-halo rows.
-    apply_periodic(src, Periodicity{false, false, zWrapLocal()});
+    {
+      // z is never decomposed: wrap it locally before the x/y exchange so
+      // the exchanged strips carry valid z-halo rows.
+      obs::TraceScope zScope("z_wrap");
+      apply_periodic(src, Periodicity{false, false, zWrapLocal()});
+    }
 
     if (cfg_.mode == HaloMode::Sequential) {
-      halo_.exchange(comm_, src);
+      {
+        obs::TraceScope haloScope("halo.exchange");
+        halo_.exchange(comm_, src);
+      }
+      obs::TraceScope computeScope("compute.interior");
       stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision,
                               grid_.interior());
     } else {
-      halo_.begin(comm_, src);
-      stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision,
-                              halo_.innerBox());
-      halo_.finish(comm_, src);
+      {
+        obs::TraceScope postScope("halo.post");
+        halo_.begin(comm_, src);
+      }
+      {
+        obs::TraceScope computeScope("compute.interior");
+        stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision,
+                                halo_.innerBox());
+      }
+      {
+        obs::TraceScope finishScope("halo.finish");
+        halo_.finish(comm_, src);
+      }
+      obs::TraceScope frontierScope("compute.frontier");
       for (const Box3& b : halo_.boundaryShell())
         stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision, b);
     }

@@ -1,5 +1,7 @@
 #include "runtime/halo.hpp"
 
+#include "obs/context.hpp"
+
 namespace swlb::runtime {
 
 namespace {
@@ -117,6 +119,7 @@ void HaloExchange::begin(Comm& comm, PopulationField& f) {
     n.pending = comm.irecv(n.rank, n.recvTag, n.recvBuf.data(),
                            n.recvBuf.size() * sizeof(Real));
   }
+  obs::TraceScope packScope("halo.pack");
   for (auto& n : neighbors_) {
     n.sendBuf.resize(static_cast<std::size_t>(n.sendBox.volume()) * q);
     packBox(f, q, n.sendBox, n.sendBuf.data());
@@ -129,7 +132,11 @@ void HaloExchange::finish(Comm& comm, PopulationField& f) {
   (void)comm;
   const int q = f.q();
   for (auto& n : neighbors_) {
-    n.pending.wait();
+    {
+      obs::TraceScope waitScope("halo.wait");
+      n.pending.wait();
+    }
+    obs::TraceScope unpackScope("halo.unpack");
     unpackBox(f, q, n.recvBox, n.recvBuf.data());
   }
 }

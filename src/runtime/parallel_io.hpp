@@ -17,6 +17,7 @@
 #include "core/macroscopic.hpp"
 #include "io/checkpoint.hpp"
 #include "io/vtk.hpp"
+#include "obs/context.hpp"
 #include "runtime/distributed_solver.hpp"
 
 namespace swlb::runtime {
@@ -37,6 +38,7 @@ inline std::string group_manifest_path(const std::string& prefix) {
 template <class D>
 void save_group_checkpoint(DistributedSolver<D>& solver,
                            const std::string& prefix) {
+  obs::TraceScope saveScope("checkpoint.group_save");
   Comm& comm = solver.comm();
   io::save_checkpoint(group_checkpoint_path(prefix, comm.rank()), solver.f(),
                       solver.stepsDone(), solver.parity());
@@ -71,6 +73,7 @@ void save_group_checkpoint(DistributedSolver<D>& solver,
 template <class D>
 void load_group_checkpoint(DistributedSolver<D>& solver,
                            const std::string& prefix) {
+  obs::TraceScope restoreScope("checkpoint.group_restore");
   Comm& comm = solver.comm();
   // Every rank parses the manifest (cheap, avoids a broadcast round).
   std::ifstream in(group_manifest_path(prefix));

@@ -1,5 +1,7 @@
 #include "sw/cpe.hpp"
 
+#include "obs/context.hpp"
+
 namespace swlb::sw {
 
 CpeCluster::CpeCluster(const CoreGroupSpec& spec)
@@ -16,6 +18,18 @@ CpeCluster::CpeCluster(const CoreGroupSpec& spec)
 }
 
 void CpeCluster::run(const std::function<void(CpeContext&)>& kernel) {
+  obs::TraceScope runScope("sw.run");
+  // Delta metering: the cluster's engines accumulate across run() calls,
+  // but the observability counters should attribute traffic to this launch
+  // only.  Skipped entirely when no obs context is bound.
+  const bool metered = obs::current() != nullptr;
+  DmaStats dmaBefore;
+  FabricStats regBefore, rmaBefore;
+  if (metered) {
+    dmaBefore = dmaTotal();
+    regBefore = reg_.stats();
+    rmaBefore = rma_.stats();
+  }
   for (int i = 0; i < cpeCount(); ++i) {
     CpeContext ctx;
     ctx.id = i;
@@ -28,6 +42,19 @@ void CpeCluster::run(const std::function<void(CpeContext&)>& kernel) {
     ctx.rma = spec_.hasRma ? &rma_ : nullptr;
     ctx.ldm->reset();
     kernel(ctx);
+  }
+  if (metered) {
+    const DmaStats dmaAfter = dmaTotal();
+    const FabricStats regAfter = reg_.stats();
+    const FabricStats rmaAfter = rma_.stats();
+    obs::count("sw.dma.bytes", dmaAfter.bytes() - dmaBefore.bytes());
+    obs::count("sw.dma.transactions",
+               dmaAfter.transactions() - dmaBefore.transactions());
+    obs::count("sw.regcomm.bytes", regAfter.bytes - regBefore.bytes);
+    obs::count("sw.regcomm.packets", regAfter.packets - regBefore.packets);
+    obs::count("sw.rma.bytes", rmaAfter.bytes - rmaBefore.bytes);
+    obs::gaugeMax("sw.ldm_high_water", static_cast<double>(ldmHighWater()));
+    obs::gaugeSet("sw.dma.modeled_seconds", dmaModeledSeconds());
   }
 }
 
