@@ -1,0 +1,186 @@
+// swlb::coll ablation: naive vs binomial-tree vs ring allreduce
+// (DESIGN.md §7).  The size-based Auto policy should match the winner of
+// this table at both extremes: latency-bound small payloads go to the
+// log-depth tree, bandwidth-bound large payloads to the ring, whose
+// per-rank traffic is the asymptotically optimal 2*(P-1)/P of the buffer.
+//
+// Also cross-checks the measured byte counters against the analytic
+// communication volume and prints the NetworkModel's view of the same
+// three algorithms, on the host geometry and at machine scale.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "coll/coll.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
+#include "perf/network.hpp"
+#include "perf/report.hpp"
+#include "runtime/comm.hpp"
+#include "sw/spec.hpp"
+
+using namespace swlb;
+using runtime::Comm;
+using runtime::World;
+using runtime::WorldConfig;
+
+namespace {
+
+constexpr int kRanks = 8;
+
+const char* algoName(coll::Algo a) {
+  switch (a) {
+    case coll::Algo::Naive: return "naive";
+    case coll::Algo::Tree: return "tree";
+    case coll::Algo::Ring: return "ring";
+    default: return "auto";
+  }
+}
+
+/// Mean seconds per allreduce of `count` doubles under a forced algorithm,
+/// barrier-fenced and reduced Max over ranks so the slowest rank defines
+/// the collective's cost (as it does in a real bulk-synchronous step).
+double measure(coll::Algo algo, std::size_t count, int iters,
+               obs::MetricsRegistry* metrics = nullptr) {
+  WorldConfig wc;
+  wc.metrics = metrics;
+  World world(kRanks, wc);
+  double perCall = 0;
+  world.run([&](Comm& c) {
+    coll::CollConfig cfg;
+    cfg.allreduce = algo;
+    coll::Collectives cs(c, cfg);
+    // Zero payload: Sum stays exactly 0.0 over any iteration count.
+    std::vector<double> v(count, 0.0);
+    cs.allreduce(std::span<double>(v), coll::Op::Sum);  // warm-up
+    c.barrier();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+      cs.allreduce(std::span<double>(v), coll::Op::Sum);
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double worst = c.allreduce(sec, Comm::Op::Max);
+    if (c.rank() == 0) perCall = worst / iters;
+  });
+  return perCall;
+}
+
+/// One clean ring allreduce with metering; returns measured total payload
+/// bytes sent across all ranks, for the analytic-volume cross-check.
+std::uint64_t meteredRingBytes(std::size_t count) {
+  obs::MetricsRegistry reg;
+  WorldConfig wc;
+  wc.metrics = &reg;
+  World world(kRanks, wc);
+  world.run([&](Comm& c) {
+    coll::CollConfig cfg;
+    cfg.allreduce = coll::Algo::Ring;
+    coll::Collectives cs(c, cfg);
+    std::vector<double> v(count, 1.0);
+    cs.allreduce(std::span<double>(v), coll::Op::Sum);
+  });
+  return reg.counterValue("coll.allreduce.bytes_sent");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      std::cerr << "usage: bench_collectives [--json <path>]\n";
+      return 2;
+    }
+  }
+  obs::BenchReport report("bench_collectives");
+
+  perf::printHeading("Allreduce algorithms (measured, " +
+                     std::to_string(kRanks) + " ranks)");
+  perf::Table t({"payload", "algorithm", "per call", "vs naive"});
+  const coll::Algo algos[] = {coll::Algo::Naive, coll::Algo::Tree,
+                              coll::Algo::Ring};
+  struct Case {
+    std::size_t count;
+    int iters;
+    const char* label;
+  };
+  const Case cases[] = {{1, 200, "8 B"}, {131072, 20, "1 MiB"}};
+  for (const Case& cs : cases) {
+    double naive = 0;
+    for (coll::Algo algo : algos) {
+      obs::MetricsRegistry reg;
+      const double sec = measure(algo, cs.count, cs.iters,
+                                 jsonPath.empty() ? nullptr : &reg);
+      if (algo == coll::Algo::Naive) naive = sec;
+      t.addRow({cs.label, algoName(algo), perf::Table::num(sec * 1e6, 1) + " us",
+                perf::Table::num(naive / sec, 2) + "x"});
+      if (!jsonPath.empty()) {
+        obs::BenchReport::Result& r = report.add(
+            std::string(algoName(algo)) + "_" +
+            std::to_string(cs.count * sizeof(double)) + "B");
+        r.set("seconds_per_call", sec);
+        r.set("payload_bytes", static_cast<double>(cs.count * sizeof(double)));
+        r.set("ranks", kRanks);
+        r.set("iters", cs.iters);
+        r.set("speedup_vs_naive", naive / sec);
+        r.setText("algorithm", algoName(algo));
+        r.addMetrics(reg);
+      }
+    }
+  }
+  t.print();
+
+  perf::printHeading("Measured vs analytic communication volume (ring)");
+  {
+    const std::size_t count = 131072;
+    const std::uint64_t bytes = count * sizeof(double);
+    // Ring allreduce: every rank sends 2*(P-1) chunks of bytes/P, so the
+    // world-total payload traffic is exactly 2*(P-1)*bytes.
+    const std::uint64_t analytic = 2ull * (kRanks - 1) * bytes;
+    const std::uint64_t measured = meteredRingBytes(count);
+    perf::Table v({"quantity", "bytes"});
+    v.addRow({"analytic 2(P-1)*N", std::to_string(analytic)});
+    v.addRow({"measured coll.allreduce.bytes_sent", std::to_string(measured)});
+    v.print();
+    if (measured != analytic) {
+      std::cerr << "FAIL: measured ring volume deviates from analytic\n";
+      return 1;
+    }
+    std::cout << "ring volume check: PASS\n";
+    if (!jsonPath.empty()) {
+      obs::BenchReport::Result& r = report.add("ring_volume_check");
+      r.set("analytic_bytes", static_cast<double>(analytic));
+      r.set("measured_bytes", static_cast<double>(measured));
+      r.set("ranks", kRanks);
+    }
+  }
+
+  perf::printHeading("NetworkModel cost view (sw26010 geometry)");
+  {
+    const perf::NetworkModel model(sw::MachineSpec::sw26010().net, kRanks);
+    using CA = perf::NetworkModel::CollAlgo;
+    perf::Table m({"ranks", "payload", "naive", "tree", "ring"});
+    for (int P : {kRanks, 1024, 160000}) {
+      const perf::NetworkModel big(sw::MachineSpec::sw26010().net, P);
+      for (std::size_t bytes : {std::size_t(8), std::size_t(1) << 20}) {
+        m.addRow({std::to_string(P),
+                  bytes == 8 ? "8 B" : "1 MiB",
+                  perf::Table::num(big.collectiveSeconds(CA::Naive, bytes, P) * 1e6, 1) + " us",
+                  perf::Table::num(big.collectiveSeconds(CA::Tree, bytes, P) * 1e6, 1) + " us",
+                  perf::Table::num(big.collectiveSeconds(CA::Ring, bytes, P) * 1e6, 1) + " us"});
+      }
+    }
+    m.print();
+    (void)model;
+  }
+
+  if (!jsonPath.empty()) {
+    report.write(jsonPath);
+    std::cout << "wrote " << jsonPath << "\n";
+  }
+  return 0;
+}

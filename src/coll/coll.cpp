@@ -1,0 +1,565 @@
+// swlb::coll implementation — see coll.hpp for the contracts.
+//
+// All algorithms run in *virtual* rank space (topo_.pos/order) and
+// translate to physical ranks only when addressing messages, so a
+// topology permutation never changes the operand order of a reduction.
+// Rooted trees use MPICH-style relative ranks (rel = (v - vroot) mod P),
+// which makes every binomial pattern correct for any P, not just powers
+// of two.  The deterministic bracket: the lower relative-rank sub-range
+// is always the LEFT operand of the combine.
+
+#include "coll/coll.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/context.hpp"
+
+namespace swlb::coll {
+
+namespace {
+
+constexpr Collectives::Meter kBarrierMeter{
+    "coll.barrier", "coll.barrier.bytes_sent", "coll.barrier.messages_sent"};
+constexpr Collectives::Meter kAllreduceMeter{
+    "coll.allreduce", "coll.allreduce.bytes_sent",
+    "coll.allreduce.messages_sent"};
+constexpr Collectives::Meter kReduceMeter{
+    "coll.reduce", "coll.reduce.bytes_sent", "coll.reduce.messages_sent"};
+constexpr Collectives::Meter kBroadcastMeter{
+    "coll.broadcast", "coll.broadcast.bytes_sent",
+    "coll.broadcast.messages_sent"};
+constexpr Collectives::Meter kGatherMeter{
+    "coll.gather", "coll.gather.bytes_sent", "coll.gather.messages_sent"};
+constexpr Collectives::Meter kGathervMeter{
+    "coll.gatherv", "coll.gatherv.bytes_sent", "coll.gatherv.messages_sent"};
+constexpr Collectives::Meter kAllgatherMeter{
+    "coll.allgather", "coll.allgather.bytes_sent",
+    "coll.allgather.messages_sent"};
+constexpr Collectives::Meter kReduceScatterMeter{
+    "coll.reduce_scatter", "coll.reduce_scatter.bytes_sent",
+    "coll.reduce_scatter.messages_sent"};
+
+/// Deterministic combine: `a` is the earlier (lower virtual rank range)
+/// operand.  For Sum the operand order fixes the floating-point result.
+template <typename T>
+T applyOp(T a, T b, Op op) {
+  switch (op) {
+    case Op::Sum:
+      return a + b;
+    case Op::Min:
+      return a < b ? a : b;
+    case Op::Max:
+      return b < a ? a : b;
+  }
+  return a;
+}
+
+}  // namespace
+
+Collectives::Collectives(runtime::Comm& comm, const CollConfig& cfg)
+    : comm_(comm),
+      cfg_(cfg),
+      topo_(cfg.topology
+                ? Topology::fromNetworkModel(*cfg.topology, comm.size())
+                : Topology::identity(comm.size())),
+      size_(comm.size()),
+      rank_(comm.rank()) {}
+
+std::pair<std::size_t, std::size_t> Collectives::chunkRange(std::size_t n,
+                                                            int parts,
+                                                            int idx) {
+  const std::size_t p = static_cast<std::size_t>(parts);
+  const std::size_t i = static_cast<std::size_t>(idx);
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  const std::size_t lo = i * base + std::min(i, extra);
+  return {lo, lo + base + (i < extra ? 1 : 0)};
+}
+
+Algo Collectives::resolve(Algo cfgAlgo, std::size_t payloadBytes) const {
+  if (cfgAlgo != Algo::Auto) return cfgAlgo;
+  return payloadBytes >= cfg_.ringThresholdBytes ? Algo::Ring : Algo::Tree;
+}
+
+void Collectives::sendBytes(int dst, int tag, const void* data,
+                            std::size_t bytes, const Meter& m) {
+  if (cfg_.checksummed)
+    comm_.sendChecksummed(dst, tag, data, bytes);
+  else
+    comm_.send(dst, tag, data, bytes);
+  obs::count("coll.messages_sent");
+  obs::count("coll.bytes_sent", bytes);
+  obs::count(m.messagesSent);
+  obs::count(m.bytesSent, bytes);
+}
+
+void Collectives::recvBytes(int src, int tag, void* data, std::size_t bytes,
+                            const Meter& m) {
+  (void)m;
+  if (cfg_.checksummed)
+    comm_.recvChecksummed(src, tag, data, bytes);
+  else
+    comm_.recv(src, tag, data, bytes);
+}
+
+void Collectives::barrier() {
+  obs::TraceScope scope(kBarrierMeter.phase);
+  const int tag = runtime::colltag::encode(comm_.nextCollSequence());
+  if (size_ <= 1) return;
+  // Dissemination barrier: in round k each slot signals (v + k) mod P and
+  // waits on (v - k) mod P; after ceil(log2 P) rounds every rank has a
+  // (transitive) signal from every other, for any P.
+  std::uint8_t token = 0;
+  const int v = vrank();
+  for (int k = 1; k < size_; k <<= 1) {
+    sendBytes(rankAt((v + k) % size_), tag, &token, 0, kBarrierMeter);
+    recvBytes(rankAt((v - k + size_) % size_), tag, &token, 0, kBarrierMeter);
+  }
+}
+
+// ---- rooted binomial trees (relative virtual ranks) ----------------------
+
+template <typename T>
+void Collectives::reduceTree(int root, std::span<T> data, Op op, int tag,
+                             const Meter& m) {
+  const int P = size_;
+  const int vroot = topo_.pos[static_cast<std::size_t>(root)];
+  const int rel = (vrank() - vroot + P) % P;
+  auto physOfRel = [&](int rr) { return rankAt((rr + vroot) % P); };
+  std::vector<T> tmp(data.size());
+  for (int mask = 1; mask < P; mask <<= 1) {
+    if (rel & mask) {
+      // Contributed every sub-range below `mask`; hand the partial up.
+      sendBytes(physOfRel(rel - mask), tag, data.data(), data.size_bytes(), m);
+      return;
+    }
+    const int src = rel + mask;
+    if (src < P) {
+      recvBytes(physOfRel(src), tag, tmp.data(), data.size_bytes(), m);
+      for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = applyOp(data[i], tmp[i], op);  // lower range on the left
+    }
+  }
+}
+
+template <typename T>
+void Collectives::broadcastTree(int root, std::span<T> data, int tag,
+                                const Meter& m) {
+  const int P = size_;
+  const int vroot = topo_.pos[static_cast<std::size_t>(root)];
+  const int rel = (vrank() - vroot + P) % P;
+  auto physOfRel = [&](int rr) { return rankAt((rr + vroot) % P); };
+  int mask = 1;
+  while (mask < P) {
+    if (rel & mask) {
+      recvBytes(physOfRel(rel - mask), tag, data.data(), data.size_bytes(), m);
+      break;
+    }
+    mask <<= 1;
+  }
+  for (mask >>= 1; mask > 0; mask >>= 1)
+    if (rel + mask < P)
+      sendBytes(physOfRel(rel + mask), tag, data.data(), data.size_bytes(), m);
+}
+
+template <typename T>
+void Collectives::reduceNaive(int root, std::span<T> data, Op op, int tag,
+                              const Meter& m) {
+  const std::size_t n = data.size();
+  if (rank_ != root) {
+    sendBytes(root, tag, data.data(), data.size_bytes(), m);
+    return;
+  }
+  std::vector<T> blocks(static_cast<std::size_t>(size_) * n);
+  std::vector<runtime::Request> reqs;
+  for (int src = 0; src < size_; ++src) {
+    if (src == root) continue;
+    T* dst = blocks.data() + static_cast<std::size_t>(src) * n;
+    if (cfg_.checksummed)
+      comm_.recvChecksummed(src, tag, dst, n * sizeof(T));
+    else
+      reqs.push_back(comm_.irecv(src, tag, dst, n * sizeof(T)));
+  }
+  for (auto& r : reqs) r.wait();
+  // Canonical left fold in physical rank order (the serial reference).
+  auto block = [&](int r) -> const T* {
+    return r == root ? data.data()
+                     : blocks.data() + static_cast<std::size_t>(r) * n;
+  };
+  std::vector<T> acc(block(0), block(0) + n);
+  for (int r = 1; r < size_; ++r)
+    for (std::size_t i = 0; i < n; ++i)
+      acc[i] = applyOp(acc[i], block(r)[i], op);
+  std::copy(acc.begin(), acc.end(), data.begin());
+}
+
+template <typename T>
+void Collectives::broadcastNaive(int root, std::span<T> data, int tag,
+                                 const Meter& m) {
+  if (rank_ == root) {
+    for (int dst = 0; dst < size_; ++dst)
+      if (dst != root)
+        sendBytes(dst, tag, data.data(), data.size_bytes(), m);
+  } else {
+    recvBytes(root, tag, data.data(), data.size_bytes(), m);
+  }
+}
+
+// ---- ring (bandwidth-optimal) --------------------------------------------
+
+template <typename T>
+void Collectives::allreduceRing(std::span<T> data, Op op, int tag,
+                                const Meter& m) {
+  const int P = size_;
+  const std::size_t n = data.size();
+  const int v = vrank();
+  const int right = rankAt((v + 1) % P);
+  const int left = rankAt((v - 1 + P) % P);
+  const std::size_t maxChunk = n / static_cast<std::size_t>(P) + 1;
+  std::vector<T> tmp(maxChunk);
+  // Reduce-scatter: in step s, slot v forwards chunk (v - s) mod P and
+  // folds the incoming partial of chunk (v - s - 1) mod P.  Each chunk
+  // thus travels the ring once, folding linearly from its owner slot —
+  // a fixed operand order (traveling accumulator on the left).
+  for (int s = 0; s < P - 1; ++s) {
+    const int sc = (v - s + P) % P;
+    const int rc = (v - s - 1 + P) % P;
+    const auto [sLo, sHi] = chunkRange(n, P, sc);
+    const auto [rLo, rHi] = chunkRange(n, P, rc);
+    sendBytes(right, tag, data.data() + sLo, (sHi - sLo) * sizeof(T), m);
+    recvBytes(left, tag, tmp.data(), (rHi - rLo) * sizeof(T), m);
+    for (std::size_t i = 0; i < rHi - rLo; ++i)
+      data[rLo + i] = applyOp(tmp[i], data[rLo + i], op);
+  }
+  // Allgather: slot v now holds the final chunk (v + 1) mod P; circulate
+  // the finished chunks the rest of the way around.
+  for (int s = 0; s < P - 1; ++s) {
+    const int sc = (v + 1 - s + P) % P;
+    const int rc = (v - s + P) % P;
+    const auto [sLo, sHi] = chunkRange(n, P, sc);
+    const auto [rLo, rHi] = chunkRange(n, P, rc);
+    sendBytes(right, tag, data.data() + sLo, (sHi - sLo) * sizeof(T), m);
+    recvBytes(left, tag, data.data() + rLo, (rHi - rLo) * sizeof(T), m);
+  }
+}
+
+template <typename T>
+void Collectives::allgatherRing(std::span<const T> local, std::span<T> out,
+                                int tag, const Meter& m) {
+  const int P = size_;
+  const std::size_t n = local.size();
+  const int v = vrank();
+  const int right = rankAt((v + 1) % P);
+  const int left = rankAt((v - 1 + P) % P);
+  std::copy(local.begin(), local.end(),
+            out.begin() + static_cast<std::size_t>(rank_) * n);
+  // Step s forwards the block of ring slot (v - s) mod P; blocks land at
+  // their owner's *physical* index in `out`.
+  for (int s = 0; s < P - 1; ++s) {
+    const int sPhys = rankAt((v - s + P) % P);
+    const int rPhys = rankAt((v - s - 1 + P) % P);
+    sendBytes(right, tag, out.data() + static_cast<std::size_t>(sPhys) * n,
+              n * sizeof(T), m);
+    recvBytes(left, tag, out.data() + static_cast<std::size_t>(rPhys) * n,
+              n * sizeof(T), m);
+  }
+}
+
+template <typename T>
+void Collectives::reduceScatterRing(std::span<const T> in, std::span<T> out,
+                                    Op op, int tag, const Meter& m) {
+  const int P = size_;
+  const std::size_t n = in.size();
+  const int v = vrank();
+  const int right = rankAt((v + 1) % P);
+  const int left = rankAt((v - 1 + P) % P);
+  // The data layout is chunked by *physical* rank (chunk p belongs to
+  // rank p), but the ring folds chunks in virtual slot order.  Map ring
+  // chunk c to the data range of physical rank order[(c - 1 + P) mod P]:
+  // slot v then finishes ring chunk (v + 1) mod P = its own physical
+  // chunk order[v] == rank_.
+  auto ringRange = [&](int c) {
+    return chunkRange(n, P, rankAt((c - 1 + P) % P));
+  };
+  std::vector<T> work(in.begin(), in.end());
+  const std::size_t maxChunk = n / static_cast<std::size_t>(P) + 1;
+  std::vector<T> tmp(maxChunk);
+  for (int s = 0; s < P - 1; ++s) {
+    const auto [sLo, sHi] = ringRange((v - s + P) % P);
+    const auto [rLo, rHi] = ringRange((v - s - 1 + P) % P);
+    sendBytes(right, tag, work.data() + sLo, (sHi - sLo) * sizeof(T), m);
+    recvBytes(left, tag, tmp.data(), (rHi - rLo) * sizeof(T), m);
+    for (std::size_t i = 0; i < rHi - rLo; ++i)
+      work[rLo + i] = applyOp(tmp[i], work[rLo + i], op);
+  }
+  const auto [lo, hi] = chunkRange(n, P, rank_);
+  SWLB_ASSERT(out.size() >= hi - lo && "reduce_scatter: out chunk too small");
+  std::copy(work.begin() + static_cast<std::ptrdiff_t>(lo),
+            work.begin() + static_cast<std::ptrdiff_t>(hi), out.begin());
+}
+
+// ---- gathers -------------------------------------------------------------
+
+template <typename T>
+void Collectives::gatherNaive(int root, std::span<const T> local,
+                              std::span<T> out, int tag, const Meter& m) {
+  const std::size_t n = local.size();
+  if (rank_ != root) {
+    sendBytes(root, tag, local.data(), local.size_bytes(), m);
+    return;
+  }
+  std::copy(local.begin(), local.end(),
+            out.begin() + static_cast<std::size_t>(root) * n);
+  if (cfg_.checksummed) {
+    // Checksummed frames carry a trailer, so sizes cannot be matched by a
+    // plain irecv; fall back to in-order verified receives.
+    for (int src = 0; src < size_; ++src)
+      if (src != root)
+        comm_.recvChecksummed(
+            src, tag, out.data() + static_cast<std::size_t>(src) * n,
+            n * sizeof(T));
+    return;
+  }
+  // Post every receive up front, then wait: a slow source never blocks
+  // the others from landing (no head-of-line blocking).
+  std::vector<runtime::Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int src = 0; src < size_; ++src)
+    if (src != root)
+      reqs.push_back(comm_.irecv(src, tag,
+                                 out.data() + static_cast<std::size_t>(src) * n,
+                                 n * sizeof(T)));
+  for (auto& r : reqs) r.wait();
+}
+
+template <typename T>
+void Collectives::gatherTree(int root, std::span<const T> local,
+                             std::span<T> out, int tag, const Meter& m) {
+  const int P = size_;
+  const std::size_t n = local.size();
+  const int vroot = topo_.pos[static_cast<std::size_t>(root)];
+  const int rel = (vrank() - vroot + P) % P;
+  auto physOfRel = [&](int rr) { return rankAt((rr + vroot) % P); };
+  // buf accumulates the blocks of relative ranks [rel, rel + held) — a
+  // binomial subtree is always a contiguous relative-rank range.
+  std::vector<T> buf(static_cast<std::size_t>(P - rel) * n);
+  std::copy(local.begin(), local.end(), buf.begin());
+  for (int mask = 1; mask < P; mask <<= 1) {
+    if (rel & mask) {
+      const std::size_t held =
+          static_cast<std::size_t>(std::min(mask, P - rel));
+      sendBytes(physOfRel(rel - mask), tag, buf.data(), held * n * sizeof(T),
+                m);
+      return;
+    }
+    const int src = rel + mask;
+    if (src < P) {
+      const std::size_t childBlocks =
+          static_cast<std::size_t>(std::min(mask, P - src));
+      recvBytes(physOfRel(src), tag,
+                buf.data() + static_cast<std::size_t>(mask) * n,
+                childBlocks * n * sizeof(T), m);
+    }
+  }
+  // Root (rel == 0): unpack relative order back to physical positions.
+  for (int rr = 0; rr < P; ++rr) {
+    const std::size_t phys = static_cast<std::size_t>(physOfRel(rr));
+    std::copy(buf.begin() + static_cast<std::ptrdiff_t>(rr * n),
+              buf.begin() + static_cast<std::ptrdiff_t>((rr + 1) * n),
+              out.begin() + static_cast<std::ptrdiff_t>(phys * n));
+  }
+}
+
+// ---- public dispatchers --------------------------------------------------
+
+template <typename T>
+void Collectives::allreduce(std::span<T> data, Op op) {
+  obs::TraceScope scope(kAllreduceMeter.phase);
+  const int tag = runtime::colltag::encode(comm_.nextCollSequence());
+  if (size_ <= 1) return;
+  switch (resolve(cfg_.allreduce, data.size_bytes())) {
+    case Algo::Naive:
+      reduceNaive(0, data, op, tag, kAllreduceMeter);
+      broadcastNaive(0, data, tag, kAllreduceMeter);
+      break;
+    case Algo::Ring:
+      allreduceRing(data, op, tag, kAllreduceMeter);
+      break;
+    default:
+      // Reduce to a single result, then distribute it: every rank ends
+      // with byte-identical values because the fold happens exactly once.
+      reduceTree(0, data, op, tag, kAllreduceMeter);
+      broadcastTree(0, data, tag, kAllreduceMeter);
+      break;
+  }
+}
+
+template <typename T>
+void Collectives::reduce(int root, std::span<T> data, Op op) {
+  obs::TraceScope scope(kReduceMeter.phase);
+  const int tag = runtime::colltag::encode(comm_.nextCollSequence());
+  if (size_ <= 1) return;
+  if (resolve(cfg_.reduce, data.size_bytes()) == Algo::Naive)
+    reduceNaive(root, data, op, tag, kReduceMeter);
+  else
+    reduceTree(root, data, op, tag, kReduceMeter);
+}
+
+template <typename T>
+void Collectives::broadcast(int root, std::span<T> data) {
+  obs::TraceScope scope(kBroadcastMeter.phase);
+  const int tag = runtime::colltag::encode(comm_.nextCollSequence());
+  if (size_ <= 1) return;
+  if (resolve(cfg_.broadcast, data.size_bytes()) == Algo::Naive)
+    broadcastNaive(root, data, tag, kBroadcastMeter);
+  else
+    broadcastTree(root, data, tag, kBroadcastMeter);
+}
+
+template <typename T>
+void Collectives::gather(int root, std::span<const T> local,
+                         std::span<T> out) {
+  obs::TraceScope scope(kGatherMeter.phase);
+  const int tag = runtime::colltag::encode(comm_.nextCollSequence());
+  if (size_ <= 1) {
+    std::copy(local.begin(), local.end(), out.begin());
+    return;
+  }
+  // Large payloads: flat gather (receives posted up front) keeps every
+  // source streaming straight to the root instead of store-and-forwarding
+  // ever-growing subtree buffers; small payloads: log-depth tree.
+  if (resolve(cfg_.gather, local.size_bytes()) == Algo::Tree)
+    gatherTree(root, local, out, tag, kGatherMeter);
+  else
+    gatherNaive(root, local, out, tag, kGatherMeter);
+}
+
+template <typename T>
+void Collectives::gatherv(int root, std::span<const T> local,
+                          std::span<const std::size_t> counts,
+                          std::span<T> out) {
+  obs::TraceScope scope(kGathervMeter.phase);
+  const int tag = runtime::colltag::encode(comm_.nextCollSequence());
+  if (rank_ != root) {
+    sendBytes(root, tag, local.data(), local.size_bytes(), kGathervMeter);
+    return;
+  }
+  SWLB_ASSERT(static_cast<int>(counts.size()) == size_ &&
+              "gatherv: counts must list every rank");
+  SWLB_ASSERT(counts[static_cast<std::size_t>(root)] == local.size() &&
+              "gatherv: root count mismatch");
+  std::vector<std::size_t> offset(static_cast<std::size_t>(size_) + 1, 0);
+  for (int r = 0; r < size_; ++r)
+    offset[static_cast<std::size_t>(r) + 1] =
+        offset[static_cast<std::size_t>(r)] + counts[static_cast<std::size_t>(r)];
+  SWLB_ASSERT(out.size() >= offset[static_cast<std::size_t>(size_)] &&
+              "gatherv: out too small");
+  std::copy(local.begin(), local.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(
+                              offset[static_cast<std::size_t>(root)]));
+  if (cfg_.checksummed) {
+    for (int src = 0; src < size_; ++src)
+      if (src != root)
+        comm_.recvChecksummed(src, tag,
+                              out.data() + offset[static_cast<std::size_t>(src)],
+                              counts[static_cast<std::size_t>(src)] * sizeof(T));
+    return;
+  }
+  std::vector<runtime::Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int src = 0; src < size_; ++src)
+    if (src != root)
+      reqs.push_back(
+          comm_.irecv(src, tag, out.data() + offset[static_cast<std::size_t>(src)],
+                      counts[static_cast<std::size_t>(src)] * sizeof(T)));
+  for (auto& r : reqs) r.wait();
+}
+
+template <typename T>
+void Collectives::allgather(std::span<const T> local, std::span<T> out) {
+  obs::TraceScope scope(kAllgatherMeter.phase);
+  const int tag = runtime::colltag::encode(comm_.nextCollSequence());
+  if (size_ <= 1) {
+    std::copy(local.begin(), local.end(), out.begin());
+    return;
+  }
+  switch (resolve(cfg_.allgather, local.size_bytes())) {
+    case Algo::Ring:
+      allgatherRing(local, out, tag, kAllgatherMeter);
+      break;
+    case Algo::Naive:
+      gatherNaive(0, local, out, tag, kAllgatherMeter);
+      broadcastNaive(0, out, tag, kAllgatherMeter);
+      break;
+    default:
+      gatherTree(0, local, out, tag, kAllgatherMeter);
+      broadcastTree(0, out, tag, kAllgatherMeter);
+      break;
+  }
+}
+
+template <typename T>
+void Collectives::reduce_scatter(std::span<const T> in, std::span<T> out,
+                                 Op op) {
+  obs::TraceScope scope(kReduceScatterMeter.phase);
+  const int tag = runtime::colltag::encode(comm_.nextCollSequence());
+  if (size_ <= 1) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  if (resolve(cfg_.reduceScatter, in.size_bytes()) == Algo::Ring) {
+    reduceScatterRing(in, out, op, tag, kReduceScatterMeter);
+    return;
+  }
+  // Small payloads: full reduce on rank 0, then a flat scatter of chunks.
+  std::vector<T> work(in.begin(), in.end());
+  const std::span<T> wspan(work);
+  if (resolve(cfg_.reduceScatter, in.size_bytes()) == Algo::Naive)
+    reduceNaive(0, wspan, op, tag, kReduceScatterMeter);
+  else
+    reduceTree(0, wspan, op, tag, kReduceScatterMeter);
+  const auto [myLo, myHi] = chunkRange(in.size(), size_, rank_);
+  if (rank_ == 0) {
+    for (int dst = 1; dst < size_; ++dst) {
+      const auto [lo, hi] = chunkRange(in.size(), size_, dst);
+      sendBytes(dst, tag, work.data() + lo, (hi - lo) * sizeof(T),
+                kReduceScatterMeter);
+    }
+    std::copy(work.begin() + static_cast<std::ptrdiff_t>(myLo),
+              work.begin() + static_cast<std::ptrdiff_t>(myHi), out.begin());
+  } else {
+    recvBytes(0, tag, out.data(), (myHi - myLo) * sizeof(T),
+              kReduceScatterMeter);
+  }
+}
+
+// ---- explicit instantiations ---------------------------------------------
+
+#define SWLB_COLL_INSTANTIATE_REDUCING(T)                                    \
+  template void Collectives::allreduce<T>(std::span<T>, Op);                 \
+  template void Collectives::reduce<T>(int, std::span<T>, Op);               \
+  template void Collectives::reduce_scatter<T>(std::span<const T>,           \
+                                               std::span<T>, Op);
+
+#define SWLB_COLL_INSTANTIATE_DATA(T)                                        \
+  template void Collectives::broadcast<T>(int, std::span<T>);                \
+  template void Collectives::gather<T>(int, std::span<const T>,              \
+                                       std::span<T>);                        \
+  template void Collectives::gatherv<T>(int, std::span<const T>,             \
+                                        std::span<const std::size_t>,        \
+                                        std::span<T>);                       \
+  template void Collectives::allgather<T>(std::span<const T>, std::span<T>);
+
+SWLB_COLL_INSTANTIATE_REDUCING(double)
+SWLB_COLL_INSTANTIATE_REDUCING(float)
+SWLB_COLL_INSTANTIATE_REDUCING(std::int64_t)
+SWLB_COLL_INSTANTIATE_DATA(double)
+SWLB_COLL_INSTANTIATE_DATA(float)
+SWLB_COLL_INSTANTIATE_DATA(std::int64_t)
+SWLB_COLL_INSTANTIATE_DATA(std::uint8_t)
+
+#undef SWLB_COLL_INSTANTIATE_REDUCING
+#undef SWLB_COLL_INSTANTIATE_DATA
+
+}  // namespace swlb::coll

@@ -1,0 +1,85 @@
+// Topology-aware rank ordering for collectives (paper Fig. 2(b)).
+//
+// The interconnect is a supernode crossbar bridged by a fat tree: links
+// inside a supernode are roughly twice the bandwidth and half the latency
+// of links that cross it (perf::NetworkModel).  A ring collective visits
+// every rank exactly once per step, so the fraction of ring edges that
+// cross supernodes is pure overhead the rank *ordering* controls: placing
+// the ranks of each supernode contiguously on the ring leaves exactly one
+// crossing edge per supernode instead of O(P) of them.
+//
+// A Topology is a permutation: `order[v]` is the physical rank sitting at
+// virtual position v.  Collective algorithms run their ring/tree
+// arithmetic on virtual positions and translate to physical ranks only
+// when addressing messages, so any permutation preserves correctness and
+// determinism (the fold order is fixed by the virtual positions).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/common.hpp"
+#include "perf/network.hpp"
+
+namespace swlb::coll {
+
+struct Topology {
+  std::vector<int> order;  ///< virtual position -> physical rank
+  std::vector<int> pos;    ///< physical rank -> virtual position
+
+  int size() const { return static_cast<int>(order.size()); }
+
+  static Topology identity(int ranks) {
+    Topology t;
+    t.order.resize(static_cast<std::size_t>(ranks));
+    t.pos.resize(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      t.order[static_cast<std::size_t>(r)] = r;
+      t.pos[static_cast<std::size_t>(r)] = r;
+    }
+    return t;
+  }
+
+  /// Group ranks by node id (stable within a node, nodes in ascending id
+  /// order), so ring neighbours share a node wherever possible.
+  static Topology fromMapping(const std::vector<int>& nodeOf) {
+    std::map<int, std::vector<int>> groups;
+    for (int r = 0; r < static_cast<int>(nodeOf.size()); ++r)
+      groups[nodeOf[static_cast<std::size_t>(r)]].push_back(r);
+    Topology t;
+    t.pos.resize(nodeOf.size());
+    for (const auto& [node, ranks] : groups)
+      for (int r : ranks) {
+        t.pos[static_cast<std::size_t>(r)] = static_cast<int>(t.order.size());
+        t.order.push_back(r);
+      }
+    return t;
+  }
+
+  /// Block mapping implied by the network model: consecutive ranks fill a
+  /// supernode before spilling into the next one.
+  static Topology fromNetworkModel(const perf::NetworkModel& m, int ranks) {
+    std::vector<int> nodeOf(static_cast<std::size_t>(ranks));
+    const int per = m.ranksPerSupernode() > 0 ? m.ranksPerSupernode() : ranks;
+    for (int r = 0; r < ranks; ++r)
+      nodeOf[static_cast<std::size_t>(r)] = r / per;
+    return fromMapping(nodeOf);
+  }
+
+  /// Number of ring edges (successor edges including the wrap-around) whose
+  /// endpoints live on different nodes — the fat-tree hops a ring pays.
+  int ringCrossings(const std::vector<int>& nodeOf) const {
+    const int P = size();
+    if (P < 2) return 0;
+    int crossings = 0;
+    for (int v = 0; v < P; ++v) {
+      const int a = order[static_cast<std::size_t>(v)];
+      const int b = order[static_cast<std::size_t>((v + 1) % P)];
+      if (nodeOf[static_cast<std::size_t>(a)] != nodeOf[static_cast<std::size_t>(b)])
+        ++crossings;
+    }
+    return crossings;
+  }
+};
+
+}  // namespace swlb::coll

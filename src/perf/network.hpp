@@ -50,6 +50,43 @@ class NetworkModel {
     return std::log2(static_cast<double>(totalRanks)) * spec_.fatTreeLatency;
   }
 
+  /// Collective-communication algorithm shapes modeled by
+  /// collectiveSeconds().  Mirrors swlb::coll's algorithm menu without
+  /// depending on it (perf stays a leaf).
+  enum class CollAlgo { Naive, Tree, Ring };
+
+  /// Modeled wall time of an allreduce-shaped collective of `bytes` over
+  /// `totalRanks`, used as the cross-check for coll's size-threshold
+  /// selection policy:
+  ///   Naive — centralized: the root serially receives P-1 full payloads,
+  ///           then serially sends P-1 back (2(P-1) full-payload hops).
+  ///   Tree  — binomial reduce + binomial broadcast: 2 ceil(log2 P) rounds,
+  ///           each carrying the full payload.
+  ///   Ring  — reduce-scatter + allgather: 2(P-1) rounds of bytes/P, the
+  ///           bandwidth-optimal shape for large payloads.
+  /// Links are the supernode/fat-tree blend implied by the rank count
+  /// (topology-aware ring ordering keeps most hops intra-supernode).
+  double collectiveSeconds(CollAlgo algo, std::size_t bytes,
+                           int totalRanks) const {
+    if (totalRanks <= 1) return 0.0;
+    const double fRemote = remoteLinkFraction(totalRanks);
+    const double bw = (1.0 - fRemote) * spec_.intraSupernodeBandwidth +
+                      fRemote * spec_.fatTreeBandwidth;
+    const double lat = (1.0 - fRemote) * spec_.intraSupernodeLatency +
+                       fRemote * spec_.fatTreeLatency;
+    const double P = static_cast<double>(totalRanks);
+    const double b = static_cast<double>(bytes);
+    switch (algo) {
+      case CollAlgo::Naive:
+        return 2.0 * (P - 1.0) * (lat + b / bw);
+      case CollAlgo::Tree:
+        return 2.0 * std::ceil(std::log2(P)) * (lat + b / bw);
+      case CollAlgo::Ring:
+        return 2.0 * (P - 1.0) * (lat + b / P / bw);
+    }
+    return 0.0;
+  }
+
   const sw::NetworkSpec& spec() const { return spec_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "runtime/comm.hpp"
 
+#include "coll/coll.hpp"
 #include "obs/context.hpp"
 
 #include <algorithm>
@@ -16,11 +17,6 @@ namespace swlb::runtime {
 using Clock = std::chrono::steady_clock;
 
 namespace {
-/// Internal tags for collectives implemented over point-to-point.  User
-/// tags must be non-negative; these never collide.
-constexpr int kGatherTag = -2;
-constexpr int kBcastTag = -3;
-
 constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
 
 Clock::time_point deadlineFrom(double timeoutSec) {
@@ -75,15 +71,6 @@ struct World::Impl {
   WorldConfig cfg;
   std::vector<Mailbox> boxes;
 
-  // Collective state (generation-counted so back-to-back collectives from
-  // fast ranks cannot corrupt a round still being read by slow ranks).
-  std::mutex collM;
-  std::condition_variable collCv;
-  int arrived = 0;
-  std::uint64_t generation = 0;
-  std::vector<double> slots;
-  double result = 0;
-
   // Fault-injection state.  Flow counters are keyed by (rule, src, dst,
   // tag) so "the nth message" is well defined per sender regardless of
   // cross-rank interleaving.
@@ -92,8 +79,7 @@ struct World::Impl {
   bool killFired = false;
   FaultStats faultStats;
 
-  explicit Impl(int size, const WorldConfig& c)
-      : cfg(c), boxes(size), slots(size, 0.0) {}
+  explicit Impl(int size, const WorldConfig& c) : cfg(c), boxes(size) {}
 
   /// Apply matching message-fault rules to an outgoing message; returns
   /// true when the message must be dropped.
@@ -181,7 +167,7 @@ struct World::Impl {
                       std::to_string(it->data.size()) + ", expected " +
                       std::to_string(bytes) + ")");
         }
-        std::memcpy(data, it->data.data(), bytes);
+        if (bytes > 0) std::memcpy(data, it->data.data(), bytes);
         box.q.erase(it);
         return;
       }
@@ -222,7 +208,7 @@ struct World::Impl {
     if (it->data.size() != bytes) {
       throw Error("Comm::irecv: message size mismatch");
     }
-    std::memcpy(data, it->data.data(), bytes);
+    if (bytes > 0) std::memcpy(data, it->data.data(), bytes);
     box.q.erase(it);
     return true;
   }
@@ -264,7 +250,7 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   msg.src = rank_;
   msg.tag = tag;
   msg.data.resize(bytes);
-  std::memcpy(msg.data.data(), data, bytes);
+  if (bytes > 0) std::memcpy(msg.data.data(), data, bytes);
   msg.availableAt = impl.deliveryTime(bytes);
   ++stats_.messagesSent;
   stats_.bytesSent += bytes;
@@ -298,7 +284,7 @@ void Comm::recv(int src, int tag, void* data, std::size_t bytes,
 void Comm::sendChecksummed(int dst, int tag, const void* data,
                            std::size_t bytes) {
   std::vector<std::uint8_t> frame(bytes + sizeof(std::uint64_t));
-  std::memcpy(frame.data(), data, bytes);
+  if (bytes > 0) std::memcpy(frame.data(), data, bytes);
   const std::uint64_t h = fnv1a_hash(data, bytes);
   std::memcpy(frame.data() + bytes, &h, sizeof(h));
   send(dst, tag, frame.data(), frame.size());
@@ -316,7 +302,7 @@ void Comm::recvChecksummed(int src, int tag, void* data, std::size_t bytes) {
                           ", tag=" + std::to_string(tag) +
                           "): payload corrupted in transit");
   }
-  std::memcpy(data, frame.data(), bytes);
+  if (bytes > 0) std::memcpy(data, frame.data(), bytes);
 }
 
 void Comm::faultTick(std::uint64_t step) {
@@ -332,16 +318,31 @@ void Comm::faultTick(std::uint64_t step) {
 }
 
 std::size_t Comm::drainMailbox() {
+  // Discard stale traffic only: user messages (tag >= 0 — an aborted
+  // step's halo strips) and collective messages whose sequence lies
+  // strictly behind this rank's counter (leftovers of an abandoned
+  // collective).  Current/future collective messages must survive — a
+  // peer that already passed the recovery vote may be inside the next
+  // collective, and eating its traffic would deadlock the world.
   Mailbox& box = world_->impl_->boxes[static_cast<std::size_t>(rank_)];
   std::lock_guard<std::mutex> lock(box.m);
-  const std::size_t n = box.q.size();
-  box.q.clear();
-  return n;
+  const std::uint64_t myMod = collSeq_ % colltag::kWindow;
+  const std::size_t before = box.q.size();
+  std::erase_if(box.q, [&](const Message& m) {
+    if (m.tag >= 0) return true;
+    if (!colltag::isCollective(m.tag)) return false;
+    const std::uint64_t behind =
+        (myMod - colltag::sequenceOf(m.tag) + colltag::kWindow) %
+        colltag::kWindow;
+    return behind != 0 && behind < colltag::kWindow / 2;
+  });
+  return before - box.q.size();
 }
 
 int Comm::livenessVote(bool alive) {
+  coll::Collectives cs(*this);
   return static_cast<int>(
-      std::llround(allreduce(alive ? 1.0 : 0.0, Op::Sum)));
+      cs.allreduce_value<std::int64_t>(alive ? 1 : 0, coll::Op::Sum));
 }
 
 Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
@@ -365,67 +366,31 @@ Request Comm::irecv(int src, int tag, void* data, std::size_t bytes) {
   return r;
 }
 
-void Comm::barrier() {
-  World::Impl& impl = *world_->impl_;
-  std::unique_lock<std::mutex> lock(impl.collM);
-  const std::uint64_t gen = impl.generation;
-  if (++impl.arrived == size()) {
-    impl.arrived = 0;
-    ++impl.generation;
-    impl.collCv.notify_all();
-  } else {
-    impl.collCv.wait(lock, [&] { return impl.generation != gen; });
-  }
-}
+void Comm::barrier() { coll::Collectives(*this).barrier(); }
 
 double Comm::allreduce(double value, Op op) {
-  World::Impl& impl = *world_->impl_;
-  std::unique_lock<std::mutex> lock(impl.collM);
-  const std::uint64_t gen = impl.generation;
-  impl.slots[static_cast<std::size_t>(rank_)] = value;
-  if (++impl.arrived == size()) {
-    double acc = impl.slots[0];
-    for (int r = 1; r < size(); ++r) {
-      const double v = impl.slots[static_cast<std::size_t>(r)];
-      switch (op) {
-        case Op::Sum: acc += v; break;
-        case Op::Min: acc = std::min(acc, v); break;
-        case Op::Max: acc = std::max(acc, v); break;
-      }
-    }
-    impl.result = acc;
-    impl.arrived = 0;
-    ++impl.generation;
-    impl.collCv.notify_all();
-  } else {
-    impl.collCv.wait(lock, [&] { return impl.generation != gen; });
+  coll::Op cop = coll::Op::Sum;
+  switch (op) {
+    case Op::Sum: cop = coll::Op::Sum; break;
+    case Op::Min: cop = coll::Op::Min; break;
+    case Op::Max: cop = coll::Op::Max; break;
   }
-  return impl.result;
+  coll::Collectives cs(*this);
+  return cs.allreduce_value(value, cop);
 }
 
 void Comm::gather(int root, const void* data, std::size_t bytes, void* out) {
-  if (rank_ == root) {
-    SWLB_ASSERT(out != nullptr);
-    auto* dst = static_cast<std::uint8_t*>(out);
-    std::memcpy(dst + static_cast<std::size_t>(rank_) * bytes, data, bytes);
-    for (int src = 0; src < size(); ++src) {
-      if (src == root) continue;
-      recv(src, kGatherTag, dst + static_cast<std::size_t>(src) * bytes, bytes);
-    }
-  } else {
-    send(root, kGatherTag, data, bytes);
-  }
+  if (rank_ == root) SWLB_ASSERT(out != nullptr);
+  coll::Collectives cs(*this);
+  cs.gather<std::uint8_t>(
+      root, {static_cast<const std::uint8_t*>(data), bytes},
+      {static_cast<std::uint8_t*>(out),
+       rank_ == root ? bytes * static_cast<std::size_t>(size()) : 0});
 }
 
 void Comm::broadcast(int root, void* data, std::size_t bytes) {
-  if (rank_ == root) {
-    for (int dst = 0; dst < size(); ++dst) {
-      if (dst == root) continue;
-      send(dst, kBcastTag, data, bytes);
-    }
-  } else {
-    recv(root, kBcastTag, data, bytes);
-  }
+  coll::Collectives cs(*this);
+  cs.broadcast<std::uint8_t>(root, {static_cast<std::uint8_t*>(data), bytes});
 }
 
 // -------------------------------------------------------------------- World
@@ -438,6 +403,14 @@ World::World(int size, const WorldConfig& cfg) : size_(size) {
 World::~World() = default;
 
 void World::run(const std::function<void(Comm&)>& fn) {
+  // Fresh Comms reset the collective sequence counters to zero, so any
+  // leftover mailbox traffic from a previous (faulted) run would alias the
+  // new run's collective tags.  No rank is alive between runs, so pending
+  // messages are garbage by definition: clear them.
+  for (Mailbox& box : impl_->boxes) {
+    std::lock_guard<std::mutex> lock(box.m);
+    box.q.clear();
+  }
   std::vector<std::thread> threads;
   std::vector<Comm> comms;
   comms.reserve(static_cast<std::size_t>(size_));

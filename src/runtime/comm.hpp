@@ -43,6 +43,28 @@ inline constexpr int kAnySource = -1;
 /// Matches any tag in FaultPlan rules (user tags are non-negative).
 inline constexpr int kAnyTag = -1;
 
+/// Reserved tag space of the collective subsystem (swlb::coll).  Every
+/// collective operation consumes one sequence number from its Comm
+/// (collectives are globally ordered per communicator, so the counter
+/// agrees across ranks) and tags all of its messages with the encoded
+/// sequence: a fast rank entering collective n+1 can never have its
+/// traffic matched by a peer still inside collective n, and
+/// Comm::drainMailbox can tell stale collective leftovers (sequence
+/// behind the rank's counter) from live ones.  User tags are
+/// non-negative; collective tags are <= -kBase; -1..-(kBase-1) stay free
+/// for future internal protocols.
+namespace colltag {
+inline constexpr int kBase = 16;
+inline constexpr std::uint64_t kWindow = std::uint64_t(1) << 20;
+inline int encode(std::uint64_t seq) {
+  return -static_cast<int>(kBase + seq % kWindow);
+}
+inline bool isCollective(int tag) { return tag <= -kBase; }
+inline std::uint64_t sequenceOf(int tag) {
+  return static_cast<std::uint64_t>(-tag - kBase);
+}
+}  // namespace colltag
+
 /// A receive (or Request::wait) exceeded its deadline without a matching
 /// message becoming deliverable.  Distinct from Error so resilient drivers
 /// can treat it as a recoverable communication failure.
@@ -220,6 +242,9 @@ class Comm {
   }
 
   // ---- collectives ----------------------------------------------------
+  // Convenience entry points; all delegate to swlb::coll (message-based
+  // tree/ring algorithms over the point-to-point layer), so they inherit
+  // fault injection, timeouts and metering like any other traffic.
   void barrier();
   enum class Op { Sum, Min, Max };
   double allreduce(double value, Op op);
@@ -228,6 +253,12 @@ class Comm {
   void gather(int root, const void* data, std::size_t bytes, void* out);
   /// Broadcast from root into `data` on every rank.
   void broadcast(int root, void* data, std::size_t bytes);
+
+  /// Collective sequence state (see colltag): one number is consumed per
+  /// collective operation on this communicator, by swlb::coll.  Counters
+  /// agree across ranks because collectives are globally ordered.
+  std::uint64_t collSequence() const { return collSeq_; }
+  std::uint64_t nextCollSequence() { return collSeq_++; }
 
   const CommStats& stats() const { return stats_; }
 
@@ -239,9 +270,12 @@ class Comm {
   int rank_;
   CommStats stats_;
   double recvTimeout_ = 0;  ///< seconds; 0 = block forever
+  std::uint64_t collSeq_ = 0;
 };
 
-/// Owns the mailboxes and collective state; runs rank functions on threads.
+/// Owns the mailboxes and fault-injection state; runs rank functions on
+/// threads.  Collectives are pure message-passing (swlb::coll) — the World
+/// holds no centralized collective state.
 class World {
  public:
   explicit World(int size, const WorldConfig& cfg = {});

@@ -11,8 +11,10 @@
 #include <chrono>
 #include <cmath>
 
+#include "coll/coll.hpp"
 #include "core/kernels.hpp"
 #include "core/macroscopic.hpp"
+#include "core/observables.hpp"
 #include "obs/context.hpp"
 #include "runtime/halo.hpp"
 
@@ -197,6 +199,40 @@ class DistributedSolver {
   /// divergence guard folds it into one well-ordered allreduce).
   Real localMass() const { return total_mass<D>(f(), mask_, mats_); }
 
+  /// Globally reduced communication counters (collective): every rank
+  /// returns the world totals of the per-rank CommStats accumulated so
+  /// far.  One 4-component integer vector allreduce; the reduction's own
+  /// traffic is counted after the snapshot, so it does not pollute it.
+  CommStats totalStats() {
+    std::int64_t v[4] = {
+        static_cast<std::int64_t>(comm_.stats().messagesSent),
+        static_cast<std::int64_t>(comm_.stats().bytesSent),
+        static_cast<std::int64_t>(comm_.stats().messagesReceived),
+        static_cast<std::int64_t>(comm_.stats().bytesReceived)};
+    coll::Collectives cs(comm_);
+    cs.allreduce(std::span<std::int64_t>(v, 4), coll::Op::Sum);
+    CommStats total;
+    total.messagesSent = static_cast<std::uint64_t>(v[0]);
+    total.bytesSent = static_cast<std::uint64_t>(v[1]);
+    total.messagesReceived = static_cast<std::uint64_t>(v[2]);
+    total.bytesReceived = static_cast<std::uint64_t>(v[3]);
+    return total;
+  }
+
+  /// Global momentum-exchange force on cells of material `id`
+  /// (collective): local obstacle force per rank, folded with one
+  /// 3-component vector allreduce — identical on every rank.  Each
+  /// fluid->wall link is owned by the rank of its fluid cell, and ghost
+  /// masks are exchanged at init, so links crossing rank boundaries are
+  /// counted exactly once.
+  Vec3 globalForce(std::uint8_t id) {
+    const Vec3 local = momentum_exchange_force<D>(f(), mask_, mats_, id);
+    double v[3] = {local.x, local.y, local.z};
+    coll::Collectives cs(comm_);
+    cs.allreduce(std::span<double>(v, 3), coll::Op::Sum);
+    return {v[0], v[1], v[2]};
+  }
+
   /// Local NaN/Inf guard over the interior of the current population
   /// buffer.  Purely local so it can run inside a step's try block without
   /// risking a mismatched collective.  Ghost layers are excluded: they are
@@ -216,32 +252,38 @@ class DistributedSolver {
 
   /// Gather the full population field on `root` (interior cells only;
   /// other ranks receive an empty field).  Collective; test/IO helper.
+  /// Variable-size gatherv (blocks differ under uneven decompositions)
+  /// with all receives posted up front — a slow rank never serializes the
+  /// others behind it.
   PopulationField gatherPopulations(int root) {
-    constexpr int tag = 900;
-    if (comm_.rank() == root) {
-      Grid g(cfg_.global.x, cfg_.global.y, cfg_.global.z);
-      PopulationField out(g, D::Q);
-      for (int r = 0; r < comm_.size(); ++r) {
-        const Box3 block = decomp_.blockOf(r);
-        std::vector<Real> buf(static_cast<std::size_t>(block.volume()) * D::Q);
-        if (r == root) {
-          packLocal(buf);
-        } else {
-          comm_.recv(r, tag, buf.data(), buf.size() * sizeof(Real));
-        }
-        std::size_t k = 0;
-        for (int q = 0; q < D::Q; ++q)
-          for (int z = block.lo.z; z < block.hi.z; ++z)
-            for (int y = block.lo.y; y < block.hi.y; ++y)
-              for (int x = block.lo.x; x < block.hi.x; ++x)
-                out(q, x, y, z) = buf[k++];
-      }
-      return out;
+    std::vector<Real> local(static_cast<std::size_t>(owned_.volume()) * D::Q);
+    packLocal(local);
+    std::vector<std::size_t> counts(static_cast<std::size_t>(comm_.size()));
+    std::size_t totalCount = 0;
+    for (int r = 0; r < comm_.size(); ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(decomp_.blockOf(r).volume()) * D::Q;
+      totalCount += counts[static_cast<std::size_t>(r)];
     }
-    std::vector<Real> buf(static_cast<std::size_t>(owned_.volume()) * D::Q);
-    packLocal(buf);
-    comm_.send(root, tag, buf.data(), buf.size() * sizeof(Real));
-    return PopulationField();
+    coll::Collectives cs(comm_);
+    if (comm_.rank() != root) {
+      cs.gatherv<Real>(root, local, counts, {});
+      return PopulationField();
+    }
+    std::vector<Real> all(totalCount);
+    cs.gatherv<Real>(root, local, counts, all);
+    Grid g(cfg_.global.x, cfg_.global.y, cfg_.global.z);
+    PopulationField out(g, D::Q);
+    std::size_t k = 0;
+    for (int r = 0; r < comm_.size(); ++r) {
+      const Box3 block = decomp_.blockOf(r);
+      for (int q = 0; q < D::Q; ++q)
+        for (int z = block.lo.z; z < block.hi.z; ++z)
+          for (int y = block.lo.y; y < block.hi.y; ++y)
+            for (int x = block.lo.x; x < block.hi.x; ++x)
+              out(q, x, y, z) = all[k++];
+    }
+    return out;
   }
 
   /// Bytes exchanged per step (send side) — input to the network model.

@@ -129,32 +129,37 @@ void gather_macroscopic(DistributedSolver<D>& solver, int root,
         buf[k++] = u.z;
       }
 
-  constexpr int tag = 901;
+  // Variable-size gatherv over the collective layer: receives are posted
+  // up front on the root, so one slow rank cannot serialize the rest.
   const auto& d = solver.decomposition();
-  if (comm.rank() == root) {
-    const Int3 g = d.globalSize();
-    Grid gg(g.x, g.y, g.z);
-    rhoOut = ScalarField(gg);
-    uOut = VectorField(gg);
-    for (int r = 0; r < comm.size(); ++r) {
-      const Box3 block = d.blockOf(r);
-      std::vector<Real> rbuf(static_cast<std::size_t>(block.volume()) * 4);
-      if (r == root) {
-        rbuf = buf;
-      } else {
-        comm.recv(r, tag, rbuf.data(), rbuf.size() * sizeof(Real));
-      }
-      std::size_t j = 0;
-      for (int z = block.lo.z; z < block.hi.z; ++z)
-        for (int y = block.lo.y; y < block.hi.y; ++y)
-          for (int x = block.lo.x; x < block.hi.x; ++x) {
-            rhoOut(x, y, z) = rbuf[j];
-            uOut.set(x, y, z, {rbuf[j + 1], rbuf[j + 2], rbuf[j + 3]});
-            j += 4;
-          }
-    }
-  } else {
-    comm.send(root, tag, buf.data(), buf.size() * sizeof(Real));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(comm.size()));
+  std::size_t totalCount = 0;
+  for (int r = 0; r < comm.size(); ++r) {
+    counts[static_cast<std::size_t>(r)] =
+        static_cast<std::size_t>(d.blockOf(r).volume()) * 4;
+    totalCount += counts[static_cast<std::size_t>(r)];
+  }
+  coll::Collectives cs(comm);
+  if (comm.rank() != root) {
+    cs.gatherv<Real>(root, buf, counts, {});
+    return;
+  }
+  std::vector<Real> all(totalCount);
+  cs.gatherv<Real>(root, buf, counts, all);
+  const Int3 g = d.globalSize();
+  Grid gg(g.x, g.y, g.z);
+  rhoOut = ScalarField(gg);
+  uOut = VectorField(gg);
+  std::size_t j = 0;
+  for (int r = 0; r < comm.size(); ++r) {
+    const Box3 block = d.blockOf(r);
+    for (int z = block.lo.z; z < block.hi.z; ++z)
+      for (int y = block.lo.y; y < block.hi.y; ++y)
+        for (int x = block.lo.x; x < block.hi.x; ++x) {
+          rhoOut(x, y, z) = all[j];
+          uOut.set(x, y, z, {all[j + 1], all[j + 2], all[j + 3]});
+          j += 4;
+        }
   }
 }
 

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "coll/coll.hpp"
 #include "runtime/parallel_io.hpp"
 
 namespace swlb::runtime {
@@ -91,9 +92,10 @@ class DistributedCheckpointController {
   /// Collective; throws when no complete generation exists.
   std::uint64_t restoreNewestComplete(DistributedSolver<D>& solver) {
     std::deque<std::uint64_t> candidates = scanGenerations();
+    coll::Collectives cs(comm_);
     for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
       const std::uint64_t step = *it;
-      double ok = 1;
+      std::int64_t ok = 1;
       try {
         const io::CheckpointMeta meta = io::read_checkpoint_meta(
             group_checkpoint_path(generationPrefix(step), comm_.rank()));
@@ -101,7 +103,7 @@ class DistributedCheckpointController {
       } catch (const Error&) {
         ok = 0;
       }
-      if (comm_.allreduce(ok, Comm::Op::Min) < 1) continue;
+      if (cs.allreduce_value<std::int64_t>(ok, coll::Op::Min) < 1) continue;
       load_group_checkpoint(solver, generationPrefix(step));
       generations_ = candidates;
       while (!generations_.empty() && generations_.back() > step)
@@ -232,8 +234,15 @@ class ResilientRunner {
       }
       // Consensus vote: any rank's failure aborts the step everywhere.
       // This is the only collective a failed rank still participates in,
-      // so collectives stay aligned across ranks.
-      bool anyFail = comm.allreduce(fail, Comm::Op::Max) > 0;
+      // so collectives stay aligned across ranks.  A rank that just burned
+      // its whole receive deadline discovering a lost message enters the
+      // vote up to recvTimeout late; the vote (messages like any other
+      // collective) gets a proportionally larger deadline so the abort
+      // consensus cannot itself time out on the punctual ranks.
+      comm.setRecvTimeout(4 * cfg_.recvTimeout);
+      coll::Collectives vote(comm);
+      bool anyFail = vote.allreduce_value<std::int64_t>(fail, coll::Op::Max) > 0;
+      comm.setRecvTimeout(cfg_.recvTimeout);
       if (!anyFail && guardDue) {
         const double mass = comm.allreduce(solver_.localMass(), Comm::Op::Sum);
         // NaN mass also fails this comparison, collapsing both guard

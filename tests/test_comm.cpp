@@ -2,9 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <vector>
 
+#include "coll/coll.hpp"
 #include "runtime/comm.hpp"
 
 namespace swlb::runtime {
@@ -426,6 +428,106 @@ TEST(CommFaults, DrainMailboxDiscardsStaleMessages) {
       EXPECT_THROW(c.recv(0, 0, &v, sizeof(v), 0.02), TimeoutError);
     }
   });
+}
+
+// Collectives ride on tagged point-to-point traffic, so fault rules can
+// target them by their sequence tag: the first collective on a fresh Comm
+// uses colltag::encode(0).
+
+TEST(CommFaults, BroadcastDropSurfacesAsTimeout) {
+  WorldConfig cfg;
+  FaultPlan::MessageFault drop;
+  drop.action = FaultPlan::Action::Drop;
+  drop.src = 0;
+  drop.dst = 1;
+  drop.tag = colltag::encode(0);
+  cfg.faults.messageFaults.push_back(drop);
+  World world(2, cfg);
+  world.run([](Comm& c) {
+    double v = c.rank() == 0 ? 2.5 : 0.0;
+    if (c.rank() == 0) {
+      c.broadcast(0, &v, sizeof(v));  // root's send is dropped in transit
+    } else {
+      c.setRecvTimeout(0.05);
+      EXPECT_THROW(c.broadcast(0, &v, sizeof(v)), TimeoutError);
+      c.setRecvTimeout(0);
+    }
+  });
+  EXPECT_EQ(world.faultStats().dropped, 1u);
+}
+
+TEST(CommFaults, GatherDropAtRootTimesOut) {
+  WorldConfig cfg;
+  FaultPlan::MessageFault drop;
+  drop.action = FaultPlan::Action::Drop;
+  drop.src = 1;
+  drop.dst = 0;
+  drop.tag = colltag::encode(0);
+  cfg.faults.messageFaults.push_back(drop);
+  World world(3, cfg);
+  world.run([](Comm& c) {
+    const std::int32_t mine = 100 + c.rank();
+    std::vector<std::int32_t> all(3, -1);
+    if (c.rank() == 0) {
+      c.setRecvTimeout(0.05);
+      EXPECT_THROW(c.gather(0, &mine, sizeof(mine), all.data()),
+                   TimeoutError);
+      c.setRecvTimeout(0);
+    } else {
+      c.gather(0, &mine, sizeof(mine), nullptr);  // eager send, no blocking
+    }
+  });
+  EXPECT_EQ(world.faultStats().dropped, 1u);
+}
+
+TEST(CommFaults, BroadcastDelayArrivesLateButCorrect) {
+  WorldConfig cfg;
+  FaultPlan::MessageFault delay;
+  delay.action = FaultPlan::Action::Delay;
+  delay.src = 0;
+  delay.dst = 1;
+  delay.tag = colltag::encode(0);
+  delay.delay = 0.03;
+  cfg.faults.messageFaults.push_back(delay);
+  World world(4, cfg);
+  world.run([](Comm& c) {
+    double v = c.rank() == 0 ? 6.25 : 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    c.broadcast(0, &v, sizeof(v));
+    EXPECT_EQ(v, 6.25);  // late on rank 1, never lost
+    if (c.rank() == 1) {
+      const double sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      EXPECT_GE(sec, 0.025);
+    }
+  });
+  EXPECT_EQ(world.faultStats().delayed, 1u);
+}
+
+TEST(CommFaults, GatherCorruptionDetectedWithChecksummedCollectives) {
+  WorldConfig cfg;
+  FaultPlan::MessageFault corrupt;
+  corrupt.action = FaultPlan::Action::Corrupt;
+  corrupt.src = 1;
+  corrupt.dst = 0;
+  corrupt.tag = colltag::encode(0);
+  corrupt.corruptByte = 2;
+  cfg.faults.messageFaults.push_back(corrupt);
+  World world(2, cfg);
+  world.run([](Comm& c) {
+    coll::CollConfig ccfg;
+    ccfg.checksummed = true;
+    coll::Collectives cs(c, ccfg);
+    const std::vector<double> mine(8, 1.0 + c.rank());
+    std::vector<double> all(c.rank() == 0 ? 16 : 0);
+    if (c.rank() == 0) {
+      EXPECT_THROW(cs.gather<double>(0, mine, all), CorruptionError);
+    } else {
+      cs.gather<double>(0, mine, all);
+    }
+  });
+  EXPECT_EQ(world.faultStats().corrupted, 1u);
 }
 
 TEST(CommFaults, FaultRollIsDeterministic) {

@@ -87,6 +87,13 @@ INSTANTIATE_TEST_SUITE_P(
         DistCase{4, {2, 2, 1}, HaloMode::Sequential, "2x2-seq"},
         DistCase{4, {2, 2, 1}, HaloMode::Overlap, "2x2-ovl"},
         DistCase{4, {4, 1, 1}, HaloMode::Overlap, "4x1-ovl"},
+        // Non-power-of-two rank counts: uneven block splits exercise the
+        // unbalanced gatherv and the ring collectives' non-po2 chunking.
+        DistCase{3, {3, 1, 1}, HaloMode::Sequential, "3x1-seq"},
+        DistCase{3, {1, 3, 1}, HaloMode::Overlap, "1x3-ovl"},
+        DistCase{5, {5, 1, 1}, HaloMode::Sequential, "5x1-seq"},
+        DistCase{5, {1, 5, 1}, HaloMode::Overlap, "1x5-ovl"},
+        DistCase{6, {3, 2, 1}, HaloMode::Sequential, "3x2-seq"},
         DistCase{6, {3, 2, 1}, HaloMode::Overlap, "3x2-ovl"}),
     [](const ::testing::TestParamInfo<DistCase>& info) {
       std::string s = info.param.label;

@@ -56,32 +56,55 @@ class ObsIntegration : public ::testing::TestWithParam<HaloMode> {};
 // condition variables, not messages, so they never pollute the counters.
 TEST_P(ObsIntegration, HaloBytesCounterMatchesModel) {
   constexpr std::uint64_t kSteps = 7;
+  constexpr int kRanks = 4;
   MetricsRegistry reg;
   WorldConfig wcfg;
   wcfg.metrics = &reg;
-  World world(4, wcfg);
+  World world(kRanks, wcfg);
 
   std::uint64_t sentBefore = 0, sentAfter = 0;
   std::uint64_t recvBefore = 0, recvAfter = 0;
   std::uint64_t msgsBefore = 0, msgsAfter = 0;
+  std::uint64_t collMsgsBefore = 0, collMsgsAfter = 0;
   double expectedBytes = 0;
+  // Collectives are messages (swlb::coll), so counter snapshots need a
+  // quiescent instant: a barrier alone cannot fence its own traffic (a
+  // peer may still owe its last dissemination send when rank 0 exits).
+  // Rendezvous: after a barrier every rank reports to rank 0 with a
+  // zero-byte token and blocks until rank 0 has read the counters and
+  // releases it — nothing is in flight during the read.  All rendezvous
+  // payloads are zero bytes, so byte deltas stay pure halo traffic.
+  constexpr int kReportTag = 500;
+  constexpr int kReleaseTag = 501;
+  auto quiescentRead = [&](Comm& comm, auto&& read) {
+    comm.barrier();
+    if (comm.rank() == 0) {
+      for (int r = 1; r < comm.size(); ++r)
+        comm.recv(r, kReportTag, nullptr, 0);
+      read();
+      for (int r = 1; r < comm.size(); ++r)
+        comm.send(r, kReleaseTag, nullptr, 0);
+    } else {
+      comm.send(0, kReportTag, nullptr, 0);
+      comm.recv(0, kReleaseTag, nullptr, 0);
+    }
+  };
   world.run([&](Comm& comm) {
     DistributedSolver<D2Q9> solver(comm, solverConfig(GetParam()));
     initShear(solver);
-    comm.barrier();  // init (incl. mask exchange) fully drained
-    if (comm.rank() == 0) {
+    quiescentRead(comm, [&] {
       sentBefore = reg.counterValue("comm.bytes_sent");
       recvBefore = reg.counterValue("comm.bytes_received");
       msgsBefore = reg.counterValue("comm.messages_sent");
-    }
-    comm.barrier();  // snapshot taken before anyone steps
+      collMsgsBefore = reg.counterValue("coll.messages_sent");
+    });
     solver.run(kSteps);
-    comm.barrier();  // all halo traffic of the window delivered
-    if (comm.rank() == 0) {
+    quiescentRead(comm, [&] {
       sentAfter = reg.counterValue("comm.bytes_sent");
       recvAfter = reg.counterValue("comm.bytes_received");
       msgsAfter = reg.counterValue("comm.messages_sent");
-    }
+      collMsgsAfter = reg.counterValue("coll.messages_sent");
+    });
     const double total = comm.allreduce(
         static_cast<double>(solver.haloBytesPerStep()), Comm::Op::Sum);
     if (comm.rank() == 0) expectedBytes = total;
@@ -92,8 +115,14 @@ TEST_P(ObsIntegration, HaloBytesCounterMatchesModel) {
   EXPECT_EQ(sentAfter - sentBefore, expected);
   // Nothing was dropped, so every sent halo byte was also received.
   EXPECT_EQ(recvAfter - recvBefore, expected);
-  // 2x2 periodic torus: 8 neighbour messages per rank per step.
-  EXPECT_EQ(msgsAfter - msgsBefore, 4u * 8u * kSteps);
+  // 2x2 periodic torus: 8 neighbour messages per rank per step.  The
+  // window also contains one barrier (subtracted via the coll counter)
+  // and the zero-byte rendezvous tokens: P-1 releases after the first
+  // read plus P-1 reports before the second.
+  const std::uint64_t collMsgs = collMsgsAfter - collMsgsBefore;
+  const std::uint64_t tokenMsgs = 2u * (kRanks - 1);
+  EXPECT_EQ((msgsAfter - msgsBefore) - collMsgs - tokenMsgs,
+            4u * 8u * kSteps);
 }
 
 // Top-level phase times are disjoint sub-intervals of "step": summed over
