@@ -1,0 +1,147 @@
+// Storage-precision ladder (DESIGN.md §8): the same D3Q19 lid cavity run
+// with f64, f32 and f16 population storage.  For each storage type the
+// table reports the streamed memory volume per cell update (2*Q*elem for
+// the A-B pull kernel), the measured host MLUPS, the velocity-field error
+// against the f64 run after the same number of steps, and the LDM block
+// width one SW26010 CPE can hold — the two levers the paper's Fig. 8
+// blocking model gains from smaller elements.
+//
+// With --json <path> the rows are serialized as a swlb-bench-v1
+// BenchReport — the writer behind the BENCH_precision.json seed.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "core/precision.hpp"
+#include "core/solver.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/step_profiler.hpp"
+#include "perf/report.hpp"
+#include "sw/sw_kernels.hpp"
+
+using namespace swlb;
+
+namespace {
+
+constexpr int kN = 32;
+constexpr int kSteps = 100;
+constexpr Real kULid = 0.08;
+
+struct Row {
+  std::string storage;
+  double bytesPerCell = 0;  ///< streamed per cell update (read + write)
+  double mlups = 0;
+  double maxVelErr = 0;  ///< vs the f64 run, in lattice units
+  int chunkX = 0;        ///< max LDM block width on one CPE
+};
+
+/// Lid-driven cavity: n x n x n fluid cells, a moving-wall lid row on top
+/// (+y), periodic in z.
+template <class S>
+Solver<D3Q19, S> makeCavity() {
+  CollisionConfig cfg;
+  cfg.omega = omega_from_tau(tau_from_viscosity(kULid * kN / 400.0));
+  Solver<D3Q19, S> solver(Grid(kN, kN + 1, kN), cfg,
+                          Periodicity{false, false, true});
+  const auto lid = solver.materials().addMovingWall({kULid, 0, 0});
+  solver.paint({{0, kN, 0}, {kN, kN + 1, kN}}, lid);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0, 0, 0});
+  return solver;
+}
+
+template <class S>
+Row runStorage(const std::vector<Vec3>& reference) {
+  auto solver = makeCavity<S>();
+  obs::StepProfiler prof(static_cast<double>(solver.grid().interiorVolume()));
+  for (int s = 0; s < kSteps; ++s) prof.step([&] { solver.step(); });
+
+  Row row;
+  row.storage = StorageTraits<S>::name();
+  row.bytesPerCell = 2.0 * D3Q19::Q * sizeof(S);
+  row.mlups = prof.mlups();
+  row.chunkX = sw::max_chunk_x(64u << 10, /*rowsY=*/1, D3Q19::Q, sizeof(S));
+  if (!reference.empty()) {
+    std::size_t k = 0;
+    for (int z = 0; z < kN; ++z)
+      for (int y = 0; y < kN; ++y)
+        for (int x = 0; x < kN; ++x) {
+          const Vec3 u = solver.velocity(x, y, z);
+          const Vec3& r = reference[k++];
+          row.maxVelErr = std::max(
+              {row.maxVelErr, std::abs(u.x - r.x), std::abs(u.y - r.y),
+               std::abs(u.z - r.z)});
+        }
+  }
+  return row;
+}
+
+std::vector<Vec3> referenceVelocities() {
+  auto solver = makeCavity<Real>();
+  solver.run(kSteps);
+  std::vector<Vec3> out;
+  out.reserve(static_cast<std::size_t>(kN) * kN * kN);
+  for (int z = 0; z < kN; ++z)
+    for (int y = 0; y < kN; ++y)
+      for (int x = 0; x < kN; ++x) out.push_back(solver.velocity(x, y, z));
+  return out;
+}
+
+std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      std::cerr << "usage: bench_precision [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<Vec3> ref = referenceVelocities();
+  Row rows[3] = {runStorage<double>(ref), runStorage<float>(ref),
+                 runStorage<f16>(ref)};
+
+  perf::printHeading("Storage-precision ladder — D3Q19 lid cavity " +
+                     std::to_string(kN) + "^3, " + std::to_string(kSteps) +
+                     " steps (FP64 compute throughout)");
+  perf::Table t({"storage", "bytes/cell/step", "host MLUPS",
+                 "max |u - u_f64|", "CPE chunk_x (64 KiB LDM)"});
+  for (const Row& r : rows)
+    t.addRow({r.storage, perf::Table::num(r.bytesPerCell, 0),
+              perf::Table::num(r.mlups, 2),
+              r.storage == "f64" ? std::string("0 (reference)") : sci(r.maxVelErr),
+              std::to_string(r.chunkX)});
+  t.print();
+  std::cout << "f32 halves and f16 quarters the streamed bytes and the "
+               "halo/checkpoint/DMA volume; weight-shifted storage keeps "
+               "the quantization on the deviation from equilibrium.\n";
+
+  if (!jsonPath.empty()) {
+    obs::BenchReport report("bench_precision");
+    for (const Row& r : rows) {
+      obs::BenchReport::Result& res = report.add(r.storage);
+      res.set("bytes_per_cell", r.bytesPerCell);
+      res.set("mlups", r.mlups);
+      res.set("max_vel_err", r.maxVelErr);
+      res.set("chunk_x", r.chunkX);
+      res.set("cells", static_cast<double>(kN) * kN * kN);
+      res.set("steps", kSteps);
+      res.setText("size", std::to_string(kN) + "x" + std::to_string(kN + 1) +
+                              "x" + std::to_string(kN));
+    }
+    report.write(jsonPath);
+    std::cout << "\nwrote " << jsonPath << "\n";
+  }
+  return 0;
+}

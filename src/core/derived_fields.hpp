@@ -73,8 +73,8 @@ SymTensor deviatoric_stress(const Real* f, Real omega) {
 /// collision) field: regathers the incoming populations of the *next*
 /// step — the pre-collision state the formula needs — exactly as the
 /// kernel would, including bounce-back at walls.
-template <class D>
-SymTensor cell_stress(const PopulationField& f, const MaskField& mask,
+template <class D, class S>
+SymTensor cell_stress(const PopulationFieldT<S>& f, const MaskField& mask,
                       const MaterialTable& mats, int x, int y, int z,
                       Real omega) {
   Real fin[D::Q];

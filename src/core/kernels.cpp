@@ -2,62 +2,14 @@
 
 namespace swlb {
 
-namespace {
-
-/// Copy `count` halo layers from the opposite interior face, one axis at a
-/// time.  Wrapping x, then y, then z lets edge and corner halo cells pick
-/// up already-wrapped data, so diagonal pulls across periodic boundaries
-/// are correct.
-template <typename FieldLike>
-void wrap_axis_x(FieldLike&& get, const Grid& g, int q) {
-  for (int z = -g.halo; z < g.nz + g.halo; ++z)
-    for (int y = -g.halo; y < g.ny + g.halo; ++y)
-      for (int l = 0; l < g.halo; ++l) {
-        get(q, -1 - l, y, z) = get(q, g.nx - 1 - l, y, z);
-        get(q, g.nx + l, y, z) = get(q, l, y, z);
-      }
-}
-
-template <typename FieldLike>
-void wrap_axis_y(FieldLike&& get, const Grid& g, int q) {
-  for (int z = -g.halo; z < g.nz + g.halo; ++z)
-    for (int x = -g.halo; x < g.nx + g.halo; ++x)
-      for (int l = 0; l < g.halo; ++l) {
-        get(q, x, -1 - l, z) = get(q, x, g.ny - 1 - l, z);
-        get(q, x, g.ny + l, z) = get(q, x, l, z);
-      }
-}
-
-template <typename FieldLike>
-void wrap_axis_z(FieldLike&& get, const Grid& g, int q) {
-  for (int y = -g.halo; y < g.ny + g.halo; ++y)
-    for (int x = -g.halo; x < g.nx + g.halo; ++x)
-      for (int l = 0; l < g.halo; ++l) {
-        get(q, x, y, -1 - l) = get(q, x, y, g.nz - 1 - l);
-        get(q, x, y, g.nz + l) = get(q, x, y, l);
-      }
-}
-
-}  // namespace
-
-void apply_periodic(PopulationField& f, const Periodicity& per) {
-  const Grid& g = f.grid();
-  auto get = [&f](int q, int x, int y, int z) -> Real& { return f(q, x, y, z); };
-  for (int q = 0; q < f.q(); ++q) {
-    if (per.x) wrap_axis_x(get, g, q);
-    if (per.y) wrap_axis_y(get, g, q);
-    if (per.z) wrap_axis_z(get, g, q);
-  }
-}
-
 void apply_periodic(MaskField& mask, const Periodicity& per) {
   const Grid& g = mask.grid();
   auto get = [&mask](int, int x, int y, int z) -> std::uint8_t& {
     return mask(x, y, z);
   };
-  if (per.x) wrap_axis_x(get, g, 0);
-  if (per.y) wrap_axis_y(get, g, 0);
-  if (per.z) wrap_axis_z(get, g, 0);
+  if (per.x) detail::wrap_axis_x(get, g, 0);
+  if (per.y) detail::wrap_axis_y(get, g, 0);
+  if (per.z) detail::wrap_axis_z(get, g, 0);
 }
 
 void fill_halo_mask(MaskField& mask, const Periodicity& per, std::uint8_t id) {

@@ -184,26 +184,48 @@ void stream_collide_generic(const FSrc& src, FDst& dst, const MaskField& mask,
 /// precomputed per-direction neighbour offsets; the bulk fast path only
 /// touches the mask byte of the upstream cell.  This is the host analogue
 /// of the paper's hand-tuned CPE kernel.
-template <class D>
-void stream_collide_fused(const PopulationField& src, PopulationField& dst,
-                          const MaskField& mask, const MaterialTable& mats,
-                          const CollisionConfig& cfg, const Box3& range) {
+///
+/// Works for any storage precision: the gather decodes stored elements to
+/// a full-precision `Real fin[Q]`, the collision runs entirely in Real,
+/// and the write-back encodes once per population.  Identity (double)
+/// storage compiles to the historical raw load/store path.
+template <class D, class S>
+void stream_collide_fused(const PopulationFieldT<S>& src,
+                          PopulationFieldT<S>& dst, const MaskField& mask,
+                          const MaterialTable& mats, const CollisionConfig& cfg,
+                          const Box3& range) {
+  using Traits = StorageTraits<S>;
   const Grid& g = src.grid();
   SWLB_ASSERT(dst.grid() == g && mask.grid() == g);
 
   // Linear offset of neighbour (x - c_i) relative to the current cell.
   std::ptrdiff_t off[D::Q];
   std::size_t slab[D::Q];
+  Real sh[D::Q];
   for (int i = 0; i < D::Q; ++i) {
     off[i] = static_cast<std::ptrdiff_t>(
         (static_cast<long long>(D::c[i][2]) * g.sy() + D::c[i][1]) * g.sx() +
         D::c[i][0]);
     slab[i] = src.slab(i);
+    sh[i] = src.shift(i);
   }
 
-  const Real* sdata = src.data();
-  Real* ddata = dst.data();
+  const S* sdata = src.data();
+  S* ddata = dst.data();
   const std::uint8_t* mdata = mask.data();
+
+  auto ld = [&](int i, std::size_t p) -> Real {
+    if constexpr (PopulationFieldT<S>::kIdentityStorage)
+      return sdata[slab[i] + p];
+    else
+      return Traits::decode(sdata[slab[i] + p], sh[i]);
+  };
+  auto st = [&](int i, std::size_t p, Real v) {
+    if constexpr (PopulationFieldT<S>::kIdentityStorage)
+      ddata[slab[i] + p] = v;
+    else
+      ddata[slab[i] + p] = Traits::encode(v, sh[i]);
+  };
 
   Real fin[D::Q];
   for (int z = range.lo.z; z < range.hi.z; ++z)
@@ -220,26 +242,23 @@ void stream_collide_fused(const PopulationField& src, PopulationField& dst,
           }
           zh = &m;
         }
-        bool plain = true;
         for (int i = 0; i < D::Q; ++i) {
           const std::size_t pn = p - off[i];
           if (mdata[pn] == MaterialTable::kFluid) {
-            fin[i] = sdata[slab[i] + pn];
+            fin[i] = ld(i, pn);
           } else {
-            plain = false;
             const Material& m = mats[mdata[pn]];
             if (is_pullable(m.cls)) {
-              fin[i] = sdata[slab[i] + pn];
+              fin[i] = ld(i, pn);
             } else if (m.cls == CellClass::Solid) {
-              fin[i] = sdata[slab[D::opp(i)] + p];
+              fin[i] = ld(D::opp(i), p);
             } else {  // MovingWall
               const Real cu =
                   D::c[i][0] * m.u.x + D::c[i][1] * m.u.y + D::c[i][2] * m.u.z;
-              fin[i] = sdata[slab[D::opp(i)] + p] + Real(6) * D::w[i] * m.rho * cu;
+              fin[i] = ld(D::opp(i), p) + Real(6) * D::w[i] * m.rho * cu;
             }
           }
         }
-        (void)plain;
         if (zh && zh->cls == CellClass::Porous) {
           Real fpre[D::Q];
           for (int i = 0; i < D::Q; ++i) fpre[i] = fin[i];
@@ -247,14 +266,14 @@ void stream_collide_fused(const PopulationField& src, PopulationField& dst,
           Vec3 u;
           collide_cell<D>(fin, cfg, rho, u);
           porous_blend<D>(fin, fpre, zh->solidity);
-          for (int i = 0; i < D::Q; ++i) ddata[slab[i] + p] = fin[i];
+          for (int i = 0; i < D::Q; ++i) st(i, p, fin[i]);
           continue;
         }
         if (zh) zouhe_fix<D>(fin, *zh);
         Real rho;
         Vec3 u;
         collide_cell<D>(fin, cfg, rho, u);
-        for (int i = 0; i < D::Q; ++i) ddata[slab[i] + p] = fin[i];
+        for (int i = 0; i < D::Q; ++i) st(i, p, fin[i]);
       }
     }
 }
@@ -263,8 +282,8 @@ void stream_collide_fused(const PopulationField& src, PopulationField& dst,
 /// populations.  Combined with collide_inplace this reproduces the fused
 /// kernel bit-for-bit; the pair exists to measure the cost of *not*
 /// fusing (paper §IV-C3 reports ~30 % gain from fusion).
-template <class D>
-void stream_only(const PopulationField& src, PopulationField& dst,
+template <class D, class S>
+void stream_only(const PopulationFieldT<S>& src, PopulationFieldT<S>& dst,
                  const MaskField& mask, const MaterialTable& mats,
                  const Box3& range) {
   Real fin[D::Q];
@@ -288,8 +307,8 @@ void stream_only(const PopulationField& src, PopulationField& dst,
 }
 
 /// In-place BGK collision over `range` (second half of the two-step scheme).
-template <class D>
-void collide_inplace(PopulationField& f, const MaskField& mask,
+template <class D, class S>
+void collide_inplace(PopulationFieldT<S>& f, const MaskField& mask,
                      const MaterialTable& mats, const CollisionConfig& cfg,
                      const Box3& range) {
   Real fc[D::Q];
@@ -317,11 +336,11 @@ void collide_inplace(PopulationField& f, const MaskField& mask,
 /// fluid/solid/moving-wall cells only (the engineering inlet/outlet
 /// conditions run on the pull path); used for cross-validation and the
 /// pull-vs-push ablation.
-template <class D>
-void stream_collide_push(const PopulationField& src, PopulationField& dst,
-                         const MaskField& mask, const MaterialTable& mats,
-                         const CollisionConfig& cfg, const Box3& range,
-                         const Periodicity& per = {}) {
+template <class D, class S>
+void stream_collide_push(const PopulationFieldT<S>& src,
+                         PopulationFieldT<S>& dst, const MaskField& mask,
+                         const MaterialTable& mats, const CollisionConfig& cfg,
+                         const Box3& range, const Periodicity& per = {}) {
   const Grid& g = src.grid();
   Real fc[D::Q];
   for (int z = range.lo.z; z < range.hi.z; ++z)
@@ -373,9 +392,10 @@ void stream_collide_push(const PopulationField& src, PopulationField& dst,
 /// host thread (the intra-rank analogue of the 64-CPE partition; writes
 /// are disjoint, so the result is bit-identical to the serial kernel —
 /// tested).  nThreads <= 1 falls back to the serial kernel.
-template <class D>
-void stream_collide_fused_mt(const PopulationField& src, PopulationField& dst,
-                             const MaskField& mask, const MaterialTable& mats,
+template <class D, class S>
+void stream_collide_fused_mt(const PopulationFieldT<S>& src,
+                             PopulationFieldT<S>& dst, const MaskField& mask,
+                             const MaterialTable& mats,
                              const CollisionConfig& cfg, const Box3& range,
                              int nThreads) {
   const int nz = range.hi.z - range.lo.z;
@@ -397,9 +417,60 @@ void stream_collide_fused_mt(const PopulationField& src, PopulationField& dst,
   for (auto& w : workers) w.join();
 }
 
+namespace detail {
+
+/// Copy `count` halo layers from the opposite interior face, one axis at a
+/// time.  Wrapping x, then y, then z lets edge and corner halo cells pick
+/// up already-wrapped data, so diagonal pulls across periodic boundaries
+/// are correct.
+template <typename FieldLike>
+void wrap_axis_x(FieldLike&& get, const Grid& g, int q) {
+  for (int z = -g.halo; z < g.nz + g.halo; ++z)
+    for (int y = -g.halo; y < g.ny + g.halo; ++y)
+      for (int l = 0; l < g.halo; ++l) {
+        get(q, -1 - l, y, z) = get(q, g.nx - 1 - l, y, z);
+        get(q, g.nx + l, y, z) = get(q, l, y, z);
+      }
+}
+
+template <typename FieldLike>
+void wrap_axis_y(FieldLike&& get, const Grid& g, int q) {
+  for (int z = -g.halo; z < g.nz + g.halo; ++z)
+    for (int x = -g.halo; x < g.nx + g.halo; ++x)
+      for (int l = 0; l < g.halo; ++l) {
+        get(q, x, -1 - l, z) = get(q, x, g.ny - 1 - l, z);
+        get(q, x, g.ny + l, z) = get(q, x, l, z);
+      }
+}
+
+template <typename FieldLike>
+void wrap_axis_z(FieldLike&& get, const Grid& g, int q) {
+  for (int y = -g.halo; y < g.ny + g.halo; ++y)
+    for (int x = -g.halo; x < g.nx + g.halo; ++x)
+      for (int l = 0; l < g.halo; ++l) {
+        get(q, x, y, -1 - l) = get(q, x, y, g.nz - 1 - l);
+        get(q, x, y, g.nz + l) = get(q, x, y, l);
+      }
+}
+
+}  // namespace detail
+
 /// Copy interior faces into the opposite halo layers for periodic axes.
 /// Axes are wrapped in x, y, z order so edge/corner halos compose correctly.
-void apply_periodic(PopulationField& f, const Periodicity& per);
+/// Population wraps copy the raw storage element — exact for any precision.
+template <class S>
+void apply_periodic(PopulationFieldT<S>& f, const Periodicity& per) {
+  const Grid& g = f.grid();
+  auto get = [&f](int q, int x, int y, int z) -> S& {
+    return f.raw(q, x, y, z);
+  };
+  for (int q = 0; q < f.q(); ++q) {
+    if (per.x) detail::wrap_axis_x(get, g, q);
+    if (per.y) detail::wrap_axis_y(get, g, q);
+    if (per.z) detail::wrap_axis_z(get, g, q);
+  }
+}
+
 void apply_periodic(MaskField& mask, const Periodicity& per);
 
 /// Fill non-periodic halo mask cells with `id` (defaults keep walls).

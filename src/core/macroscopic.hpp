@@ -10,8 +10,8 @@ namespace swlb {
 /// Density and velocity of one cell.  When `cfg` carries a body force the
 /// velocity includes the Guo half-force shift, matching what the collision
 /// kernel used.
-template <class D>
-inline void cell_macroscopic(const PopulationField& f, int x, int y, int z,
+template <class D, class S>
+inline void cell_macroscopic(const PopulationFieldT<S>& f, int x, int y, int z,
                              const CollisionConfig& cfg, Real& rho, Vec3& u) {
   Real fi[D::Q];
   for (int i = 0; i < D::Q; ++i) fi[i] = f(i, x, y, z);
@@ -28,8 +28,8 @@ inline void cell_macroscopic(const PopulationField& f, int x, int y, int z,
 
 /// Fill density and velocity fields over the interior.  Non-fluid cells get
 /// rho = material rho and u = material u (walls: zero).
-template <class D>
-void compute_macroscopic(const PopulationField& f, const MaskField& mask,
+template <class D, class S>
+void compute_macroscopic(const PopulationFieldT<S>& f, const MaskField& mask,
                          const MaterialTable& mats, const CollisionConfig& cfg,
                          ScalarField& rho, VectorField& u) {
   const Grid& g = f.grid();
@@ -52,8 +52,8 @@ void compute_macroscopic(const PopulationField& f, const MaskField& mask,
 }
 
 /// Total mass over the interior fluid cells (conservation checks).
-template <class D>
-Real total_mass(const PopulationField& f, const MaskField& mask,
+template <class D, class S>
+Real total_mass(const PopulationFieldT<S>& f, const MaskField& mask,
                 const MaterialTable& mats) {
   const Grid& g = f.grid();
   Real sum = 0;
@@ -67,8 +67,8 @@ Real total_mass(const PopulationField& f, const MaskField& mask,
 }
 
 /// Total momentum over the interior fluid cells.
-template <class D>
-Vec3 total_momentum(const PopulationField& f, const MaskField& mask,
+template <class D, class S>
+Vec3 total_momentum(const PopulationFieldT<S>& f, const MaskField& mask,
                     const MaterialTable& mats) {
   const Grid& g = f.grid();
   Vec3 sum{0, 0, 0};

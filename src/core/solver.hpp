@@ -20,16 +20,23 @@ enum class KernelVariant {
   Push,      ///< fused collide + push streaming (layout ablation baseline)
 };
 
-template <class D>
+/// `S` selects the population *storage* precision (double / float / f16);
+/// all collision arithmetic stays in Real.  Defaults to lossless double.
+template <class D, class S = Real>
 class Solver {
  public:
+  using Field = PopulationFieldT<S>;
+
   Solver(const Grid& grid, const CollisionConfig& collision,
          const Periodicity& periodic = {})
       : grid_(grid),
         cfg_(collision),
         periodic_(periodic),
-        f_{PopulationField(grid, D::Q), PopulationField(grid, D::Q)},
-        mask_(grid, MaterialTable::kFluid) {}
+        f_{Field(grid, D::Q), Field(grid, D::Q)},
+        mask_(grid, MaterialTable::kFluid) {
+    f_[0].setShift(D::w);
+    f_[1].setShift(D::w);
+  }
 
   const Grid& grid() const { return grid_; }
   CollisionConfig& collision() { return cfg_; }
@@ -92,8 +99,8 @@ class Solver {
   void step() {
     obs::TraceScope stepScope("step");
     SWLB_ASSERT(maskFinal_);
-    PopulationField& src = f_[parity_];
-    PopulationField& dst = f_[1 - parity_];
+    Field& src = f_[parity_];
+    Field& dst = f_[1 - parity_];
     {
       obs::TraceScope wrapScope("periodic_wrap");
       apply_periodic(src, periodic_);
@@ -138,10 +145,10 @@ class Solver {
   std::uint64_t stepsDone() const { return steps_; }
 
   /// Current (most recently written) population field.
-  const PopulationField& f() const { return f_[parity_]; }
-  PopulationField& f() { return f_[parity_]; }
+  const Field& f() const { return f_[parity_]; }
+  Field& f() { return f_[parity_]; }
   /// The other buffer of the A-B pair (scratch / previous step).
-  PopulationField& fOther() { return f_[1 - parity_]; }
+  Field& fOther() { return f_[1 - parity_]; }
   int parity() const { return parity_; }
   void setParity(int p) { parity_ = p; }
   /// Restore step counter and A-B parity (checkpoint restart).
@@ -174,7 +181,7 @@ class Solver {
   Grid grid_;
   CollisionConfig cfg_;
   Periodicity periodic_;
-  PopulationField f_[2];
+  Field f_[2];
   MaskField mask_;
   MaterialTable mats_;
   KernelVariant variant_ = KernelVariant::Fused;

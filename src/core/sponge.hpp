@@ -41,8 +41,8 @@ inline Real sponge_strength(const SpongeZone& zone, int x, int y, int z) {
 /// Blend the populations inside the zone toward the target equilibrium:
 ///   f <- (1 - s) f + s feq(rho_t, u_t).
 /// Call after each step on the solver's current field.
-template <class D>
-void apply_sponge(PopulationField& f, const SpongeZone& zone) {
+template <class D, class S>
+void apply_sponge(PopulationFieldT<S>& f, const SpongeZone& zone) {
   const Grid& g = f.grid();
   const Box3 b = intersect(zone.box, g.interior());
   Real feq[D::Q];

@@ -4,8 +4,6 @@
 #include <cstring>
 #include <fstream>
 
-#include "obs/context.hpp"
-
 #ifdef __unix__
 #include <fcntl.h>
 #include <unistd.h>
@@ -17,17 +15,24 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'W', 'L', 'B', 'C', 'K', 'P', 'T'};
 
+// v2 layout: 8 + 4 + 7*4 = 40 bytes of leading fields, then three 8-byte
+// fields at an 8-aligned offset — sizeof(Header) == 64 with no padding
+// holes.  The header is still memset to zero before filling so the raw
+// write is deterministic byte for byte.
 struct Header {
   char magic[8];
   std::uint32_t version;
   std::int32_t nx, ny, nz, halo, q, parity;
+  std::uint32_t precision;  ///< storage element width in bits (64/32/16)
   std::uint64_t steps;
   std::uint64_t payloadBytes;
   std::uint64_t checksum;
 };
+static_assert(sizeof(Header) == 64);
 
 Header readHeader(std::ifstream& in, const std::string& path) {
-  Header h{};
+  Header h;
+  std::memset(&h, 0, sizeof(h));
   in.read(reinterpret_cast<char*>(&h), sizeof(h));
   if (!in) throw Error("checkpoint: truncated header in '" + path + "'");
   if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
@@ -45,16 +50,9 @@ CheckpointMeta toMeta(const Header& h) {
   m.q = h.q;
   m.steps = h.steps;
   m.parity = h.parity;
+  m.precisionBits = h.precision;
   return m;
 }
-
-}  // namespace
-
-std::uint64_t fnv1a(const void* data, std::size_t bytes) {
-  return fnv1a_hash(data, bytes);
-}
-
-namespace {
 
 /// Best-effort durability barrier: flush the file's data to storage so a
 /// crash after the rename cannot leave a committed-but-empty checkpoint.
@@ -72,10 +70,20 @@ void syncToDisk(const std::string& path) {
 
 }  // namespace
 
-void save_checkpoint(const std::string& path, const PopulationField& f,
-                     std::uint64_t steps, int parity) {
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  return fnv1a_hash(data, bytes);
+}
+
+namespace detail {
+
+void write_checkpoint_file(const std::string& path, const void* payload,
+                           std::size_t payloadBytes, const Grid& grid, int q,
+                           std::uint64_t steps, int parity,
+                           std::uint32_t precisionBits, const Real* shift) {
   obs::TraceScope saveScope("checkpoint.save");
-  obs::count("checkpoint.bytes_written", sizeof(Header) + f.bytes());
+  const std::size_t shiftBytes = static_cast<std::size_t>(q) * sizeof(double);
+  obs::count("checkpoint.bytes_written",
+             sizeof(Header) + shiftBytes + payloadBytes);
   // Atomic commit: write the full payload to <path>.tmp, flush it, then
   // rename over the destination.  A crash at any point leaves either the
   // previous checkpoint intact or a stale .tmp that load ignores — never a
@@ -85,22 +93,29 @@ void save_checkpoint(const std::string& path, const PopulationField& f,
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) throw Error("checkpoint: cannot open '" + tmp + "' for writing");
 
-    Header h{};
+    // Zero the whole struct first: any padding the ABI might introduce is
+    // written as deterministic zero bytes, so identical state produces
+    // byte-identical files.
+    Header h;
+    std::memset(&h, 0, sizeof(h));
     std::memcpy(h.magic, kMagic, sizeof(kMagic));
     h.version = kCheckpointVersion;
-    h.nx = f.grid().nx;
-    h.ny = f.grid().ny;
-    h.nz = f.grid().nz;
-    h.halo = f.grid().halo;
-    h.q = f.q();
+    h.nx = grid.nx;
+    h.ny = grid.ny;
+    h.nz = grid.nz;
+    h.halo = grid.halo;
+    h.q = q;
     h.parity = parity;
+    h.precision = precisionBits;
     h.steps = steps;
-    h.payloadBytes = f.bytes();
-    h.checksum = fnv1a(f.data(), f.bytes());
+    h.payloadBytes = payloadBytes;
+    h.checksum = fnv1a(payload, payloadBytes);
 
     os.write(reinterpret_cast<const char*>(&h), sizeof(h));
-    os.write(reinterpret_cast<const char*>(f.data()),
-             static_cast<std::streamsize>(f.bytes()));
+    os.write(reinterpret_cast<const char*>(shift),
+             static_cast<std::streamsize>(shiftBytes));
+    os.write(reinterpret_cast<const char*>(payload),
+             static_cast<std::streamsize>(payloadBytes));
     os.flush();
     if (!os) {
       std::remove(tmp.c_str());
@@ -114,30 +129,34 @@ void save_checkpoint(const std::string& path, const PopulationField& f,
   }
 }
 
+RawCheckpoint read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("checkpoint: cannot open '" + path + "'");
+  const Header h = readHeader(in, path);
+  if (h.q <= 0 || h.q > 64)
+    throw Error("checkpoint: implausible Q in '" + path + "'");
+  RawCheckpoint raw;
+  raw.meta = toMeta(h);
+  raw.shift.resize(static_cast<std::size_t>(h.q));
+  in.read(reinterpret_cast<char*>(raw.shift.data()),
+          static_cast<std::streamsize>(raw.shift.size() * sizeof(double)));
+  raw.payload.resize(h.payloadBytes);
+  in.read(reinterpret_cast<char*>(raw.payload.data()),
+          static_cast<std::streamsize>(raw.payload.size()));
+  if (!in) throw Error("checkpoint: truncated payload in '" + path + "'");
+  if (fnv1a(raw.payload.data(), raw.payload.size()) != h.checksum)
+    throw Error("checkpoint: checksum mismatch in '" + path + "' (corrupt file)");
+  raw.fileBytes =
+      sizeof(Header) + raw.shift.size() * sizeof(double) + raw.payload.size();
+  return raw;
+}
+
+}  // namespace detail
+
 CheckpointMeta read_checkpoint_meta(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("checkpoint: cannot open '" + path + "'");
   return toMeta(readHeader(in, path));
-}
-
-CheckpointMeta load_checkpoint(const std::string& path, PopulationField& f) {
-  obs::TraceScope restoreScope("checkpoint.restore");
-  obs::count("checkpoint.bytes_read", sizeof(Header) + f.bytes());
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("checkpoint: cannot open '" + path + "'");
-  const Header h = readHeader(in, path);
-  if (h.nx != f.grid().nx || h.ny != f.grid().ny || h.nz != f.grid().nz ||
-      h.halo != f.grid().halo || h.q != f.q()) {
-    throw Error("checkpoint: geometry mismatch restoring '" + path + "'");
-  }
-  if (h.payloadBytes != f.bytes())
-    throw Error("checkpoint: payload size mismatch in '" + path + "'");
-  in.read(reinterpret_cast<char*>(f.data()),
-          static_cast<std::streamsize>(f.bytes()));
-  if (!in) throw Error("checkpoint: truncated payload in '" + path + "'");
-  if (fnv1a(f.data(), f.bytes()) != h.checksum)
-    throw Error("checkpoint: checksum mismatch in '" + path + "' (corrupt file)");
-  return toMeta(h);
 }
 
 }  // namespace swlb::io

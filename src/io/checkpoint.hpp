@@ -1,13 +1,23 @@
 // Checkpoint/restart controller (paper §IV-B: "a checkpoint and restart
 // controller which enables fast recover from system-level or hardware
 // fault").  Versioned binary format with an FNV-1a payload checksum.
+//
+// Format v2 records the population *storage* precision (64/32/16 bits)
+// plus the per-direction shift table, so a checkpoint written by a
+// reduced-precision run is self-contained: loading into a field of a
+// different storage type converts explicitly (decode with the file's
+// shift, re-encode with the field's) instead of reinterpreting bytes.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/field.hpp"
+#include "core/precision.hpp"
 #include "core/solver.hpp"
+#include "obs/context.hpp"
 
 namespace swlb::io {
 
@@ -18,31 +28,113 @@ struct CheckpointMeta {
   int q = 0;
   std::uint64_t steps = 0;
   int parity = 0;
+  /// Storage element width of the payload (64, 32 or 16).
+  std::uint32_t precisionBits = 64;
 };
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+
+namespace detail {
+
+/// A fully read + validated checkpoint file (header fields, shift table,
+/// raw payload bytes) — the precision-agnostic half of load_checkpoint.
+struct RawCheckpoint {
+  CheckpointMeta meta;
+  std::vector<double> shift;          ///< per-direction storage shift
+  std::vector<std::uint8_t> payload;  ///< raw storage elements
+  std::size_t fileBytes = 0;          ///< total on-disk size
+};
+
+/// Atomic write (tmp + fsync + rename) of a v2 checkpoint file; counts
+/// checkpoint.bytes_written.  `payload` holds raw storage elements.
+void write_checkpoint_file(const std::string& path, const void* payload,
+                           std::size_t payloadBytes, const Grid& grid, int q,
+                           std::uint64_t steps, int parity,
+                           std::uint32_t precisionBits, const Real* shift);
+
+/// Read + validate (magic, version, checksum) a checkpoint file.
+RawCheckpoint read_checkpoint_file(const std::string& path);
+
+}  // namespace detail
 
 /// Save the population field plus solver step state.  The write is atomic:
 /// data goes to `<path>.tmp` (flushed/fsynced) and is renamed into place,
 /// so a crash mid-save never corrupts an existing checkpoint at `path`.
-void save_checkpoint(const std::string& path, const PopulationField& f,
-                     std::uint64_t steps, int parity);
+template <class S>
+void save_checkpoint(const std::string& path, const PopulationFieldT<S>& f,
+                     std::uint64_t steps, int parity) {
+  detail::write_checkpoint_file(path, f.data(), f.bytes(), f.grid(), f.q(),
+                                steps, parity, StorageTraits<S>::kBits,
+                                f.shiftData());
+}
 
 /// Header only (cheap inspection before a full restore).
 CheckpointMeta read_checkpoint_meta(const std::string& path);
 
-/// Restore into a field of the *same* grid and Q; throws on any mismatch,
-/// corrupt checksum, or unsupported version.
-CheckpointMeta load_checkpoint(const std::string& path, PopulationField& f);
+/// Restore into a field of the *same* grid and Q; throws on any geometry
+/// mismatch, corrupt checksum, or unsupported version.  A payload written
+/// with the field's own storage type and shift is restored bit-for-bit;
+/// any other precision is converted value by value (file decode -> field
+/// encode), never reinterpreted.
+template <class S>
+CheckpointMeta load_checkpoint(const std::string& path,
+                               PopulationFieldT<S>& f) {
+  obs::TraceScope restoreScope("checkpoint.restore");
+  detail::RawCheckpoint raw = detail::read_checkpoint_file(path);
+  obs::count("checkpoint.bytes_read", raw.fileBytes);
+  const Grid& g = f.grid();
+  if (raw.meta.interior.x != g.nx || raw.meta.interior.y != g.ny ||
+      raw.meta.interior.z != g.nz || raw.meta.halo != g.halo ||
+      raw.meta.q != f.q()) {
+    throw Error("checkpoint: geometry mismatch restoring '" + path + "'");
+  }
+  const int q = f.q();
+  const std::size_t vol = g.volume();
+  bool sameShift = true;
+  for (int i = 0; i < q; ++i)
+    if (raw.shift[static_cast<std::size_t>(i)] != f.shift(i)) sameShift = false;
+
+  if (raw.meta.precisionBits == StorageTraits<S>::kBits && sameShift) {
+    if (raw.payload.size() != f.bytes())
+      throw Error("checkpoint: payload size mismatch in '" + path + "'");
+    std::memcpy(f.data(), raw.payload.data(), f.bytes());
+    return raw.meta;
+  }
+
+  // Cross-precision restore: decode each stored element with the *file's*
+  // shift, re-encode with the field's.  Dispatch on the file's tag.
+  auto convert = [&](auto tag) {
+    using FS = decltype(tag);
+    if (raw.payload.size() != vol * static_cast<std::size_t>(q) * sizeof(FS))
+      throw Error("checkpoint: payload size mismatch in '" + path + "'");
+    const FS* in = reinterpret_cast<const FS*>(raw.payload.data());
+    for (int qq = 0; qq < q; ++qq) {
+      const Real sh = raw.shift[static_cast<std::size_t>(qq)];
+      const FS* slab = in + static_cast<std::size_t>(qq) * vol;
+      for (std::size_t c = 0; c < vol; ++c)
+        f.store(qq, c, StorageTraits<FS>::decode(slab[c], sh));
+    }
+  };
+  switch (raw.meta.precisionBits) {
+    case 64: convert(double{}); break;
+    case 32: convert(float{}); break;
+    case 16: convert(f16{}); break;
+    default:
+      throw Error("checkpoint: unknown storage precision " +
+                  std::to_string(raw.meta.precisionBits) + " in '" + path +
+                  "'");
+  }
+  return raw.meta;
+}
 
 /// Solver-level convenience wrappers.
-template <class D>
-void save_checkpoint(const std::string& path, const Solver<D>& solver) {
+template <class D, class S>
+void save_checkpoint(const std::string& path, const Solver<D, S>& solver) {
   save_checkpoint(path, solver.f(), solver.stepsDone(), solver.parity());
 }
 
-template <class D>
-void load_checkpoint(const std::string& path, Solver<D>& solver) {
+template <class D, class S>
+void load_checkpoint(const std::string& path, Solver<D, S>& solver) {
   // Restore parity first so the payload lands in the buffer that was
   // current when the checkpoint was taken.
   const CheckpointMeta meta = read_checkpoint_meta(path);

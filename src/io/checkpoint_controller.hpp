@@ -78,8 +78,8 @@ class CheckpointController {
 
   /// Save when the solver's step count hits a multiple of the interval.
   /// Returns true when a checkpoint was written.
-  template <class D>
-  bool maybeSave(const Solver<D>& solver) {
+  template <class D, class S>
+  bool maybeSave(const Solver<D, S>& solver) {
     const std::uint64_t step = solver.stepsDone();
     if (step == 0 || step % policy_.interval != 0) return false;
     if (!saved_.empty() && saved_.back() == step) return false;  // same step
@@ -93,8 +93,8 @@ class CheckpointController {
   }
 
   /// Restore the newest retained checkpoint; throws when none exists.
-  template <class D>
-  void restoreLatest(Solver<D>& solver) const {
+  template <class D, class S>
+  void restoreLatest(Solver<D, S>& solver) const {
     if (saved_.empty()) throw Error("CheckpointController: nothing saved yet");
     load_checkpoint(pathFor(saved_.back()), solver);
   }

@@ -53,15 +53,20 @@ class Gauge {
 /// Distribution of observed values (phase durations in seconds).
 ///
 /// count/total/min/max are exact for every observation; quantiles come
-/// from a bounded sample store (the first `sampleCap` observations) using
-/// the nearest-rank definition on the sorted samples, so memory stays
-/// bounded on arbitrarily long runs.
+/// from a bounded *reservoir* sample (Algorithm R) using the nearest-rank
+/// definition on the sorted samples, so memory stays bounded on
+/// arbitrarily long runs while every observation — early or late — has an
+/// equal chance of being sampled.  (Keeping only the first `sampleCap`
+/// observations would freeze p50/p95 on the warmup phase of a long run.)
+/// The reservoir's random choices come from a deterministic counter hash
+/// seeded per histogram — no global RNG state, reproducible runs.
 class Histogram {
  public:
   static constexpr std::size_t kDefaultSampleCap = 1u << 16;
 
-  explicit Histogram(std::size_t sampleCap = kDefaultSampleCap)
-      : cap_(sampleCap) {}
+  explicit Histogram(std::size_t sampleCap = kDefaultSampleCap,
+                     std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : cap_(sampleCap), seed_(seed) {}
 
   void observe(double x) {
     std::lock_guard<std::mutex> lock(m_);
@@ -69,7 +74,16 @@ class Histogram {
     total_ += x;
     min_ = count_ == 1 ? x : std::min(min_, x);
     max_ = count_ == 1 ? x : std::max(max_, x);
-    if (samples_.size() < cap_) samples_.push_back(x);
+    if (cap_ == 0) return;
+    if (samples_.size() < cap_) {
+      samples_.push_back(x);
+    } else {
+      // Algorithm R: the n-th observation replaces a random reservoir
+      // slot with probability cap/n, keeping the sample uniform over the
+      // whole stream.
+      const std::uint64_t j = mix(seed_ ^ count_) % count_;
+      if (j < cap_) samples_[static_cast<std::size_t>(j)] = x;
+    }
   }
 
   std::uint64_t count() const {
@@ -104,32 +118,57 @@ class Histogram {
     }
     if (s.empty()) return 0;
     std::sort(s.begin(), s.end());
-    if (q <= 0) return s.front();
-    if (q >= 1) return s.back();
-    const auto n = static_cast<double>(s.size());
-    const auto rank = static_cast<std::size_t>(std::max(1.0, std::ceil(q * n)));
-    return s[rank - 1];
+    return nearestRank(s, q);
   }
 
   struct Summary {
     std::uint64_t count = 0;
     double total = 0, mean = 0, min = 0, max = 0, p50 = 0, p95 = 0;
   };
+  /// Snapshot every field under ONE lock acquisition: a concurrent
+  /// observe() can land entirely before or entirely after the snapshot,
+  /// but never between two fields (no torn count-vs-total summaries).
   Summary summary() const {
     Summary s;
-    s.count = count();
-    s.total = total();
-    s.mean = mean();
-    s.min = min();
-    s.max = max();
-    s.p50 = quantile(0.50);
-    s.p95 = quantile(0.95);
+    std::vector<double> samp;
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      s.count = count_;
+      s.total = total_;
+      s.min = count_ ? min_ : 0;
+      s.max = count_ ? max_ : 0;
+      samp = samples_;
+    }
+    s.mean = s.count ? s.total / static_cast<double>(s.count) : 0;
+    if (!samp.empty()) {
+      std::sort(samp.begin(), samp.end());
+      s.p50 = nearestRank(samp, 0.50);
+      s.p95 = nearestRank(samp, 0.95);
+    }
     return s;
   }
 
  private:
+  /// splitmix64 finalizer: cheap, well-mixed 64-bit hash.
+  static std::uint64_t mix(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Nearest-rank quantile of an already-sorted, non-empty sample vector.
+  static double nearestRank(const std::vector<double>& sorted, double q) {
+    if (q <= 0) return sorted.front();
+    if (q >= 1) return sorted.back();
+    const auto n = static_cast<double>(sorted.size());
+    const auto rank = static_cast<std::size_t>(std::max(1.0, std::ceil(q * n)));
+    return sorted[rank - 1];
+  }
+
   mutable std::mutex m_;
   std::size_t cap_;
+  std::uint64_t seed_;
   std::uint64_t count_ = 0;
   double total_ = 0, min_ = 0, max_ = 0;
   std::vector<double> samples_;

@@ -21,8 +21,16 @@ constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
 
 Clock::time_point deadlineFrom(double timeoutSec) {
   if (timeoutSec <= 0) return kNoDeadline;
-  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                            std::chrono::duration<double>(timeoutSec));
+  // Huge timeouts (the resilience vote path scales them x4) can overflow
+  // duration_cast and wrap the deadline into the past, turning "wait
+  // nearly forever" into an instant timeout.  Anything beyond the clock's
+  // representable horizon simply means no deadline.
+  const auto now = Clock::now();
+  const double maxSec =
+      std::chrono::duration<double>(kNoDeadline - now).count();
+  if (timeoutSec >= maxSec) return kNoDeadline;
+  return now + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(timeoutSec));
 }
 
 std::uint64_t splitmix64(std::uint64_t z) {

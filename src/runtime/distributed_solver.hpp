@@ -22,9 +22,13 @@ namespace swlb::runtime {
 
 enum class HaloMode { Sequential, Overlap };
 
-template <class D>
+/// `S` selects the population storage precision (see core/precision.hpp);
+/// halo traffic, checkpoints and the byte-based perf model all scale with
+/// sizeof(S).  Collision arithmetic stays in Real.
+template <class D, class S = Real>
 class DistributedSolver {
  public:
+  using Field = PopulationFieldT<S>;
   struct Config {
     Int3 global{0, 0, 0};
     CollisionConfig collision;
@@ -44,10 +48,12 @@ class DistributedSolver {
         grid_(owned_.hi.x - owned_.lo.x, owned_.hi.y - owned_.lo.y,
               owned_.hi.z - owned_.lo.z),
         halo_(decomp_, comm.rank(), cfg.periodic, grid_),
-        f_{PopulationField(grid_, D::Q), PopulationField(grid_, D::Q)},
+        f_{Field(grid_, D::Q), Field(grid_, D::Q)},
         mask_(grid_, MaterialTable::kFluid) {
     if (decomp_.rankCount() != comm.size())
       throw Error("DistributedSolver: process grid does not match world size");
+    f_[0].setShift(D::w);
+    f_[1].setShift(D::w);
   }
 
   Comm& comm() { return comm_; }
@@ -109,8 +115,8 @@ class DistributedSolver {
   void step() {
     obs::TraceScope stepScope("step");
     SWLB_ASSERT(maskFinal_);
-    PopulationField& src = f_[parity_];
-    PopulationField& dst = f_[1 - parity_];
+    Field& src = f_[parity_];
+    Field& dst = f_[1 - parity_];
     {
       // z is never decomposed: wrap it locally before the x/y exchange so
       // the exchanged strips carry valid z-halo rows.
@@ -174,8 +180,8 @@ class DistributedSolver {
     steps_ = steps;
     parity_ = parity;
   }
-  const PopulationField& f() const { return f_[parity_]; }
-  PopulationField& f() { return f_[parity_]; }
+  const Field& f() const { return f_[parity_]; }
+  Field& f() { return f_[parity_]; }
 
   Real density(int lx, int ly, int lz) const {
     Real rho;
@@ -240,7 +246,7 @@ class DistributedSolver {
   /// linger there across a rollback (streaming never writes ghosts) and
   /// must not re-trip the guard after recovery.
   bool populationsFinite() const {
-    const PopulationField& field = f();
+    const Field& field = f();
     const Grid& g = field.grid();
     for (int q = 0; q < D::Q; ++q)
       for (int z = 0; z < g.nz; ++z)
@@ -252,6 +258,8 @@ class DistributedSolver {
 
   /// Gather the full population field on `root` (interior cells only;
   /// other ranks receive an empty field).  Collective; test/IO helper.
+  /// Values are decoded to Real before the gather, so the result is a
+  /// plain double field regardless of the local storage precision.
   /// Variable-size gatherv (blocks differ under uneven decompositions)
   /// with all receives posted up front — a slow rank never serializes the
   /// others behind it.
@@ -287,13 +295,16 @@ class DistributedSolver {
   }
 
   /// Bytes exchanged per step (send side) — input to the network model.
-  std::size_t haloBytesPerStep() const { return halo_.bytesPerExchange(D::Q); }
+  /// Tracks the storage element size: reduced precision halves/quarters it.
+  std::size_t haloBytesPerStep() const {
+    return halo_.bytesPerExchange(D::Q, sizeof(S));
+  }
 
  private:
   bool zWrapLocal() const { return cfg_.periodic.z; }
 
   void packLocal(std::vector<Real>& buf) const {
-    const PopulationField& field = f();
+    const Field& field = f();
     std::size_t k = 0;
     for (int q = 0; q < D::Q; ++q)
       for (int z = 0; z < grid_.nz; ++z)
@@ -307,7 +318,7 @@ class DistributedSolver {
   Box3 owned_;
   Grid grid_;
   HaloExchange halo_;
-  PopulationField f_[2];
+  Field f_[2];
   MaskField mask_;
   MaterialTable mats_;
   int parity_ = 0;

@@ -1,40 +1,6 @@
 #include "runtime/halo.hpp"
 
-#include "obs/context.hpp"
-
 namespace swlb::runtime {
-
-namespace {
-
-template <typename FieldT, typename Elem>
-void packBox(const FieldT& f, int q, const Box3& box, Elem* out) {
-  std::size_t k = 0;
-  for (int qq = 0; qq < q; ++qq)
-    for (int z = box.lo.z; z < box.hi.z; ++z)
-      for (int y = box.lo.y; y < box.hi.y; ++y)
-        for (int x = box.lo.x; x < box.hi.x; ++x) out[k++] = f(qq, x, y, z);
-}
-
-template <typename FieldT, typename Elem>
-void unpackBox(FieldT& f, int q, const Box3& box, const Elem* in) {
-  std::size_t k = 0;
-  for (int qq = 0; qq < q; ++qq)
-    for (int z = box.lo.z; z < box.hi.z; ++z)
-      for (int y = box.lo.y; y < box.hi.y; ++y)
-        for (int x = box.lo.x; x < box.hi.x; ++x) f(qq, x, y, z) = in[k++];
-}
-
-/// Adapter so the mask (no q index) can share the pack helpers.
-struct MaskAdapter {
-  MaskField& m;
-  std::uint8_t& operator()(int, int x, int y, int z) const { return m(x, y, z); }
-};
-struct ConstMaskAdapter {
-  const MaskField& m;
-  std::uint8_t operator()(int, int x, int y, int z) const { return m(x, y, z); }
-};
-
-}  // namespace
 
 HaloExchange::HaloExchange(const Decomposition& decomp, int rank,
                            const Periodicity& periodic, const Grid& localGrid)
@@ -105,58 +71,30 @@ HaloExchange::HaloExchange(const Decomposition& decomp, int rank,
     }
 }
 
-void HaloExchange::exchange(Comm& comm, PopulationField& f) {
-  begin(comm, f);
-  finish(comm, f);
-}
-
-void HaloExchange::begin(Comm& comm, PopulationField& f) {
-  const int q = f.q();
-  // Post all receives first, then pack and send: classic non-blocking
-  // ordering (also required so self-messages on wrapped axes match).
-  for (auto& n : neighbors_) {
-    n.recvBuf.resize(static_cast<std::size_t>(n.recvBox.volume()) * q);
-    n.pending = comm.irecv(n.rank, n.recvTag, n.recvBuf.data(),
-                           n.recvBuf.size() * sizeof(Real));
-  }
-  obs::TraceScope packScope("halo.pack");
-  for (auto& n : neighbors_) {
-    n.sendBuf.resize(static_cast<std::size_t>(n.sendBox.volume()) * q);
-    packBox(f, q, n.sendBox, n.sendBuf.data());
-    comm.isend(n.rank, n.sendTag, n.sendBuf.data(),
-               n.sendBuf.size() * sizeof(Real));
-  }
-}
-
-void HaloExchange::finish(Comm& comm, PopulationField& f) {
-  (void)comm;
-  const int q = f.q();
-  for (auto& n : neighbors_) {
-    {
-      obs::TraceScope waitScope("halo.wait");
-      n.pending.wait();
-    }
-    obs::TraceScope unpackScope("halo.unpack");
-    unpackBox(f, q, n.recvBox, n.recvBuf.data());
-  }
-}
-
 void HaloExchange::exchangeMask(Comm& comm, MaskField& mask) {
   for (auto& n : neighbors_) {
-    n.recvBufMask.resize(static_cast<std::size_t>(n.recvBox.volume()));
-    n.pending = comm.irecv(n.rank, n.recvTag, n.recvBufMask.data(),
-                           n.recvBufMask.size());
+    n.recvBuf.resize(static_cast<std::size_t>(n.recvBox.volume()));
+    n.pending = comm.irecv(n.rank, n.recvTag, n.recvBuf.data(),
+                           n.recvBuf.size());
   }
   for (auto& n : neighbors_) {
-    n.sendBufMask.resize(static_cast<std::size_t>(n.sendBox.volume()));
-    ConstMaskAdapter adapter{mask};
-    packBox(adapter, 1, n.sendBox, n.sendBufMask.data());
-    comm.isend(n.rank, n.sendTag, n.sendBufMask.data(), n.sendBufMask.size());
+    n.sendBuf.resize(static_cast<std::size_t>(n.sendBox.volume()));
+    std::size_t k = 0;
+    const Box3& box = n.sendBox;
+    for (int z = box.lo.z; z < box.hi.z; ++z)
+      for (int y = box.lo.y; y < box.hi.y; ++y)
+        for (int x = box.lo.x; x < box.hi.x; ++x)
+          n.sendBuf[k++] = mask(x, y, z);
+    comm.isend(n.rank, n.sendTag, n.sendBuf.data(), n.sendBuf.size());
   }
   for (auto& n : neighbors_) {
     n.pending.wait();
-    MaskAdapter adapter{mask};
-    unpackBox(adapter, 1, n.recvBox, n.recvBufMask.data());
+    std::size_t k = 0;
+    const Box3& box = n.recvBox;
+    for (int z = box.lo.z; z < box.hi.z; ++z)
+      for (int y = box.lo.y; y < box.hi.y; ++y)
+        for (int x = box.lo.x; x < box.hi.x; ++x)
+          mask(x, y, z) = n.recvBuf[k++];
   }
 }
 
@@ -190,10 +128,10 @@ std::vector<Box3> HaloExchange::boundaryShell() const {
   return shell;
 }
 
-std::size_t HaloExchange::bytesPerExchange(int q) const {
+std::size_t HaloExchange::bytesPerExchange(int q, std::size_t elemBytes) const {
   std::size_t bytes = 0;
   for (const auto& n : neighbors_)
-    bytes += static_cast<std::size_t>(n.sendBox.volume()) * q * sizeof(Real);
+    bytes += static_cast<std::size_t>(n.sendBox.volume()) * q * elemBytes;
   return bytes;
 }
 

@@ -5,13 +5,19 @@
 // full z extent *including* the z halo so that diagonal pulls across the
 // subdomain corner pick up correct data; the caller must apply the local
 // z periodic wrap before exchanging.
+//
+// Populations are packed, sent and unpacked in their *storage* precision:
+// reduced-precision fields move proportionally fewer bytes on the wire
+// (the raw storage elements are copied verbatim — no decode/encode error).
 #pragma once
 
 #include <array>
+#include <cstring>
 #include <vector>
 
 #include "core/field.hpp"
 #include "core/kernels.hpp"
+#include "obs/context.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/decomposition.hpp"
 
@@ -27,13 +33,62 @@ class HaloExchange {
 
   /// Blocking exchange of all Q population strips (sequential scheme,
   /// Fig. 6(1)).
-  void exchange(Comm& comm, PopulationField& f);
+  template <class S>
+  void exchange(Comm& comm, PopulationFieldT<S>& f) {
+    begin(comm, f);
+    finish(comm, f);
+  }
 
   /// On-the-fly scheme (Fig. 6(2)): post receives and send packed strips,
   /// then return so the caller can update the inner domain meanwhile.
-  void begin(Comm& comm, PopulationField& f);
+  template <class S>
+  void begin(Comm& comm, PopulationFieldT<S>& f) {
+    const int q = f.q();
+    // Post all receives first, then pack and send: classic non-blocking
+    // ordering (also required so self-messages on wrapped axes match).
+    for (auto& n : neighbors_) {
+      n.recvBuf.resize(static_cast<std::size_t>(n.recvBox.volume()) * q *
+                       sizeof(S));
+      n.pending = comm.irecv(n.rank, n.recvTag, n.recvBuf.data(),
+                             n.recvBuf.size());
+    }
+    obs::TraceScope packScope("halo.pack");
+    for (auto& n : neighbors_) {
+      n.sendBuf.resize(static_cast<std::size_t>(n.sendBox.volume()) * q *
+                       sizeof(S));
+      S* out = reinterpret_cast<S*>(n.sendBuf.data());
+      std::size_t k = 0;
+      const Box3& box = n.sendBox;
+      for (int qq = 0; qq < q; ++qq)
+        for (int z = box.lo.z; z < box.hi.z; ++z)
+          for (int y = box.lo.y; y < box.hi.y; ++y)
+            for (int x = box.lo.x; x < box.hi.x; ++x)
+              out[k++] = f.raw(qq, x, y, z);
+      comm.isend(n.rank, n.sendTag, n.sendBuf.data(), n.sendBuf.size());
+    }
+  }
+
   /// Wait for the posted receives and unpack into the halo.
-  void finish(Comm& comm, PopulationField& f);
+  template <class S>
+  void finish(Comm& comm, PopulationFieldT<S>& f) {
+    (void)comm;
+    const int q = f.q();
+    for (auto& n : neighbors_) {
+      {
+        obs::TraceScope waitScope("halo.wait");
+        n.pending.wait();
+      }
+      obs::TraceScope unpackScope("halo.unpack");
+      const S* in = reinterpret_cast<const S*>(n.recvBuf.data());
+      std::size_t k = 0;
+      const Box3& box = n.recvBox;
+      for (int qq = 0; qq < q; ++qq)
+        for (int z = box.lo.z; z < box.hi.z; ++z)
+          for (int y = box.lo.y; y < box.hi.y; ++y)
+            for (int x = box.lo.x; x < box.hi.x; ++x)
+              f.raw(qq, x, y, z) = in[k++];
+    }
+  }
 
   /// One-off exchange of the material mask at setup time.
   void exchangeMask(Comm& comm, MaskField& mask);
@@ -46,8 +101,10 @@ class HaloExchange {
   /// The boundary shell = interior minus innerBox, as up to 4 boxes.
   std::vector<Box3> boundaryShell() const;
 
-  /// Bytes sent per exchange of a Q-population field (for the perf model).
-  std::size_t bytesPerExchange(int q) const;
+  /// Bytes sent per exchange of a Q-population field with `elemBytes`-wide
+  /// storage elements (for the perf model and the obs invariants).
+  std::size_t bytesPerExchange(int q,
+                               std::size_t elemBytes = sizeof(Real)) const;
 
  private:
   struct Neighbor {
@@ -56,8 +113,7 @@ class HaloExchange {
     Box3 sendBox;  // local coordinates, may reach into the z halo
     Box3 recvBox;
     int sendTag = 0, recvTag = 0;
-    std::vector<Real> sendBuf, recvBuf;
-    std::vector<std::uint8_t> sendBufMask, recvBufMask;
+    std::vector<std::uint8_t> sendBuf, recvBuf;  // raw storage bytes
     Request pending;
   };
 

@@ -35,8 +35,8 @@ inline std::string group_manifest_path(const std::string& prefix) {
 /// tmp-then-rename) only after a barrier proves every rank's block landed,
 /// so a crash mid-save can leave stray rank files but never a manifest
 /// that points at an incomplete generation.
-template <class D>
-void save_group_checkpoint(DistributedSolver<D>& solver,
+template <class D, class S>
+void save_group_checkpoint(DistributedSolver<D, S>& solver,
                            const std::string& prefix) {
   obs::TraceScope saveScope("checkpoint.group_save");
   Comm& comm = solver.comm();
@@ -70,8 +70,8 @@ void save_group_checkpoint(DistributedSolver<D>& solver,
 
 /// Restore a group checkpoint.  Throws when the manifest does not match
 /// the live decomposition (wrong rank count / grid / mesh).  Collective.
-template <class D>
-void load_group_checkpoint(DistributedSolver<D>& solver,
+template <class D, class S>
+void load_group_checkpoint(DistributedSolver<D, S>& solver,
                            const std::string& prefix) {
   obs::TraceScope restoreScope("checkpoint.group_restore");
   Comm& comm = solver.comm();
@@ -103,8 +103,8 @@ void load_group_checkpoint(DistributedSolver<D>& solver,
 
 /// Gather density and velocity into *global* fields on `root` (other
 /// ranks receive empty fields).  Collective.
-template <class D>
-void gather_macroscopic(DistributedSolver<D>& solver, int root,
+template <class D, class S>
+void gather_macroscopic(DistributedSolver<D, S>& solver, int root,
                         ScalarField& rhoOut, VectorField& uOut) {
   Comm& comm = solver.comm();
   const Grid& lg = solver.localGrid();
@@ -164,8 +164,8 @@ void gather_macroscopic(DistributedSolver<D>& solver, int root,
 }
 
 /// Gather to `root` and write one VTK file with density + velocity.
-template <class D>
-void write_vtk_gathered(DistributedSolver<D>& solver, int root,
+template <class D, class S>
+void write_vtk_gathered(DistributedSolver<D, S>& solver, int root,
                         const std::string& path) {
   ScalarField rho;
   VectorField u;

@@ -43,7 +43,7 @@ struct DistributedCheckpointPolicy {
 /// Every rank writes its own block; the root's manifest commits a
 /// generation.  Construction scans the disk so recovery works across real
 /// process restarts, not just within one process.
-template <class D>
+template <class D, class S = Real>
 class DistributedCheckpointController {
  public:
   DistributedCheckpointController(Comm& comm, std::string prefix,
@@ -65,7 +65,7 @@ class DistributedCheckpointController {
 
   /// Save a generation at the solver's current step and rotate old ones
   /// out.  Collective.
-  void save(DistributedSolver<D>& solver) {
+  void save(DistributedSolver<D, S>& solver) {
     const std::uint64_t step = solver.stepsDone();
     save_group_checkpoint(solver, generationPrefix(step));
     if (generations_.empty() || generations_.back() != step)
@@ -78,7 +78,7 @@ class DistributedCheckpointController {
 
   /// Save when the step count hits a multiple of the interval.  Collective
   /// when due (and only then).  Returns true when a generation was written.
-  bool maybeSave(DistributedSolver<D>& solver) {
+  bool maybeSave(DistributedSolver<D, S>& solver) {
     const std::uint64_t step = solver.stepsDone();
     if (step == 0 || step % policy_.interval != 0) return false;
     if (!generations_.empty() && generations_.back() == step) return false;
@@ -90,7 +90,7 @@ class DistributedCheckpointController {
   /// rank blocks validate on every rank (allreduce Min agreement per
   /// candidate, so all ranks restore the same generation or none).
   /// Collective; throws when no complete generation exists.
-  std::uint64_t restoreNewestComplete(DistributedSolver<D>& solver) {
+  std::uint64_t restoreNewestComplete(DistributedSolver<D, S>& solver) {
     std::deque<std::uint64_t> candidates = scanGenerations();
     coll::Collectives cs(comm_);
     for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
@@ -167,7 +167,7 @@ class DistributedCheckpointController {
   std::deque<std::uint64_t> generations_;
 };
 
-template <class D>
+template <class D, class S = Real>
 struct ResilientRunnerConfig {
   DistributedCheckpointPolicy checkpoint;
   /// Receive deadline while the runner drives the solver: a lost halo
@@ -183,13 +183,13 @@ struct ResilientRunnerConfig {
   int maxRecoveries = 8;
   /// Test hook, called on every rank right before each step attempt
   /// (e.g. to poke a NaN into the field and exercise the guard).
-  std::function<void(DistributedSolver<D>&, std::uint64_t)> beforeStep;
+  std::function<void(DistributedSolver<D, S>&, std::uint64_t)> beforeStep;
 };
 
 /// Drives a DistributedSolver to a target step, detecting failures and
 /// recovering by collective rollback to the newest complete checkpoint
 /// generation.  Call run() from every rank.
-template <class D>
+template <class D, class S = Real>
 class ResilientRunner {
  public:
   struct Report {
@@ -198,12 +198,12 @@ class ResilientRunner {
     std::uint64_t drainedMessages = 0;  ///< stale messages discarded (this rank)
   };
 
-  ResilientRunner(DistributedSolver<D>& solver, std::string prefix,
-                  const ResilientRunnerConfig<D>& cfg = {})
+  ResilientRunner(DistributedSolver<D, S>& solver, std::string prefix,
+                  const ResilientRunnerConfig<D, S>& cfg = {})
       : solver_(solver), cfg_(cfg),
         ckpt_(solver.comm(), std::move(prefix), cfg.checkpoint) {}
 
-  DistributedCheckpointController<D>& checkpoints() { return ckpt_; }
+  DistributedCheckpointController<D, S>& checkpoints() { return ckpt_; }
 
   /// Run until solver.stepsDone() == targetStep.  Collective.
   Report run(std::uint64_t targetStep) {
@@ -271,9 +271,9 @@ class ResilientRunner {
   }
 
  private:
-  DistributedSolver<D>& solver_;
-  ResilientRunnerConfig<D> cfg_;
-  DistributedCheckpointController<D> ckpt_;
+  DistributedSolver<D, S>& solver_;
+  ResilientRunnerConfig<D, S> cfg_;
+  DistributedCheckpointController<D, S> ckpt_;
 };
 
 }  // namespace swlb::runtime

@@ -41,8 +41,9 @@ class RegCommFabric {
   /// `out`; the cost is metered in 256-bit packets.  Throws when the mesh
   /// topology does not allow the pair (no routing through third CPEs on
   /// SW26010 register buses).
-  void transfer(int srcCpe, int dstCpe, std::span<const Real> data,
-                std::span<Real> out) {
+  template <typename T>
+  void transfer(int srcCpe, int dstCpe, std::span<const T> data,
+                std::span<T> out) {
     if (!reachable(srcCpe, dstCpe)) {
       throw Error("RegCommFabric: CPE " + std::to_string(srcCpe) + " -> " +
                   std::to_string(dstCpe) +
@@ -54,7 +55,8 @@ class RegCommFabric {
   }
 
   /// Row or column broadcast (one sender, 7 receivers); metered once.
-  void broadcast(int srcCpe, std::span<const Real> data) {
+  template <typename T>
+  void broadcast(int srcCpe, std::span<const T> data) {
     (void)srcCpe;
     meter(data.size_bytes());
     ++stats_.broadcasts;

@@ -20,8 +20,11 @@ class RmaFabric {
   RmaFabric(int rows, int cols) : rows_(rows), cols_(cols) {}
 
   /// One-sided put: any CPE pair is reachable (mesh routes the transfer).
+  /// Element type is generic: reduced-precision population rows move
+  /// proportionally fewer bytes over the mesh.
+  template <typename T>
   void put([[maybe_unused]] int srcCpe, [[maybe_unused]] int dstCpe,
-           std::span<const Real> data, std::span<Real> out) {
+           std::span<const T> data, std::span<T> out) {
     SWLB_ASSERT(srcCpe >= 0 && srcCpe < rows_ * cols_);
     SWLB_ASSERT(dstCpe >= 0 && dstCpe < rows_ * cols_);
     SWLB_ASSERT(out.size() >= data.size());
@@ -31,13 +34,15 @@ class RmaFabric {
   }
 
   /// One-sided get (symmetric to put in the emulator).
-  void get(int srcCpe, int dstCpe, std::span<const Real> remote,
-           std::span<Real> local) {
+  template <typename T>
+  void get(int srcCpe, int dstCpe, std::span<const T> remote,
+           std::span<T> local) {
     put(dstCpe, srcCpe, remote, local);
   }
 
   /// Row or column broadcast.
-  void broadcastRow(int srcCpe, std::span<const Real> data) {
+  template <typename T>
+  void broadcastRow(int srcCpe, std::span<const T> data) {
     (void)srcCpe;
     ++stats_.broadcasts;
     stats_.bytes += data.size_bytes();

@@ -29,15 +29,34 @@ int ownerOf(int y, int n, int parts) {
 
 }  // namespace
 
-template <class D>
-SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src,
-                                 PopulationField& dst, const MaskField& mask,
+int max_chunk_x(std::size_t ldmBytes, int rowsY, int q,
+                std::size_t elemBytes) {
+  // cost(bx) = A * (bx + 2) + B * bx with
+  //   A = 3 * rowsY * (q * elemBytes + 1)   (pops + mask rows)
+  //   B = q * elemBytes                     (output row)
+  const std::size_t A = static_cast<std::size_t>(3) * rowsY *
+                        (static_cast<std::size_t>(q) * elemBytes + 1);
+  const std::size_t B = static_cast<std::size_t>(q) * elemBytes;
+  if (ldmBytes <= 2 * A) return 0;
+  const std::size_t bx = (ldmBytes - 2 * A) / (A + B);
+  return static_cast<int>(bx);
+}
+
+template <class D, class S>
+SwKernelReport sw_stream_collide(CpeCluster& cluster,
+                                 const PopulationFieldT<S>& src,
+                                 PopulationFieldT<S>& dst,
+                                 const MaskField& mask,
                                  const MaterialTable& mats,
                                  const SwKernelConfig& cfg) {
+  using Traits = StorageTraits<S>;
   const Grid& g = src.grid();
   SWLB_ASSERT(dst.grid() == g && mask.grid() == g);
   if (g.halo != 1) throw Error("sw_stream_collide: halo width must be 1");
   const int nx = g.nx, ny = g.ny, nz = g.nz;
+
+  Real sh[D::Q];
+  for (int i = 0; i < D::Q; ++i) sh[i] = src.shift(i);
 
   cluster.resetStats();
   std::uint64_t viaFabric = 0, viaDma = 0;
@@ -46,6 +65,9 @@ SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src
   // addresses into the field storage).
   auto srcPtr = [&](int q, int x, int y, int z) {
     return src.data() + src.slab(q) + g.idx(x, y, z);
+  };
+  auto dstPtr = [&](int q, int x, int y, int z) {
+    return dst.data() + dst.slab(q) + g.idx(x, y, z);
   };
   auto maskPtr = [&](int x, int y, int z) { return mask.data() + g.idx(x, y, z); };
 
@@ -60,19 +82,25 @@ SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src
       const int exl = bx + 2;
 
       ctx.ldm->reset();
-      auto pops = ctx.ldm->alloc<Real>(
+      auto pops = ctx.ldm->alloc<S>(
           static_cast<std::size_t>(3) * rowsY * D::Q * exl, "z-window pops");
       auto masks = ctx.ldm->alloc<std::uint8_t>(
           static_cast<std::size_t>(3) * rowsY * exl, "z-window masks");
-      auto out = ctx.ldm->alloc<Real>(static_cast<std::size_t>(D::Q) * bx,
-                                      "output row");
+      auto out = ctx.ldm->alloc<S>(static_cast<std::size_t>(D::Q) * bx,
+                                   "output row");
 
       auto slotOf = [](int zp) { return ((zp % 3) + 3) % 3; };
-      auto popAt = [&](int slot, int yl, int q, int xl) -> Real& {
+      auto popAt = [&](int slot, int yl, int q, int xl) -> S& {
         return pops[((static_cast<std::size_t>(slot) * rowsY + yl) * D::Q + q) *
                         exl +
                     xl];
       };
+      // Decoded (full-precision) value of one windowed population; `q` is
+      // the direction whose shift applies.
+      auto ldp = [&](int slot, int yl, int q, int xl) -> Real {
+        return Traits::decode(popAt(slot, yl, q, xl), sh[q]);
+      };
+      auto enc = [&](int q, Real v) -> S { return Traits::encode(v, sh[q]); };
       auto maskAt = [&](int slot, int yl, int xl) -> std::uint8_t& {
         return masks[(static_cast<std::size_t>(slot) * rowsY + yl) * exl + xl];
       };
@@ -96,13 +124,13 @@ SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src
           }
         }
         for (int q = 0; q < D::Q; ++q) {
-          const Real* memRow = srcPtr(q, x0 - 1, y, zp);  // x-contiguous
-          std::span<Real> dstSpan(&popAt(slot, yl, q, 0), static_cast<std::size_t>(exl));
+          const S* memRow = srcPtr(q, x0 - 1, y, zp);  // x-contiguous
+          std::span<S> dstSpan(&popAt(slot, yl, q, 0), static_cast<std::size_t>(exl));
           if (fabricPath) {
             // Functional shortcut: the payload equals what the owning CPE
             // holds in its LDM, so the emulator copies from the field and
             // meters the transfer on the fabric.
-            std::span<const Real> srcSpan(memRow, static_cast<std::size_t>(exl));
+            std::span<const S> srcSpan(memRow, static_cast<std::size_t>(exl));
             if (ctx.rma)
               ctx.rma->put(owner, ctx.id, srcSpan, dstSpan);
             else
@@ -155,22 +183,25 @@ SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src
                   Real feq[D::Q];
                   equilibria<D>(m.rho, m.u, feq);
                   for (int i = 0; i < D::Q; ++i)
-                    out[static_cast<std::size_t>(i) * bx + (x - x0)] = feq[i];
+                    out[static_cast<std::size_t>(i) * bx + (x - x0)] =
+                        enc(i, feq[i]);
                   continue;
                 }
                 case CellClass::Outflow: {
                   const int slot = slotOf(z + m.normal.z);
                   const int yl = ylC + m.normal.y;
                   const int xl = xlC + m.normal.x;
+                  // decode -> encode, matching update_boundary_cell's
+                  // proxy-assignment semantics exactly.
                   for (int i = 0; i < D::Q; ++i)
                     out[static_cast<std::size_t>(i) * bx + (x - x0)] =
-                        popAt(slot, yl, i, xl);
+                        enc(i, ldp(slot, yl, i, xl));
                   continue;
                 }
                 default:  // Solid / MovingWall: keep populations defined
                   for (int i = 0; i < D::Q; ++i)
                     out[static_cast<std::size_t>(i) * bx + (x - x0)] =
-                        popAt(cSlot, ylC, i, xlC);
+                        enc(i, ldp(cSlot, ylC, i, xlC));
                   continue;
               }
             }
@@ -183,19 +214,19 @@ SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src
               const int xl = xlC - D::c[i][0];
               const std::uint8_t nid = maskAt(slot, yl, xl);
               if (nid == MaterialTable::kFluid) {
-                fin[i] = popAt(slot, yl, i, xl);
+                fin[i] = ldp(slot, yl, i, xl);
                 continue;
               }
               const Material& m = mats[nid];
               if (is_pullable(m.cls)) {
-                fin[i] = popAt(slot, yl, i, xl);
+                fin[i] = ldp(slot, yl, i, xl);
               } else if (m.cls == CellClass::Solid) {
-                fin[i] = popAt(cSlot, ylC, D::opp(i), xlC);
+                fin[i] = ldp(cSlot, ylC, D::opp(i), xlC);
               } else {  // MovingWall
                 const Real cu = D::c[i][0] * m.u.x + D::c[i][1] * m.u.y +
                                 D::c[i][2] * m.u.z;
                 fin[i] =
-                    popAt(cSlot, ylC, D::opp(i), xlC) + Real(6) * D::w[i] * m.rho * cu;
+                    ldp(cSlot, ylC, D::opp(i), xlC) + Real(6) * D::w[i] * m.rho * cu;
               }
             }
             Real fpre[D::Q] = {};
@@ -210,13 +241,13 @@ SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src
             if (zh && zh->cls == CellClass::Porous)
               swlb::porous_blend<D>(fin, fpre, zh->solidity);
             for (int i = 0; i < D::Q; ++i)
-              out[static_cast<std::size_t>(i) * bx + (x - x0)] = fin[i];
+              out[static_cast<std::size_t>(i) * bx + (x - x0)] = enc(i, fin[i]);
           }
           // Write the finished row back: one contiguous put per direction.
           for (int q = 0; q < D::Q; ++q) {
-            ctx.dma->put(&dst(q, x0, y, z),
-                         std::span<const Real>(&out[static_cast<std::size_t>(q) * bx],
-                                               static_cast<std::size_t>(bx)));
+            ctx.dma->put(dstPtr(q, x0, y, z),
+                         std::span<const S>(&out[static_cast<std::size_t>(q) * bx],
+                                            static_cast<std::size_t>(bx)));
           }
         }
       }
@@ -229,7 +260,7 @@ SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src
     if (y0 >= y1) return;
     ctx.ldm->reset();
     auto fin = ctx.ldm->alloc<Real>(D::Q, "cell in");
-    auto one = ctx.ldm->alloc<Real>(1, "scratch");
+    auto one = ctx.ldm->alloc<S>(1, "scratch");
     auto m9 = ctx.ldm->alloc<std::uint8_t>(1, "mask scratch");
 
     for (int z = 0; z < nz; ++z)
@@ -246,18 +277,18 @@ SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src
             } else if (m.cls == CellClass::Outflow) {
               for (int i = 0; i < D::Q; ++i) {
                 ctx.dma->get(srcPtr(i, x + m.normal.x, y + m.normal.y, z + m.normal.z),
-                             std::span<Real>(one.data(), 1));
-                tmp[i] = one[0];
+                             std::span<S>(one.data(), 1));
+                tmp[i] = Traits::decode(one[0], sh[i]);
               }
             } else {
               for (int i = 0; i < D::Q; ++i) {
-                ctx.dma->get(srcPtr(i, x, y, z), std::span<Real>(one.data(), 1));
-                tmp[i] = one[0];
+                ctx.dma->get(srcPtr(i, x, y, z), std::span<S>(one.data(), 1));
+                tmp[i] = Traits::decode(one[0], sh[i]);
               }
             }
             for (int i = 0; i < D::Q; ++i) {
-              one[0] = tmp[i];
-              ctx.dma->put(&dst(i, x, y, z), std::span<const Real>(one.data(), 1));
+              one[0] = Traits::encode(tmp[i], sh[i]);
+              ctx.dma->put(dstPtr(i, x, y, z), std::span<const S>(one.data(), 1));
             }
             continue;
           }
@@ -269,16 +300,17 @@ SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src
             const std::uint8_t nid = m9[0];
             const Material& m = mats[nid];
             if (nid == MaterialTable::kFluid || is_pullable(m.cls)) {
-              ctx.dma->get(srcPtr(i, xn, yn, zn), std::span<Real>(one.data(), 1));
-              fin[i] = one[0];
+              ctx.dma->get(srcPtr(i, xn, yn, zn), std::span<S>(one.data(), 1));
+              fin[i] = Traits::decode(one[0], sh[i]);
             } else if (m.cls == CellClass::Solid) {
-              ctx.dma->get(srcPtr(D::opp(i), x, y, z), std::span<Real>(one.data(), 1));
-              fin[i] = one[0];
+              ctx.dma->get(srcPtr(D::opp(i), x, y, z), std::span<S>(one.data(), 1));
+              fin[i] = Traits::decode(one[0], sh[D::opp(i)]);
             } else {
-              ctx.dma->get(srcPtr(D::opp(i), x, y, z), std::span<Real>(one.data(), 1));
+              ctx.dma->get(srcPtr(D::opp(i), x, y, z), std::span<S>(one.data(), 1));
               const Real cu =
                   D::c[i][0] * m.u.x + D::c[i][1] * m.u.y + D::c[i][2] * m.u.z;
-              fin[i] = one[0] + Real(6) * D::w[i] * m.rho * cu;
+              fin[i] = Traits::decode(one[0], sh[D::opp(i)]) +
+                       Real(6) * D::w[i] * m.rho * cu;
             }
           }
           if (cid != MaterialTable::kFluid &&
@@ -289,8 +321,8 @@ SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src
           Vec3 u;
           collide_cell<D>(fin.data(), cfg.collision, rho, u);
           for (int i = 0; i < D::Q; ++i) {
-            one[0] = fin[i];
-            ctx.dma->put(&dst(i, x, y, z), std::span<const Real>(one.data(), 1));
+            one[0] = Traits::encode(fin[i], sh[i]);
+            ctx.dma->put(dstPtr(i, x, y, z), std::span<const S>(one.data(), 1));
           }
         }
   };
@@ -312,13 +344,18 @@ SwKernelReport sw_stream_collide(CpeCluster& cluster, const PopulationField& src
   return rep;
 }
 
-template SwKernelReport sw_stream_collide<D3Q19>(CpeCluster&, const PopulationField&,
-                                                 PopulationField&, const MaskField&,
-                                                 const MaterialTable&,
-                                                 const SwKernelConfig&);
-template SwKernelReport sw_stream_collide<D2Q9>(CpeCluster&, const PopulationField&,
-                                                PopulationField&, const MaskField&,
-                                                const MaterialTable&,
-                                                const SwKernelConfig&);
+#define SWLB_INSTANTIATE_SW(D, S)                                        \
+  template SwKernelReport sw_stream_collide<D, S>(                       \
+      CpeCluster&, const PopulationFieldT<S>&, PopulationFieldT<S>&,     \
+      const MaskField&, const MaterialTable&, const SwKernelConfig&)
+
+SWLB_INSTANTIATE_SW(D3Q19, double);
+SWLB_INSTANTIATE_SW(D3Q19, float);
+SWLB_INSTANTIATE_SW(D3Q19, f16);
+SWLB_INSTANTIATE_SW(D2Q9, double);
+SWLB_INSTANTIATE_SW(D2Q9, float);
+SWLB_INSTANTIATE_SW(D2Q9, f16);
+
+#undef SWLB_INSTANTIATE_SW
 
 }  // namespace swlb::sw

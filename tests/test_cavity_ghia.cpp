@@ -38,7 +38,14 @@ Real interpolate(const std::vector<Real>& profile, Real frac) {
          profile[static_cast<std::size_t>(i) + 1] * t;
 }
 
-TEST(GhiaCavity, Re100CentrelineProfilesMatchReference) {
+/// Run the Re=100 cavity with the given population storage type and
+/// compare centreline profiles against Ghia et al.  `tol` is the allowed
+/// max deviation (in lid units) and `probeTol` the steady-state probe
+/// convergence threshold: f32 storage quantizes each step's populations,
+/// so the probe plateaus around the single-precision noise floor and
+/// cannot meet the f64 run's 1e-8 criterion.
+template <class S>
+void runGhiaComparison(Real tol, Real probeTol) {
   const int n = 64;
   const Real uLid = 0.1;
   const Real re = 100.0;
@@ -49,7 +56,8 @@ TEST(GhiaCavity, Re100CentrelineProfilesMatchReference) {
   // Fluid region: n x n cells; the lid is an extra row of moving-wall
   // cells above, so all four half-way wall planes bound a square cavity
   // of side H = n (walls at -0.5 and n - 0.5 in both axes).
-  Solver<D2Q9> solver(Grid(n, n + 1, 1), cfg, Periodicity{false, false, true});
+  Solver<D2Q9, S> solver(Grid(n, n + 1, 1), cfg,
+                         Periodicity{false, false, true});
   const auto lid = solver.materials().addMovingWall({uLid, 0, 0});
   solver.paint({{0, n, 0}, {n, n + 1, 1}}, lid);
   solver.finalizeMask();
@@ -60,7 +68,7 @@ TEST(GhiaCavity, Re100CentrelineProfilesMatchReference) {
   for (int block = 0; block < 60; ++block) {
     solver.run(500);
     const Real probe = solver.velocity(n / 2, n / 4, 0).x;
-    if (block > 10 && std::abs(probe - prevProbe) < 1e-8 * uLid) break;
+    if (block > 10 && std::abs(probe - prevProbe) < probeTol * uLid) break;
     prevProbe = probe;
   }
 
@@ -74,7 +82,7 @@ TEST(GhiaCavity, Re100CentrelineProfilesMatchReference) {
   Real maxErrU = 0;
   for (const auto& [yFrac, ref] : kGhiaU)
     maxErrU = std::max(maxErrU, std::abs(interpolate(ux, yFrac) - ref));
-  EXPECT_LT(maxErrU, 0.035) << "u_x centreline vs Ghia et al.";
+  EXPECT_LT(maxErrU, tol) << "u_x centreline vs Ghia et al.";
 
   std::vector<Real> uy;
   for (int x = 0; x < n; ++x)
@@ -84,12 +92,26 @@ TEST(GhiaCavity, Re100CentrelineProfilesMatchReference) {
   Real maxErrV = 0;
   for (const auto& [xFrac, ref] : kGhiaV)
     maxErrV = std::max(maxErrV, std::abs(interpolate(uy, xFrac) - ref));
-  EXPECT_LT(maxErrV, 0.035) << "u_y centreline vs Ghia et al.";
+  EXPECT_LT(maxErrV, tol) << "u_y centreline vs Ghia et al.";
 
   // Qualitative checks: primary vortex centre slightly above centre and
   // toward the right wall at Re = 100.
   EXPECT_LT(interpolate(ux, Real(0.5)), 0.0);   // return flow at mid-height
   EXPECT_GT(interpolate(ux, Real(0.97)), 0.5);  // strong flow under the lid
+}
+
+TEST(GhiaCavity, Re100CentrelineProfilesMatchReference) {
+  runGhiaComparison<Real>(0.035, 1e-8);
+}
+
+// The same benchmark with float (weight-shifted) population storage.  The
+// tolerance is slightly looser (0.04 vs 0.035): the stored-deviation
+// quantization perturbs the converged field by O(1e-5) in lid units, well
+// inside the discretization error, but the steady-state probe needs a
+// coarser criterion (1e-6 vs 1e-8 of uLid) to terminate at the f32 noise
+// floor.
+TEST(GhiaCavity, Re100F32StorageMatchesReferenceWithinLooserTolerance) {
+  runGhiaComparison<float>(0.04, 1e-6);
 }
 
 }  // namespace

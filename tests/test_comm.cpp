@@ -280,6 +280,24 @@ TEST(CommFaults, DefaultRecvTimeoutAppliesToWaitAndRecv) {
   EXPECT_EQ(world.faultStats().dropped, 2u);
 }
 
+TEST(CommFaults, HugeRecvTimeoutNeverFiresSpuriously) {
+  // A timeout of 1e18 seconds overflows steady_clock's duration range if
+  // added naively; deadlineFrom must clamp it to "no deadline" instead of
+  // wrapping into the past (which made every recv fail instantly).
+  World world(2);
+  world.run([](Comm& c) {
+    c.setRecvTimeout(1e18);
+    if (c.rank() == 0) {
+      c.sendValue(1, 7, 42);
+    } else {
+      int v = 0;
+      EXPECT_NO_THROW(c.recv(0, 7, &v, sizeof(v)));
+      EXPECT_EQ(v, 42);
+    }
+    c.setRecvTimeout(0);
+  });
+}
+
 TEST(CommFaults, DelayedMessageArrivesLateButCorrect) {
   WorldConfig cfg;
   FaultPlan::MessageFault delay;
@@ -291,10 +309,15 @@ TEST(CommFaults, DelayedMessageArrivesLateButCorrect) {
   cfg.faults.messageFaults.push_back(delay);
   World world(2, cfg);
   world.run([](Comm& c) {
+    // t0 on the receiver is taken before the barrier releases the send,
+    // so the measured wait can never undershoot the injected delay even
+    // when thread scheduling staggers the ranks (TSan, loaded CI).
     if (c.rank() == 0) {
+      c.barrier();
       c.sendValue(1, 4, 77);
     } else {
       const auto t0 = std::chrono::steady_clock::now();
+      c.barrier();
       EXPECT_EQ(c.recvValue<int>(0, 4), 77);  // late, not lost
       const double sec =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -486,13 +509,18 @@ TEST(CommFaults, BroadcastDelayArrivesLateButCorrect) {
   delay.action = FaultPlan::Action::Delay;
   delay.src = 0;
   delay.dst = 1;
-  delay.tag = colltag::encode(0);
+  // The release barrier below consumes collective sequence 0; the
+  // broadcast under test is sequence 1.
+  delay.tag = colltag::encode(1);
   delay.delay = 0.03;
   cfg.faults.messageFaults.push_back(delay);
   World world(4, cfg);
   world.run([](Comm& c) {
     double v = c.rank() == 0 ? 6.25 : 0.0;
+    // As above: take t0 before the barrier that releases the broadcast so
+    // rank scheduling stagger cannot shrink the measured delay.
     const auto t0 = std::chrono::steady_clock::now();
+    c.barrier();
     c.broadcast(0, &v, sizeof(v));
     EXPECT_EQ(v, 6.25);  // late on rank 1, never lost
     if (c.rank() == 1) {

@@ -2,6 +2,7 @@
 // detection and bitwise-identical restarts).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -182,6 +183,27 @@ TEST(Checkpoint, SolverRestartContinuesIdentically) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a.data()[i], b.data()[i]);
   std::remove(path.c_str());
+}
+
+TEST(Checkpoint, IdenticalStateProducesByteIdenticalFiles) {
+  // The header struct is zeroed before filling, so any ABI padding is
+  // written as deterministic bytes: saving the same state twice must give
+  // byte-identical files (required for dedup/content-addressed storage).
+  Grid g(5, 4, 3);
+  PopulationField f(g, 19);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f.data()[i] = std::sin(static_cast<Real>(i));
+
+  const std::string pathA = tmpPath("swlb_dup_a.ckpt");
+  const std::string pathB = tmpPath("swlb_dup_b.ckpt");
+  save_checkpoint(pathA, f, 77, 1);
+  save_checkpoint(pathB, f, 77, 1);
+  const std::string a = slurp(pathA);
+  const std::string b = slurp(pathB);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  std::remove(pathA.c_str());
+  std::remove(pathB.c_str());
 }
 
 TEST(Checkpoint, DetectsCorruption) {

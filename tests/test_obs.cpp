@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <map>
 #include <numeric>
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/solver.hpp"
@@ -267,13 +269,69 @@ TEST(Histogram, EmptyAndBoundedSampleStore) {
   EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
   EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
 
-  // Exact stats keep counting past the sample cap; quantiles come from the
-  // first cap samples only (bounded memory on long runs).
+  // Exact stats keep counting past the sample cap; quantiles come from a
+  // bounded reservoir over the WHOLE stream (not just the first cap
+  // observations), so late values can — and for a long stream almost
+  // surely do — appear in the sample.
   Histogram h(/*sampleCap=*/4);
   for (int i = 1; i <= 100; ++i) h.observe(i);
   EXPECT_EQ(h.count(), 100u);
   EXPECT_DOUBLE_EQ(h.max(), 100.0);
-  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);  // only 1..4 sampled
+  EXPECT_GT(h.quantile(1.0), 4.0);  // reservoir replaced some of 1..4
+
+  // sampleCap == 0 keeps exact stats and empty quantiles without dividing
+  // by the cap.
+  Histogram none(/*sampleCap=*/0);
+  none.observe(7.0);
+  none.observe(9.0);
+  EXPECT_EQ(none.count(), 2u);
+  EXPECT_DOUBLE_EQ(none.mean(), 8.0);
+  EXPECT_DOUBLE_EQ(none.quantile(0.5), 0.0);  // nothing sampled
+}
+
+TEST(Histogram, ReservoirTracksSteadyStateNotWarmup) {
+  // A long run: 2 % warmup at 100 ms/step, then steady state at 1 ms.
+  // First-cap sampling would fill the whole store during warmup and
+  // report p50 = p95 = 100 forever; the reservoir keeps the sample
+  // uniform over the stream, so the quantiles must track the steady
+  // phase (98 % of observations are 1.0).
+  Histogram h(/*sampleCap=*/512);
+  const int warmup = 1000, steady = 49000;
+  for (int i = 0; i < warmup; ++i) h.observe(100.0);
+  for (int i = 0; i < steady; ++i) h.observe(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.90), 1.0);
+  // Exact fields are unaffected by sampling.
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(warmup + steady));
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // Deterministic: a second histogram fed the same stream agrees exactly.
+  Histogram h2(/*sampleCap=*/512);
+  for (int i = 0; i < warmup; ++i) h2.observe(100.0);
+  for (int i = 0; i < steady; ++i) h2.observe(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), h2.quantile(0.95));
+}
+
+TEST(Histogram, SummaryIsSnapshotConsistentUnderConcurrency) {
+  // Every observation adds (count += 1, total += 1.0) atomically under the
+  // histogram lock; summary() must snapshot all fields under ONE lock, so
+  // total == count exactly in every summary a reader ever sees.  Run under
+  // TSan in CI; the torn-read bug also fails this test without TSan.
+  Histogram h;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) h.observe(1.0);
+  });
+  for (int i = 0; i < 2000; ++i) {
+    const Histogram::Summary s = h.summary();
+    EXPECT_DOUBLE_EQ(s.total, static_cast<double>(s.count));
+    if (s.count > 0) {
+      EXPECT_DOUBLE_EQ(s.mean, 1.0);
+      EXPECT_DOUBLE_EQ(s.min, 1.0);
+      EXPECT_DOUBLE_EQ(s.max, 1.0);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
 }
 
 TEST(MetricsRegistry, NamedAccessAndSnapshots) {

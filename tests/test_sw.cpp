@@ -117,7 +117,7 @@ TEST(RegComm, TopologyIsRowOrColumnOnly) {
 TEST(RegComm, TransferCopiesAndMetersPackets) {
   RegCommFabric f(8, 8);
   std::vector<Real> in(10, 3.0), out(10, 0.0);
-  f.transfer(1, 2, in, out);
+  f.transfer(1, 2, std::span<const Real>(in), std::span<Real>(out));
   EXPECT_EQ(out[9], 3.0);
   EXPECT_EQ(f.stats().bytes, 80u);
   EXPECT_EQ(f.stats().packets, (80u + 31) / 32);  // 256-bit packets
@@ -126,17 +126,19 @@ TEST(RegComm, TransferCopiesAndMetersPackets) {
 TEST(RegComm, OffBusTransferThrows) {
   RegCommFabric f(8, 8);
   std::vector<Real> in(4), out(4);
-  EXPECT_THROW(f.transfer(0, 9, in, out), Error);
+  EXPECT_THROW(f.transfer(0, 9, std::span<const Real>(in), std::span<Real>(out)),
+               Error);
 }
 
 TEST(Rma, AnyPairReachableAndMetered) {
   RmaFabric f(8, 8);
   std::vector<Real> in(6, -1.5), out(6, 0.0);
-  f.put(0, 9, in, out);  // diagonal pair: fine on SW26010-Pro
+  f.put(0, 9, std::span<const Real>(in),
+        std::span<Real>(out));  // diagonal pair: fine on SW26010-Pro
   EXPECT_EQ(out[5], -1.5);
   EXPECT_EQ(f.stats().bytes, 48u);
   std::vector<Real> got(6, 0.0);
-  f.get(63, 0, in, got);
+  f.get(63, 0, std::span<const Real>(in), std::span<Real>(got));
   EXPECT_EQ(got[0], -1.5);
 }
 
