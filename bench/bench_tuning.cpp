@@ -1,0 +1,180 @@
+// Auto-tuner validation bench (DESIGN.md §9): does the plan the tuner
+// picks land at or below the worst untuned configuration?
+//
+// Three views:
+//   1. halo scheduling — both modes measured for real on the
+//      threads-as-ranks runtime with synthetic network latency (the same
+//      setup as bench_halo_overlap); the tuned row reuses the measurement
+//      of whichever mode the plan selected, so "tuned <= worst untuned"
+//      is checked against numbers from one table, not separate runs;
+//   2. CPE chunk_x — the tuner's deterministic emulator ladder, straight
+//      from the plan's evidence;
+//   3. ring threshold — the model crossover per rank count, next to the
+//      NetworkModel seconds on both sides of it.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
+#include "perf/network.hpp"
+#include "perf/report.hpp"
+#include "runtime/distributed_solver.hpp"
+#include "tune/tuner.hpp"
+
+using namespace swlb;
+using runtime::Comm;
+using runtime::DistributedSolver;
+using runtime::HaloMode;
+using runtime::World;
+using runtime::WorldConfig;
+
+namespace {
+
+constexpr Int3 kExtent{64, 64, 32};
+constexpr int kRanks = 4;
+constexpr double kLatency = 2e-3;  // synthetic; see bench_halo_overlap
+constexpr int kSteps = 20;
+
+/// Mean step seconds of a 4-rank run under `mode` (slowest rank).
+double measureStepSeconds(HaloMode mode) {
+  WorldConfig wc;
+  wc.latency = kLatency;
+  wc.busyWait = true;
+  World world(kRanks, wc);
+  double mlups = 0;
+  world.run([&](Comm& c) {
+    DistributedSolver<D3Q19>::Config cfg;
+    cfg.global = kExtent;
+    cfg.collision.omega = 1.5;
+    cfg.periodic = {true, true, true};
+    cfg.procGrid = {2, 2, 1};
+    cfg.mode = mode;
+    DistributedSolver<D3Q19> solver(c, cfg);
+    solver.finalizeMask();
+    solver.initUniform(1.0, {0.02, 0, 0});
+    const double m = solver.runMeasured(kSteps);
+    if (c.rank() == 0) mlups = m;
+  });
+  const double cells =
+      static_cast<double>(kExtent.x) * kExtent.y * kExtent.z;
+  return cells / (mlups * 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      std::cerr << "usage: bench_tuning [--json <path>]\n";
+      return 2;
+    }
+  }
+  obs::BenchReport report("bench_tuning");
+
+  // ---- the plan --------------------------------------------------------
+  tune::TuningInput tin;
+  tin.lattice = "D3Q19";
+  tin.extent = kExtent;
+  tin.ranks = kRanks;
+  obs::MetricsRegistry tuneReg;
+  tune::TuningPlan plan;
+  {
+    obs::ScopedBind bind(nullptr, &tuneReg);
+    plan = tune::Tuner().plan(tin);
+  }
+  perf::printHeading("Auto-tuned plan for " + tin.key().toString());
+  std::cout << tune::summary(plan) << "\n";
+
+  // ---- halo scheduling: measured both ways -----------------------------
+  const double seqS = measureStepSeconds(HaloMode::Sequential);
+  const double ovlS = measureStepSeconds(HaloMode::Overlap);
+  const double tunedS =
+      plan.haloMode == HaloMode::Overlap ? ovlS : seqS;
+  const double worstS = std::max(seqS, ovlS);
+
+  perf::printHeading("Halo scheduling, measured (4 ranks, 64x64x32, " +
+                     perf::Table::num(kLatency * 1e6, 0) + " us latency)");
+  perf::Table t({"configuration", "step seconds", "note"});
+  t.addRow({"sequential", perf::Table::num(seqS * 1e3, 3) + " ms",
+            plan.haloMode == HaloMode::Sequential ? "<- tuned pick" : ""});
+  t.addRow({"overlap", perf::Table::num(ovlS * 1e3, 3) + " ms",
+            plan.haloMode == HaloMode::Overlap ? "<- tuned pick" : ""});
+  t.addRow({"tuned plan", perf::Table::num(tunedS * 1e3, 3) + " ms",
+            tunedS <= worstS ? "<= worst untuned (ok)" : "REGRESSION"});
+  t.print();
+
+  // ---- chunk_x: the tuner's own deterministic emulator ladder ----------
+  perf::printHeading("CPE chunk_x ladder (deterministic emulator trials)");
+  perf::Table ct({"chunk_x", "modeled DMA+fabric s", "note"});
+  double worstChunkS = 0, tunedChunkS = 0;
+  for (const auto& [key, sec] : plan.evidence) {
+    if (key.rfind("trial.chunk_x.", 0) != 0) continue;
+    const int c = std::stoi(key.substr(std::strlen("trial.chunk_x.")));
+    worstChunkS = std::max(worstChunkS, sec);
+    if (c == plan.chunkX) tunedChunkS = sec;
+    ct.addRow({perf::Table::num(c, 0), perf::Table::num(sec * 1e3, 3) + " ms",
+               c == plan.chunkX ? "<- tuned pick" : ""});
+  }
+  ct.print();
+
+  // ---- ring threshold vs the network model -----------------------------
+  perf::printHeading("Collective ring threshold (model crossover)");
+  const perf::NetworkModel net(tin.machine.net,
+                               tin.machine.coreGroupsPerProcessor);
+  using CA = perf::NetworkModel::CollAlgo;
+  perf::Table rt({"ranks", "crossover bytes", "tree s @ 8 B", "ring s @ 8 B",
+                  "tree s @ 16 MiB", "ring s @ 16 MiB"});
+  for (int ranks : {4, 16, 64, 256}) {
+    const std::size_t cross =
+        tune::Tuner::ringCrossoverBytes(tin.machine, ranks);
+    rt.addRow({perf::Table::num(ranks, 0), perf::Table::num(double(cross), 0),
+               perf::Table::num(net.collectiveSeconds(CA::Tree, 8, ranks) * 1e6,
+                                2) + " us",
+               perf::Table::num(net.collectiveSeconds(CA::Ring, 8, ranks) * 1e6,
+                                2) + " us",
+               perf::Table::num(
+                   net.collectiveSeconds(CA::Tree, 16 << 20, ranks) * 1e3, 2) +
+                   " ms",
+               perf::Table::num(
+                   net.collectiveSeconds(CA::Ring, 16 << 20, ranks) * 1e3, 2) +
+                   " ms"});
+  }
+  rt.print();
+
+  if (!jsonPath.empty()) {
+    obs::BenchReport::Result& rs = report.add("halo_sequential");
+    rs.set("step_s", seqS);
+    rs.set("steps", kSteps);
+    rs.set("latency_s", kLatency);
+    obs::BenchReport::Result& ro = report.add("halo_overlap");
+    ro.set("step_s", ovlS);
+    ro.set("steps", kSteps);
+    ro.set("latency_s", kLatency);
+    obs::BenchReport::Result& rt2 = report.add("tuned");
+    rt2.set("step_s", tunedS);
+    rt2.set("worst_untuned_step_s", worstS);
+    rt2.set("chunk_x", plan.chunkX);
+    rt2.set("ring_threshold_bytes",
+            static_cast<double>(plan.ringThresholdBytes));
+    rt2.set("halo_overlap", plan.haloMode == HaloMode::Overlap ? 1 : 0);
+    rt2.set("chunk_trial_s", tunedChunkS);
+    rt2.set("worst_chunk_trial_s", worstChunkS);
+    rt2.setText("key", tin.key().toString());
+    rt2.setText("halo_mode", tune::halo_mode_name(plan.haloMode));
+    rt2.setText("source", plan.source);
+    rt2.addMetrics(tuneReg);
+    report.write(jsonPath);
+    std::cout << "wrote " << jsonPath << "\n";
+  }
+
+  const bool ok = tunedS <= worstS && (worstChunkS == 0 ||
+                                       tunedChunkS <= worstChunkS);
+  std::cout << (ok ? "tuned plan is <= the worst untuned configuration\n"
+                   : "TUNING REGRESSION: tuned plan slower than worst "
+                     "untuned configuration\n");
+  return ok ? 0 : 1;
+}

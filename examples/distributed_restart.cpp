@@ -10,9 +10,13 @@
 //      distributed checkpoint generation, and finish bit-identical to the
 //      fault-free run.
 //
-// Usage: distributed_restart [N] [steps] [--trace out.json]
+// Usage: distributed_restart [N] [steps] [--trace out.json] [--tune]
+//                            [--tuning-cache cache.json]
 //        (default 32^2, 200 steps; --trace exports the 4-rank run of
-//        part 1 as Chrome-trace JSON for chrome://tracing / Perfetto)
+//        part 1 as Chrome-trace JSON for chrome://tracing / Perfetto;
+//        --tune asks the auto-tuner (DESIGN.md §9) for the 4-rank halo
+//        scheduling instead of hardcoding Overlap — results stay
+//        bit-identical either way, which part 1 then verifies)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +30,7 @@
 #include "io/checkpoint.hpp"
 #include "obs/trace.hpp"
 #include "runtime/resilience.hpp"
+#include "tune/tuner.hpp"
 
 using namespace swlb;
 using runtime::Comm;
@@ -45,11 +50,17 @@ void initTgv(int n, Real u0, int x, int y, Real& rho, Vec3& u) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string tracePath;
+  std::string tracePath, tuneCachePath;
+  bool tuneFlag = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       tracePath = argv[++i];
+    } else if (std::strcmp(argv[i], "--tune") == 0) {
+      tuneFlag = true;
+    } else if (std::strcmp(argv[i], "--tuning-cache") == 0 && i + 1 < argc) {
+      tuneCachePath = argv[++i];
+      tuneFlag = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -60,6 +71,26 @@ int main(int argc, char** argv) {
 
   CollisionConfig collision;
   collision.omega = omega_from_tau(tau_from_viscosity(0.02));
+
+  // Halo scheduling of the 4-rank runs: hardcoded Overlap by default, the
+  // auto-tuner's pick under --tune.  Both schemes produce bit-identical
+  // populations, so the comparisons below hold either way.
+  HaloMode mode4 = HaloMode::Overlap;
+  if (tuneFlag) {
+    tune::TuningInput tin;
+    tin.lattice = "D2Q9";
+    tin.extent = {n, n, 1};
+    tin.ranks = 4;
+    tune::TuningCache cache;
+    if (!tuneCachePath.empty()) cache = tune::TuningCache::load(tuneCachePath);
+    const bool hadPlan = cache.lookup(tin.key()).has_value();
+    const tune::TuningPlan plan = tune::Tuner().planCached(cache, tin);
+    tune::apply(plan, mode4);
+    std::cout << "tuning [" << tin.key().toString() << "]: "
+              << tune::summary(plan) << (hadPlan ? " (cache hit)" : " (searched)")
+              << "\n";
+    if (!tuneCachePath.empty()) cache.save(tuneCachePath);
+  }
 
   // ---- part 1: 4 ranks vs 1 rank, overlapped halo exchange -------------
   PopulationField serial, parallel4;
@@ -93,7 +124,7 @@ int main(int argc, char** argv) {
       cfg.collision = collision;
       cfg.periodic = {true, true, true};
       cfg.procGrid = {2, 2, 1};
-      cfg.mode = HaloMode::Overlap;
+      cfg.mode = mode4;
       DistributedSolver<D2Q9> solver(c, cfg);
       solver.finalizeMask();
       solver.initField([&](int x, int y, int, Real& rho, Vec3& u) {
@@ -167,7 +198,7 @@ int main(int argc, char** argv) {
     cfg.collision = collision;
     cfg.periodic = {true, true, true};
     cfg.procGrid = {2, 2, 1};
-    cfg.mode = HaloMode::Overlap;
+    cfg.mode = mode4;
     DistributedSolver<D2Q9> solver(c, cfg);
     solver.finalizeMask();
     solver.initField([&](int x, int y, int, Real& rho, Vec3& u) {

@@ -2,12 +2,20 @@
 // case description, runs it, and writes the requested outputs — the
 // "holistic solution" entry point of the paper's Fig. 4 framework.
 //
-// Usage: swlb_run <config-file> [--trace out.json]
-//        swlb_run --demo [--trace out.json]
+// Usage: swlb_run <config-file> [--trace out.json] [--tune]
+//                 [--tuning-cache cache.json]
+//        swlb_run --demo [--trace out.json] [--tune] [...]
 //
 // --trace records every solver phase (periodic wrap, fused kernel,
 // checkpoint writes) on a Chrome trace-event timeline; open the file in
 // chrome://tracing or https://ui.perfetto.dev (DESIGN.md §6).
+//
+// --tune runs the auto-tuner (DESIGN.md §9) for this case's problem shape
+// before the run and prints the resulting plan: halo scheduling, the
+// collective ring threshold, the CPE LDM chunk width and the storage
+// precision advisory.  With --tuning-cache the plan is read from /
+// written to the given swlb-tune-v1 JSON file, so a second identical run
+// reports a cache hit and skips the search.
 //
 // Example config:
 //   case = cylinder
@@ -33,23 +41,36 @@
 #include "io/vtk.hpp"
 #include "obs/context.hpp"
 #include "obs/trace.hpp"
+#include "tune/tuner.hpp"
 
 using namespace swlb;
 
+namespace {
+constexpr const char* kUsage =
+    "usage: swlb_run <config-file> | --demo [--trace out.json] [--tune] "
+    "[--tuning-cache cache.json]\n";
+}
+
 int main(int argc, char** argv) {
-  std::string configArg, tracePath;
+  std::string configArg, tracePath, tuneCachePath;
+  bool tuneFlag = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       tracePath = argv[++i];
+    } else if (std::strcmp(argv[i], "--tune") == 0) {
+      tuneFlag = true;
+    } else if (std::strcmp(argv[i], "--tuning-cache") == 0 && i + 1 < argc) {
+      tuneCachePath = argv[++i];
+      tuneFlag = true;
     } else if (configArg.empty()) {
       configArg = argv[i];
     } else {
-      std::cerr << "usage: swlb_run <config-file> | --demo [--trace out.json]\n";
+      std::cerr << kUsage;
       return 2;
     }
   }
   if (configArg.empty()) {
-    std::cerr << "usage: swlb_run <config-file> | --demo [--trace out.json]\n";
+    std::cerr << kUsage;
     return 2;
   }
 
@@ -70,6 +91,26 @@ int main(int argc, char** argv) {
     std::cout << "case '" << sim.name << "', "
               << sim.solver->grid().nx << "x" << sim.solver->grid().ny << "x"
               << sim.solver->grid().nz << " cells, " << steps << " steps\n";
+
+    if (tuneFlag) {
+      tune::TuningInput tin;
+      tin.lattice = "D3Q19";  // app cases run the D3Q19 host solver
+      tin.extent = {sim.solver->grid().nx, sim.solver->grid().ny,
+                    sim.solver->grid().nz};
+      tin.ranks = 1;
+      tune::TuningCache cache;
+      if (!tuneCachePath.empty()) cache = tune::TuningCache::load(tuneCachePath);
+      const bool hadPlan = cache.lookup(tin.key()).has_value();
+      const tune::TuningPlan plan = tune::Tuner().planCached(cache, tin);
+      std::cout << "tuning [" << tin.key().toString() << "]: "
+                << tune::summary(plan)
+                << (hadPlan ? " (cache hit)" : " (searched)") << "\n"
+                << "tuning advice: " << plan.precisionAdvice << "\n";
+      if (!tuneCachePath.empty()) {
+        cache.save(tuneCachePath);
+        if (!hadPlan) std::cout << "tuning cache written: " << tuneCachePath << "\n";
+      }
+    }
 
     const long ckptEvery = cfg.getInt("checkpoint_interval", 0);
     std::unique_ptr<io::CheckpointController> ckpt;

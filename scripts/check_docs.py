@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (the CI docs job).
+
+1. Every relative markdown link in the top-level *.md files resolves to
+   a file or directory in the repo (http(s) links are not fetched).
+2. The README's bench mapping table lists exactly the bench targets
+   defined in bench/CMakeLists.txt — no stale rows, no missing benches.
+
+Exit status is non-zero with one line per problem, so a failing run
+reads as a to-do list.
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BENCH_ROW = re.compile(r"^\|\s*`(bench_\w+)`", re.MULTILINE)
+BENCH_TARGET = re.compile(r"^swlb_add_(?:bench|table)\((bench_\w+)\b",
+                          re.MULTILINE)
+
+
+def check_links(problems):
+    for md in sorted(ROOT.glob("*.md")):
+        text = md.read_text(encoding="utf-8")
+        # Strip fenced code blocks: sample output may contain [x](y).
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for target in LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = (md.parent / target.split("#")[0]).resolve()
+            if not path.exists():
+                problems.append(f"{md.name}: broken link -> {target}")
+
+
+def check_bench_table(problems):
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    cmake = (ROOT / "bench" / "CMakeLists.txt").read_text(encoding="utf-8")
+    listed = set(BENCH_ROW.findall(readme))
+    defined = set(BENCH_TARGET.findall(cmake))
+    for name in sorted(defined - listed):
+        problems.append(f"README.md: bench table is missing `{name}` "
+                        "(defined in bench/CMakeLists.txt)")
+    for name in sorted(listed - defined):
+        problems.append(f"README.md: bench table lists `{name}` "
+                        "which is not a target in bench/CMakeLists.txt")
+    if not listed:
+        problems.append("README.md: no bench mapping table rows found")
+
+
+def main():
+    problems = []
+    check_links(problems)
+    check_bench_table(problems)
+    for p in problems:
+        print(p)
+    if not problems:
+        print("docs OK: links resolve, bench table matches bench/")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

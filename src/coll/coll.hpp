@@ -47,10 +47,21 @@ enum class Algo {
   Ring,   ///< ring reduce-scatter + allgather (bandwidth-optimal)
 };
 
+/// Per-communicator collective configuration.  The defaults are correct
+/// for any rank count; the auto-tuner (src/tune/) writes the modeled
+/// ring/tree crossover into `ringThresholdBytes` via
+/// `tune::apply(plan, cfg)` (DESIGN.md §9).
 struct CollConfig {
-  /// Payloads of at least this many bytes select Ring under Algo::Auto
-  /// (allreduce / allgather / reduce_scatter; gather switches Tree->Naive
-  /// flat at the same point, trading message count for pipelining).
+  /// Ring/tree switch point under Algo::Auto, in *payload bytes*
+  /// (element count × element size, before any checksum framing).
+  /// Payloads of at least this many bytes select Ring (allreduce /
+  /// allgather / reduce_scatter; gather switches Tree->Naive flat at the
+  /// same point, trading message count for pipelining); smaller payloads
+  /// take the latency-bound Tree.  Valid range: >= 1; 0 would make every
+  /// collective a ring.  Default 64 KiB — a generic latency-vs-bandwidth
+  /// break-even; `tune::Tuner::ringCrossoverBytes` replaces it with the
+  /// exact crossover of NetworkModel::collectiveSeconds for the machine
+  /// and rank count.  Never affects results, only message schedules.
   std::size_t ringThresholdBytes = 64 * 1024;
   Algo allreduce = Algo::Auto;
   Algo reduce = Algo::Auto;

@@ -107,6 +107,22 @@ struct f16 {
 /// and `encode` implement the weight-shifted (DDF-shifting) transform;
 /// the shift is zero for identity (double) storage so the default path
 /// stays bit-exact with the historical format.
+///
+/// Valid storage types: exactly `double` ("f64", 8 B, the default —
+/// bit-exact reproduction), `float` ("f32", 4 B, ~2x traffic reduction,
+/// Ghia-validated) and `f16` ("f16", 2 B, exploratory only).  Per-type
+/// constants and their units:
+///   * `kBits` — storage width in bits; doubles as the checkpoint
+///     precision tag (io/checkpoint.hpp format v2).
+///   * `kEpsilon` — dimensionless unit roundoff of the *stored
+///     deviation* `f_i - w_i` (half ulp, round-to-nearest): the
+///     relative quantization bound the tuner reports in
+///     `TuningPlan::advisedQuantError`.
+///   * `kMinNormal` — smallest normal magnitude in lattice population
+///     units; below it the error floor is absolute
+///     (kEpsilon * kMinNormal), not relative.
+/// Precision is chosen explicitly (`Solver<D, S>`); the auto-tuner only
+/// ever *advises* a storage type, it never switches one (DESIGN.md §9).
 template <class S>
 struct StorageTraits;
 

@@ -20,7 +20,7 @@
 
 namespace swlb::runtime {
 
-enum class HaloMode { Sequential, Overlap };
+// HaloMode (Sequential vs Overlap scheduling) lives in runtime/halo.hpp.
 
 /// `S` selects the population storage precision (see core/precision.hpp);
 /// halo traffic, checkpoints and the byte-based perf model all scale with

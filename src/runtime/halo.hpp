@@ -23,6 +23,23 @@
 
 namespace swlb::runtime {
 
+/// Halo-exchange scheduling scheme of a distributed step (paper Fig. 6).
+///
+///   * `Sequential` — Fig. 6(1): exchange every halo strip, *then* update
+///     the whole subdomain.  Simplest schedule; communication time is
+///     fully exposed on the critical path.
+///   * `Overlap` — Fig. 6(2), the default: post receives and send packed
+///     strips, update the inner cells (which need no remote data) while
+///     messages are in flight, then update the one-cell boundary shell
+///     after the halo lands.  Hides communication behind computation; the
+///     paper credits it with ~10 % end-to-end gain, and both schemes are
+///     bit-identical in results (tested by test_distributed).
+///
+/// Valid values: exactly these two.  The auto-tuner (src/tune/) picks one
+/// from the modeled halo-vs-compute ratio (DESIGN.md §9); override it via
+/// `DistributedSolver::Config::mode`.
+enum class HaloMode { Sequential, Overlap };
+
 class HaloExchange {
  public:
   /// Plan the exchange for `rank`'s block of `decomp`.  `periodic` is the

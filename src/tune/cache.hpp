@@ -1,0 +1,61 @@
+// JSON tuning cache (DESIGN.md §9): plans keyed by TuningKey so repeat
+// runs of the same (lattice, extent, ranks, precision) skip the search.
+//
+// File format ("swlb-tune-v1"):
+//
+//   {
+//     "schema": "swlb-tune-v1",
+//     "plans": [
+//       { "key": "D3Q19:64x64x64:r4:f64",
+//         "plan": { "halo_mode": "overlap", "ring_threshold_bytes": 123,
+//                   "chunk_x": 32, "precision": "f64",
+//                   "precision_advice": "...", "advised_quant_error": 5.9e-8,
+//                   "source": "model", "evidence": { "<name>": <num>, ... } } }
+//     ]
+//   }
+//
+// Invalidation is structural: a missing file or a file with a different
+// schema tag loads as an *empty* cache (the stale format is discarded and
+// re-tuned, never half-parsed), and a lookup whose key differs in any
+// field misses.  Writes are byte-deterministic for identical contents.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "tune/plan.hpp"
+
+namespace swlb::tune {
+
+inline constexpr const char* kTuneSchema = "swlb-tune-v1";
+
+class TuningCache {
+ public:
+  /// Load from `path`.  Missing file or wrong/unknown schema -> empty
+  /// cache; a present, schema-matching but syntactically broken file
+  /// throws Error (that is corruption, not staleness).
+  static TuningCache load(const std::string& path);
+
+  /// Write the whole cache (deterministic key order).  Throws Error when
+  /// the file cannot be written.
+  void save(const std::string& path) const;
+
+  /// The stored plan for `key`, or nullopt on any mismatch.
+  std::optional<TuningPlan> lookup(const TuningKey& key) const;
+
+  void store(const TuningKey& key, const TuningPlan& plan) {
+    plans_[key.toString()] = plan;
+  }
+
+  std::size_t size() const { return plans_.size(); }
+  bool empty() const { return plans_.empty(); }
+
+  /// Serialized form (what save() writes), exposed for tests.
+  std::string toString() const;
+
+ private:
+  std::map<std::string, TuningPlan> plans_;  ///< by TuningKey::toString()
+};
+
+}  // namespace swlb::tune

@@ -1,0 +1,221 @@
+// Auto-tuner (DESIGN.md §9): deterministic plan selection, cache
+// round-trip/invalidation, and agreement of the ring-vs-tree pick with
+// the network cost model away from the crossover.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "perf/network.hpp"
+#include "tune/tuner.hpp"
+
+namespace swlb::tune {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmpPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+TuningInput cavityInput() {
+  TuningInput in;
+  in.lattice = "D3Q19";
+  in.extent = {64, 64, 32};
+  in.ranks = 4;
+  return in;
+}
+
+// ------------------------------------------------------------ planning
+
+TEST(Tuner, PlanIsByteDeterministic) {
+  // Same inputs -> byte-identical serialized plans (trialSteps == 0 keeps
+  // the search purely model/emulator-driven).
+  const TuningInput in = cavityInput();
+  const TuningPlan a = Tuner().plan(in);
+  const TuningPlan b = Tuner().plan(in);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(to_json(a), to_json(b));
+  EXPECT_EQ(a.source, "model");
+}
+
+TEST(Tuner, PlanRespectsKnobRanges) {
+  const TuningInput in = cavityInput();
+  const TuningPlan p = Tuner().plan(in);
+  EXPECT_GE(p.chunkX, 1);
+  // chunk_x never exceeds the LDM cap recorded in the evidence.
+  const auto cap = p.evidence.find("chunk.cap");
+  ASSERT_NE(cap, p.evidence.end());
+  EXPECT_LE(p.chunkX, static_cast<int>(cap->second));
+  EXPECT_GE(p.ringThresholdBytes, std::size_t{1});
+  EXPECT_EQ(p.precision, "f64");
+  // The emulator ladder left its evidence behind (auditable plans).
+  EXPECT_NE(p.evidence.count("model.halo.fraction"), 0u);
+  EXPECT_NE(p.evidence.count("model.coll.crossover_bytes"), 0u);
+}
+
+TEST(Tuner, SingleRankNeverOverlaps) {
+  TuningInput in = cavityInput();
+  in.ranks = 1;
+  const TuningPlan p = Tuner().plan(in);
+  // No communication to hide: the simpler schedule wins.
+  EXPECT_EQ(p.haloMode, runtime::HaloMode::Sequential);
+}
+
+TEST(Tuner, RejectsMalformedInputs) {
+  TuningInput in = cavityInput();
+  in.extent = {0, 64, 64};
+  EXPECT_THROW(Tuner().plan(in), Error);
+  in = cavityInput();
+  in.ranks = 0;
+  EXPECT_THROW(Tuner().plan(in), Error);
+  in = cavityInput();
+  in.lattice = "D3Q7";
+  EXPECT_THROW(Tuner().plan(in), Error);
+  in = cavityInput();
+  in.precision = "f8";
+  EXPECT_THROW(Tuner().plan(in), Error);
+}
+
+TEST(Tuner, AppliesPlanToSubsystemConfigs) {
+  const TuningPlan p = Tuner().plan(cavityInput());
+  runtime::HaloMode mode = runtime::HaloMode::Sequential;
+  apply(p, mode);
+  EXPECT_EQ(mode, p.haloMode);
+  coll::CollConfig ccfg;
+  apply(p, ccfg);
+  EXPECT_EQ(ccfg.ringThresholdBytes, p.ringThresholdBytes);
+  sw::SwKernelConfig scfg;
+  apply(p, scfg);
+  EXPECT_EQ(scfg.chunkX, p.chunkX);
+}
+
+// --------------------------------------------------------------- cache
+
+TEST(TuningCache, RoundTripsThroughDisk) {
+  const TuningInput in = cavityInput();
+  const TuningPlan p = Tuner().plan(in);
+  TuningCache cache;
+  cache.store(in.key(), p);
+  const std::string path = tmpPath("swlb_tune_roundtrip.json");
+  cache.save(path);
+
+  const TuningCache loaded = TuningCache::load(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  const auto hit = loaded.lookup(in.key());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, p);  // every field, evidence map included
+  // Save -> load -> save is byte-stable.
+  EXPECT_EQ(loaded.toString(), cache.toString());
+  fs::remove(path);
+}
+
+TEST(TuningCache, MissesOnAnyKeyMismatch) {
+  const TuningInput in = cavityInput();
+  TuningCache cache;
+  cache.store(in.key(), Tuner().plan(in));
+
+  TuningKey k = in.key();
+  k.extent.x = 128;
+  EXPECT_FALSE(cache.lookup(k).has_value());
+  k = in.key();
+  k.ranks = 8;
+  EXPECT_FALSE(cache.lookup(k).has_value());
+  k = in.key();
+  k.precision = "f32";
+  EXPECT_FALSE(cache.lookup(k).has_value());
+  k = in.key();
+  k.lattice = "D2Q9";
+  EXPECT_FALSE(cache.lookup(k).has_value());
+  EXPECT_TRUE(cache.lookup(in.key()).has_value());
+}
+
+TEST(TuningCache, StaleSchemaLoadsEmpty) {
+  const std::string path = tmpPath("swlb_tune_stale.json");
+  {
+    std::ofstream out(path);
+    out << "{\"schema\": \"swlb-tune-v0\", \"plans\": []}\n";
+  }
+  // Unknown schema is staleness, not corruption: discard and re-tune.
+  EXPECT_TRUE(TuningCache::load(path).empty());
+  fs::remove(path);
+  // A missing file is also just an empty cache.
+  EXPECT_TRUE(TuningCache::load(tmpPath("swlb_tune_missing.json")).empty());
+}
+
+TEST(TuningCache, CorruptFileThrows) {
+  const std::string path = tmpPath("swlb_tune_corrupt.json");
+  {
+    std::ofstream out(path);
+    out << "{\"schema\": \"swlb-tune-v1\", \"plans\": [{\"key\": ";
+  }
+  EXPECT_THROW(TuningCache::load(path), Error);
+  fs::remove(path);
+}
+
+TEST(TuningCache, CachedPlanSkipsTheSearch) {
+  const TuningInput in = cavityInput();
+  obs::MetricsRegistry reg;
+  obs::ScopedBind bind(nullptr, &reg);
+  TuningCache cache;
+  const Tuner tuner;
+  const TuningPlan first = tuner.planCached(cache, in);
+  const TuningPlan second = tuner.planCached(cache, in);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(reg.counterValue("tune.cache.miss"), 1u);
+  EXPECT_EQ(reg.counterValue("tune.cache.hit"), 1u);
+  // Only the miss ran the search.
+  EXPECT_EQ(reg.counterValue("tune.plans"), 1u);
+}
+
+// ----------------------------------------------- ring-vs-tree crossover
+
+TEST(Tuner, RingTreePickAgreesWithNetworkModelAwayFromCrossover) {
+  const sw::MachineSpec machine = sw::MachineSpec::sw26010();
+  const perf::NetworkModel net(machine.net, machine.coreGroupsPerProcessor);
+  using CA = perf::NetworkModel::CollAlgo;
+  for (int ranks : {4, 16, 64, 256}) {
+    TuningInput in = cavityInput();
+    in.ranks = ranks;
+    const TuningPlan p = Tuner().plan(in);
+    const std::size_t cross = Tuner::ringCrossoverBytes(machine, ranks);
+    EXPECT_EQ(p.ringThresholdBytes, cross) << "ranks=" << ranks;
+    // Well below the crossover the model must prefer the tree, well above
+    // it the ring — and the plan's choice must match on both sides.
+    const std::size_t below = cross / 8, above = cross * 8;
+    if (below >= 8) {
+      EXPECT_LT(net.collectiveSeconds(CA::Tree, below, ranks),
+                net.collectiveSeconds(CA::Ring, below, ranks))
+          << "ranks=" << ranks;
+      EXPECT_EQ(collectiveChoice(p, below), CollChoice::Tree)
+          << "ranks=" << ranks;
+    }
+    EXPECT_GT(net.collectiveSeconds(CA::Tree, above, ranks),
+              net.collectiveSeconds(CA::Ring, above, ranks))
+        << "ranks=" << ranks;
+    EXPECT_EQ(collectiveChoice(p, above), CollChoice::Ring)
+        << "ranks=" << ranks;
+  }
+}
+
+TEST(Tuner, CrossoverIsExactByte) {
+  // Bisection pins the first byte count where the ring is at least as
+  // fast as the tree: one byte below it the tree still wins.
+  const sw::MachineSpec machine = sw::MachineSpec::sw26010();
+  const perf::NetworkModel net(machine.net, machine.coreGroupsPerProcessor);
+  using CA = perf::NetworkModel::CollAlgo;
+  for (int ranks : {16, 64}) {
+    const std::size_t cross = Tuner::ringCrossoverBytes(machine, ranks);
+    ASSERT_GT(cross, std::size_t{1});
+    ASSERT_LT(cross, std::size_t{1} << 30);
+    EXPECT_LE(net.collectiveSeconds(CA::Ring, cross, ranks),
+              net.collectiveSeconds(CA::Tree, cross, ranks));
+    EXPECT_LT(net.collectiveSeconds(CA::Tree, cross - 1, ranks),
+              net.collectiveSeconds(CA::Ring, cross - 1, ranks));
+  }
+}
+
+}  // namespace
+}  // namespace swlb::tune
