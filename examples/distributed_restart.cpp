@@ -10,8 +10,14 @@
 //      distributed checkpoint generation, and finish bit-identical to the
 //      fault-free run.
 //
+//   4. (with --max-shrinks >= 1) elastic recovery: a rank is retired
+//      permanently, the survivors probe, shrink the communicator onto a
+//      fresh 3-rank decomposition, splice-restore the newest generation
+//      and finish — still bit-identical to the fault-free run — printing
+//      the resilience.shrink.* counters and the downtime histogram.
+//
 // Usage: distributed_restart [N] [steps] [--trace out.json] [--tune]
-//                            [--tuning-cache cache.json]
+//                            [--tuning-cache cache.json] [--max-shrinks K]
 //        (default 32^2, 200 steps; --trace exports the 4-rank run of
 //        part 1 as Chrome-trace JSON for chrome://tracing / Perfetto;
 //        --tune asks the auto-tuner (DESIGN.md §9) for the 4-rank halo
@@ -28,9 +34,12 @@
 #include <vector>
 
 #include "io/checkpoint.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/resilience.hpp"
 #include "tune/tuner.hpp"
+
+#include <memory>
 
 using namespace swlb;
 using runtime::Comm;
@@ -52,6 +61,7 @@ void initTgv(int n, Real u0, int x, int y, Real& rho, Vec3& u) {
 int main(int argc, char** argv) {
   std::string tracePath, tuneCachePath;
   bool tuneFlag = false;
+  int maxShrinks = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -61,6 +71,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--tuning-cache") == 0 && i + 1 < argc) {
       tuneCachePath = argv[++i];
       tuneFlag = true;
+    } else if (std::strcmp(argv[i], "--max-shrinks") == 0 && i + 1 < argc) {
+      maxShrinks = std::atoi(argv[++i]);
     } else {
       positional.push_back(argv[i]);
     }
@@ -207,7 +219,7 @@ int main(int argc, char** argv) {
     runtime::ResilientRunnerConfig<D2Q9> rcfg;
     rcfg.checkpoint.interval = static_cast<std::uint64_t>(interval);
     rcfg.checkpoint.keep = 2;
-    rcfg.recvTimeout = 0.25;  // survivors time out instead of hanging
+    rcfg.fault.recvTimeout = 0.25;  // survivors time out instead of hanging
     runtime::ResilientRunner<D2Q9> runner(solver, ckptPrefix, rcfg);
     const auto rep = runner.run(steps);
     PopulationField g = solver.gatherPopulations(0);
@@ -232,7 +244,89 @@ int main(int argc, char** argv) {
         fs::remove(entry.path(), ec);
   }
 
-  return mismatches == 0 && restartMismatches == 0 && resilientMismatches == 0
+  // ---- part 4: retire a rank permanently, shrink to fit, continue ------
+  std::size_t elasticMismatches = 0;
+  if (maxShrinks > 0) {
+    const std::string elasticPrefix =
+        (fs::temp_directory_path() / "tgv_elastic").string();
+    obs::MetricsRegistry metrics;
+    runtime::WorldConfig wcfg2;
+    wcfg2.faults.killRank = 2;
+    wcfg2.faults.killAtStep = killAt;
+    wcfg2.faults.killPermanent = true;  // node retired: no respawn
+    wcfg2.metrics = &metrics;
+    if (!tracePath.empty()) wcfg2.tracer = &tracer;
+    World elasticWorld(4, wcfg2);
+    PopulationField elastic;
+    std::uint64_t shrinks = 0, ranksLost = 0, elasticRestored = 0;
+    int finalRanks = 0;
+    elasticWorld.run([&](Comm& c) {
+      // The decomposition must adapt to whatever rank count survives, so
+      // the factory leaves procGrid on automatic.
+      auto build = [&](Comm& cc) {
+        DistributedSolver<D2Q9>::Config cfg;
+        cfg.global = {n, n, 1};
+        cfg.collision = collision;
+        cfg.periodic = {true, true, true};
+        auto s = std::make_unique<DistributedSolver<D2Q9>>(cc, cfg);
+        s->finalizeMask();
+        s->initField([&](int x, int y, int, Real& rho, Vec3& u) {
+          initTgv(n, u0, ((x % n) + n) % n, ((y % n) + n) % n, rho, u);
+        });
+        return s;
+      };
+      auto solver = build(c);
+      runtime::ResilientRunnerConfig<D2Q9> rcfg;
+      rcfg.checkpoint.interval = static_cast<std::uint64_t>(interval);
+      rcfg.checkpoint.keep = 2;
+      rcfg.fault.recvTimeout = 0.25;
+      rcfg.fault.maxShrinks = maxShrinks;
+      rcfg.rebuild = build;
+      runtime::ResilientRunner<D2Q9> runner(*solver, elasticPrefix, rcfg);
+      // Rank 2's thread unwinds here; the survivors shrink around it.
+      const auto rep = runner.run(steps);
+      PopulationField g = runner.solver().gatherPopulations(0);
+      if (c.rank() == 0) {
+        elastic = std::move(g);
+        shrinks = rep.shrinks;
+        ranksLost = rep.ranksLost;
+        elasticRestored = rep.lastRestoredStep;
+        finalRanks = c.size();
+      }
+    });
+    for (std::size_t i = 0; i < parallel4.size(); ++i)
+      if (parallel4.data()[i] != elastic.data()[i]) ++elasticMismatches;
+    std::cout << "Elastic run: rank 2 retired permanently at step " << killAt
+              << ", " << shrinks << " shrink(s) lost " << ranksLost
+              << " rank(s), finished on " << finalRanks
+              << " ranks from step " << elasticRestored << ", "
+              << elasticMismatches
+              << " mismatching values vs fault-free run (expect 0)\n";
+    const auto downtime = metrics.histogramSummary("resilience.downtime_seconds");
+    std::cout << "  resilience.shrink.count = "
+              << metrics.counterValue("resilience.shrink.count") << "\n"
+              << "  resilience.shrink.ranks_lost = "
+              << metrics.counterValue("resilience.shrink.ranks_lost") << "\n"
+              << "  resilience.downtime_seconds: count=" << downtime.count
+              << " mean=" << downtime.mean << "s max=" << downtime.max
+              << "s\n";
+    if (!tracePath.empty()) {
+      tracer.writeChromeTrace(tracePath);  // now includes the shrink scopes
+      std::cout << "rewrote " << tracePath << " with the elastic-recovery "
+                << "timeline (" << tracer.eventCount() << " events)\n";
+    }
+    if (shrinks == 0) elasticMismatches = 1;  // the ladder must have fired
+    {
+      std::error_code ec;
+      const fs::path dir = fs::path(elasticPrefix).parent_path();
+      for (const auto& entry : fs::directory_iterator(dir, ec))
+        if (entry.path().filename().string().rfind("tgv_elastic", 0) == 0)
+          fs::remove(entry.path(), ec);
+    }
+  }
+
+  return mismatches == 0 && restartMismatches == 0 &&
+                 resilientMismatches == 0 && elasticMismatches == 0
              ? 0
              : 1;
 }

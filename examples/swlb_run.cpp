@@ -3,8 +3,13 @@
 // "holistic solution" entry point of the paper's Fig. 4 framework.
 //
 // Usage: swlb_run <config-file> [--trace out.json] [--tune]
-//                 [--tuning-cache cache.json]
+//                 [--tuning-cache cache.json] [--ranks N] [--max-shrinks K]
 //        swlb_run --demo [--trace out.json] [--tune] [...]
+//
+// --ranks N runs the case on the N-rank distributed runtime (cavity only
+// in this driver) under the resilient driver; --max-shrinks K additionally
+// arms elastic shrink-to-fit recovery (DESIGN.md §10), so up to K
+// permanently lost ranks degrade the run instead of killing it.
 //
 // --trace records every solver phase (periodic wrap, fused kernel,
 // checkpoint writes) on a Chrome trace-event timeline; open the file in
@@ -30,8 +35,11 @@
 //   ppm = true
 //   output_prefix = cyl
 //   checkpoint_interval = 1000
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "app/cases.hpp"
@@ -40,7 +48,9 @@
 #include "io/ppm.hpp"
 #include "io/vtk.hpp"
 #include "obs/context.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/resilience.hpp"
 #include "tune/tuner.hpp"
 
 using namespace swlb;
@@ -48,12 +58,121 @@ using namespace swlb;
 namespace {
 constexpr const char* kUsage =
     "usage: swlb_run <config-file> | --demo [--trace out.json] [--tune] "
-    "[--tuning-cache cache.json]\n";
+    "[--tuning-cache cache.json] [--ranks N] [--max-shrinks K]\n";
+
+/// Distributed front end: the cavity case on N threads-as-ranks under the
+/// resilient driver, with elastic shrink-to-fit recovery armed when
+/// maxShrinks > 0.  Outputs are gathered to rank 0.
+int runDistributedCavity(const app::Config& cfg, int ranks, int maxShrinks,
+                         const std::string& tracePath) {
+  using runtime::Comm;
+  using runtime::DistributedSolver;
+  const Int3 n{static_cast<int>(cfg.getInt("nx", 48)),
+               static_cast<int>(cfg.getInt("ny", 48)),
+               static_cast<int>(cfg.getInt("nz", 48))};
+  const long steps = cfg.getInt("steps", 1000);
+  const std::string prefix = cfg.getString("output_prefix", "cavity");
+  const Real uLid = cfg.getReal("lid_velocity", 0.05);
+  const CollisionConfig col = app::collision_from_config(cfg);
+  std::cout << "case 'cavity' on " << ranks << " ranks, " << n.x << "x"
+            << n.y << "x" << n.z << " cells, " << steps << " steps"
+            << (maxShrinks > 0
+                    ? ", elastic recovery armed (max-shrinks " +
+                          std::to_string(maxShrinks) + ")"
+                    : "")
+            << "\n";
+
+  // procGrid stays automatic so the same factory rebuilds the case at
+  // whatever rank count survives a shrink.
+  auto build = [&](Comm& c) {
+    DistributedSolver<D3Q19>::Config dcfg;
+    dcfg.global = n;
+    dcfg.collision = col;
+    auto s = std::make_unique<DistributedSolver<D3Q19>>(c, dcfg);
+    const auto lid = s->materials().addMovingWall({uLid, 0, 0});
+    s->paintGlobal({{0, 0, n.z - 1}, {n.x, n.y, n.z}}, lid);
+    s->finalizeMask();
+    s->initUniform(1.0, {0, 0, 0});
+    return s;
+  };
+
+  const long ckptEvery = cfg.getInt("checkpoint_interval", 0);
+  const std::string ckptPrefix =
+      (std::filesystem::temp_directory_path() / (prefix + "_elastic")).string();
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  runtime::WorldConfig wcfg;
+  if (!tracePath.empty()) wcfg.tracer = &tracer;
+  wcfg.metrics = &metrics;
+  runtime::World world(ranks, wcfg);
+  double sec = 0;
+  std::uint64_t shrinks = 0, ranksLost = 0;
+  int finalRanks = ranks;
+  ScalarField rho;
+  VectorField u;
+  world.run([&](Comm& c) {
+    auto solver = build(c);
+    runtime::ResilientRunnerConfig<D3Q19> rcfg;
+    rcfg.checkpoint.interval = static_cast<std::uint64_t>(
+        ckptEvery > 0 ? ckptEvery : std::max<long>(1, steps / 4));
+    rcfg.checkpoint.keep =
+        static_cast<int>(cfg.getInt("checkpoint_keep", 2));
+    rcfg.fault.maxShrinks = maxShrinks;
+    rcfg.rebuild = build;
+    runtime::ResilientRunner<D3Q19> runner(*solver, ckptPrefix, rcfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rep = runner.run(static_cast<std::uint64_t>(steps));
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    runtime::gather_macroscopic(runner.solver(), 0, rho, u);
+    runner.checkpoints().clear();
+    if (c.rank() == 0) {
+      sec = s;
+      shrinks = rep.shrinks;
+      ranksLost = rep.ranksLost;
+      finalRanks = c.size();
+    }
+  });
+  const double mlups = static_cast<double>(n.x) * n.y * n.z *
+                       static_cast<double>(steps) / sec / 1e6;
+  std::cout << "done in " << sec << " s (" << mlups << " MLUPS aggregate)\n";
+  if (maxShrinks > 0) {
+    const auto downtime =
+        metrics.histogramSummary("resilience.downtime_seconds");
+    std::cout << "resilience: " << shrinks << " shrink(s), " << ranksLost
+              << " rank(s) lost, finished on " << finalRanks << " ranks\n"
+              << "  resilience.shrink.count = "
+              << metrics.counterValue("resilience.shrink.count") << "\n"
+              << "  resilience.downtime_seconds: count=" << downtime.count
+              << " mean=" << downtime.mean << "s\n";
+  }
+  if (!tracePath.empty()) {
+    tracer.writeChromeTrace(tracePath);
+    std::cout << "wrote " << tracePath << " (" << tracer.eventCount()
+              << " events, " << tracer.threadCount() << " rank timelines)\n";
+  }
+  if (cfg.getBool("vtk", false)) {
+    io::VtkWriter vtk(Grid(n.x, n.y, n.z));
+    vtk.addScalar("density", rho);
+    vtk.addVector("velocity", u);
+    vtk.write(prefix + ".vtk");
+    std::cout << "wrote " << prefix << ".vtk\n";
+  }
+  if (cfg.getBool("ppm", false)) {
+    io::write_ppm_velocity_slice(prefix + ".ppm", u, n.z / 2, 1.3 * uLid);
+    std::cout << "wrote " << prefix << ".ppm\n";
+  }
+  return 0;
 }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string configArg, tracePath, tuneCachePath;
   bool tuneFlag = false;
+  int ranks = 1, maxShrinks = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       tracePath = argv[++i];
@@ -62,6 +181,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--tuning-cache") == 0 && i + 1 < argc) {
       tuneCachePath = argv[++i];
       tuneFlag = true;
+    } else if (std::strcmp(argv[i], "--ranks") == 0 && i + 1 < argc) {
+      ranks = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-shrinks") == 0 && i + 1 < argc) {
+      maxShrinks = std::atoi(argv[++i]);
     } else if (configArg.empty()) {
       configArg = argv[i];
     } else {
@@ -83,6 +206,13 @@ int main(int argc, char** argv) {
       cfg = app::Config::parse(demo);
     } else {
       cfg = app::Config::load(configArg);
+    }
+
+    if (ranks > 1) {
+      if (cfg.getString("case") != "cavity")
+        throw Error(
+            "--ranks: only 'case = cavity' runs distributed in this driver");
+      return runDistributedCavity(cfg, ranks, maxShrinks, tracePath);
     }
 
     app::Case sim = app::build_case(cfg);

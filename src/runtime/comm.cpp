@@ -85,9 +85,15 @@ struct World::Impl {
   std::mutex faultM;
   std::map<std::tuple<std::size_t, int, int, int>, std::uint64_t> flowCounts;
   bool killFired = false;
+  std::vector<char> rankKillsFired;
   FaultStats faultStats;
 
-  explicit Impl(int size, const WorldConfig& c) : cfg(c), boxes(size) {}
+  // World ranks lost to permanent kills during the current run.
+  std::mutex deadM;
+  std::vector<int> deadRanks;
+
+  explicit Impl(int size, const WorldConfig& c)
+      : cfg(c), boxes(size), rankKillsFired(c.faults.rankKills.size(), 0) {}
 
   /// Apply matching message-fault rules to an outgoing message; returns
   /// true when the message must be dropped.
@@ -240,8 +246,8 @@ void Request::wait(double timeoutSec) {
 bool Request::test() {
   if (!state_ || state_->done) return true;
   World::Impl& impl = *state_->comm->world_->impl_;
-  if (impl.tryRecv(state_->comm->rank(), state_->src, state_->tag, state_->buf,
-                   state_->bytes)) {
+  if (impl.tryRecv(state_->comm->worldRank(), state_->src, state_->tag,
+                   state_->buf, state_->bytes)) {
     state_->done = true;
   }
   return state_->done;
@@ -249,12 +255,16 @@ bool Request::test() {
 
 // --------------------------------------------------------------------- Comm
 
-int Comm::size() const { return world_->size(); }
+int Comm::size() const {
+  return group_.empty() ? world_->size() : static_cast<int>(group_.size());
+}
 
 void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   SWLB_ASSERT(dst >= 0 && dst < size());
   World::Impl& impl = *world_->impl_;
   Message msg;
+  // Matching happens in communicator ranks (consistent across survivors
+  // within an epoch); routing and fault rules use immutable world ranks.
   msg.src = rank_;
   msg.tag = tag;
   msg.data.resize(bytes);
@@ -265,19 +275,31 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   obs::count("comm.messages_sent");
   obs::count("comm.bytes_sent", bytes);
   if (impl.cfg.faults.enabled() &&
-      impl.applyMessageFaults(rank_, dst, tag, msg))
+      impl.applyMessageFaults(worldRank(), worldRankOf(dst), tag, msg))
     return;  // dropped by the fault plan
-  impl.deliver(dst, std::move(msg));
+  impl.deliver(worldRankOf(dst), std::move(msg));
 }
 
 void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
-  recv(src, tag, data, bytes, recvTimeout_);
+  // Bounded retry with exponential backoff (setRecvRetry): one delayed
+  // message is absorbed here instead of escalating to the failure vote.
+  double window = recvTimeout_;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      recv(src, tag, data, bytes, window);
+      return;
+    } catch (const TimeoutError&) {
+      if (recvTimeout_ <= 0 || attempt >= recvRetries_) throw;
+      obs::count("comm.recv_retries");
+      window *= recvBackoff_;
+    }
+  }
 }
 
 void Comm::recv(int src, int tag, void* data, std::size_t bytes,
                 double timeoutSec) {
   try {
-    world_->impl_->recvBlocking(rank_, src, tag, data, bytes,
+    world_->impl_->recvBlocking(worldRank(), src, tag, data, bytes,
                                 deadlineFrom(timeoutSec));
   } catch (const TimeoutError&) {
     obs::count("comm.timeouts");
@@ -316,13 +338,26 @@ void Comm::recvChecksummed(int src, int tag, void* data, std::size_t bytes) {
 void Comm::faultTick(std::uint64_t step) {
   World::Impl& impl = *world_->impl_;
   const FaultPlan& fp = impl.cfg.faults;
-  if (fp.killRank != rank_ || step != fp.killAtStep) return;
-  std::lock_guard<std::mutex> lock(impl.faultM);
-  if (impl.killFired) return;  // one-shot: the respawned rank survives
-  impl.killFired = true;
-  ++impl.faultStats.kills;
-  obs::count("comm.faults.kills");
-  throw RankKilledError(rank_, step);
+  const int wr = worldRank();  // kill rules name immutable world ranks
+  if (fp.killRank == wr && step == fp.killAtStep) {
+    std::lock_guard<std::mutex> lock(impl.faultM);
+    if (!impl.killFired) {  // one-shot: the respawned rank survives
+      impl.killFired = true;
+      ++impl.faultStats.kills;
+      obs::count("comm.faults.kills");
+      throw RankKilledError(wr, step, fp.killPermanent);
+    }
+  }
+  for (std::size_t i = 0; i < fp.rankKills.size(); ++i) {
+    const FaultPlan::RankKill& k = fp.rankKills[i];
+    if (k.rank != wr || step != k.step) continue;
+    std::lock_guard<std::mutex> lock(impl.faultM);
+    if (impl.rankKillsFired[i]) continue;
+    impl.rankKillsFired[i] = 1;
+    ++impl.faultStats.kills;
+    obs::count("comm.faults.kills");
+    throw RankKilledError(wr, step, k.permanent);
+  }
 }
 
 std::size_t Comm::drainMailbox() {
@@ -332,12 +367,13 @@ std::size_t Comm::drainMailbox() {
   // collective).  Current/future collective messages must survive — a
   // peer that already passed the recovery vote may be inside the next
   // collective, and eating its traffic would deadlock the world.
-  Mailbox& box = world_->impl_->boxes[static_cast<std::size_t>(rank_)];
+  Mailbox& box = world_->impl_->boxes[static_cast<std::size_t>(worldRank())];
   std::lock_guard<std::mutex> lock(box.m);
   const std::uint64_t myMod = collSeq_ % colltag::kWindow;
   const std::size_t before = box.q.size();
   std::erase_if(box.q, [&](const Message& m) {
     if (m.tag >= 0) return true;
+    if (m.tag == kHealthTag) return true;  // finished probe's leftovers
     if (!colltag::isCollective(m.tag)) return false;
     const std::uint64_t behind =
         (myMod - colltag::sequenceOf(m.tag) + colltag::kWindow) %
@@ -351,6 +387,172 @@ int Comm::livenessVote(bool alive) {
   coll::Collectives cs(*this);
   return static_cast<int>(
       cs.allreduce_value<std::int64_t>(alive ? 1 : 0, coll::Op::Sum));
+}
+
+std::vector<std::uint8_t> Comm::probeLiveness(const HealthConfig& hc) {
+  // Health frames are fixed-size per world (epoch | phase | sender world
+  // rank | heard-mask over *world* size), so frames can never size-mismatch
+  // across shrinks, and the epoch filter discards leftovers of previous
+  // probes.  Probes are collectively ordered among survivors (each one is
+  // triggered by the same aborted vote), so probeEpoch_ agrees.
+  obs::TraceScope probeScope("comm.health.probe");
+  World::Impl& impl = *world_->impl_;
+  const int n = size();
+  const int wn = world_->size();
+  const std::size_t maskBytes = static_cast<std::size_t>(wn > 0 ? wn : 0);
+  const std::uint64_t epoch = ++probeEpoch_;
+  ++health_.probes;
+  obs::count("comm.health.probes");
+
+  std::vector<std::uint8_t> heard(maskBytes, 0);
+  heard[static_cast<std::size_t>(worldRank())] = 1;
+  std::vector<std::uint8_t> confirmed(static_cast<std::size_t>(n), 0);
+  confirmed[static_cast<std::size_t>(rank_)] = 1;
+
+  const std::size_t maskOff = sizeof(std::uint64_t) + 1 + sizeof(std::int32_t);
+  const std::size_t frameBytes = maskOff + maskBytes;
+  auto makeFrame = [&](std::uint8_t phase) {
+    std::vector<std::uint8_t> f(frameBytes);
+    std::memcpy(f.data(), &epoch, sizeof(epoch));
+    f[sizeof(epoch)] = phase;
+    const std::int32_t me = worldRank();
+    std::memcpy(f.data() + sizeof(epoch) + 1, &me, sizeof(me));
+    std::memcpy(f.data() + maskOff, heard.data(), maskBytes);
+    return f;
+  };
+  auto allHeard = [&] {
+    for (int r = 0; r < n; ++r)
+      if (!heard[static_cast<std::size_t>(worldRankOf(r))]) return false;
+    return true;
+  };
+  // Consume one health frame before `deadline`; false on timeout.  Frames
+  // from other epochs are swallowed silently; gossip (mask union) spreads
+  // indirect evidence so one relayed frame can vouch for several peers.
+  std::vector<std::uint8_t> buf(frameBytes);
+  auto consumeFrame = [&](Clock::time_point deadline) {
+    try {
+      impl.recvBlocking(worldRank(), kAnySource, kHealthTag, buf.data(),
+                        frameBytes, deadline);
+    } catch (const TimeoutError&) {
+      return false;
+    }
+    ++stats_.messagesReceived;
+    stats_.bytesReceived += frameBytes;
+    std::uint64_t e = 0;
+    std::memcpy(&e, buf.data(), sizeof(e));
+    if (e != epoch) return true;
+    std::int32_t senderWorld = -1;
+    std::memcpy(&senderWorld, buf.data() + sizeof(e) + 1, sizeof(senderWorld));
+    for (int w = 0; w < wn; ++w)
+      heard[static_cast<std::size_t>(w)] |= buf[maskOff + w];
+    if (senderWorld >= 0 && senderWorld < wn) {
+      heard[static_cast<std::size_t>(senderWorld)] = 1;
+      if (buf[sizeof(e)] == 1) {  // confirmation frame
+        for (int r = 0; r < n; ++r)
+          if (worldRankOf(r) == senderWorld) {
+            confirmed[static_cast<std::size_t>(r)] = 1;
+            break;
+          }
+      }
+    }
+    return true;
+  };
+
+  // Detection ladder: ping unheard peers, widen the window each round.
+  // `ladder` is the full detection time a slow peer may legally take —
+  // the confirmation round below must out-wait it even when this rank
+  // heard everyone in round 0.
+  double window = hc.timeout;
+  double ladder = 0;
+  for (int i = 0; i <= hc.retries; ++i) ladder += hc.timeout * std::pow(hc.backoff, i);
+  for (int round = 0; round <= hc.retries; ++round) {
+    if (allHeard()) break;
+    if (round > 0) {
+      ++health_.retries;
+      obs::count("comm.health.retries");
+    }
+    const std::vector<std::uint8_t> ping = makeFrame(0);
+    for (int r = 0; r < n; ++r)
+      if (r != rank_ && !heard[static_cast<std::size_t>(worldRankOf(r))])
+        send(r, kHealthTag, ping.data(), ping.size());
+    const Clock::time_point deadline = deadlineFrom(window);
+    while (!allHeard() && consumeFrame(deadline)) {
+    }
+    window *= hc.backoff;
+  }
+  for (int r = 0; r < n; ++r)
+    if (!heard[static_cast<std::size_t>(worldRankOf(r))]) {
+      ++health_.suspected;
+      obs::count("comm.health.suspected");
+    }
+
+  // Confirmation round among believed-alive peers: final masks converge by
+  // gossip union, and waiting for every confirmation doubles as a barrier
+  // among survivors — nobody races ahead into post-probe traffic while a
+  // peer is still probing.  The window covers a peer that entered its
+  // ladder late and walked it fully.
+  {
+    const std::vector<std::uint8_t> confirm = makeFrame(1);
+    for (int r = 0; r < n; ++r)
+      if (r != rank_ && heard[static_cast<std::size_t>(worldRankOf(r))])
+        send(r, kHealthTag, confirm.data(), confirm.size());
+    auto unconfirmed = [&] {
+      for (int r = 0; r < n; ++r)
+        if (heard[static_cast<std::size_t>(worldRankOf(r))] &&
+            !confirmed[static_cast<std::size_t>(r)])
+          return true;
+      return false;
+    };
+    const Clock::time_point deadline = deadlineFrom(ladder + hc.timeout);
+    while (unconfirmed() && consumeFrame(deadline)) {
+    }
+    for (int r = 0; r < n; ++r) {
+      const std::size_t w = static_cast<std::size_t>(worldRankOf(r));
+      if (heard[w] && !confirmed[static_cast<std::size_t>(r)]) {
+        heard[w] = 0;  // vouched for by gossip but never confirmed itself
+        ++health_.suspected;
+        obs::count("comm.health.suspected");
+      }
+    }
+  }
+
+  for (int r = 0; r < n; ++r)
+    if (!heard[static_cast<std::size_t>(worldRankOf(r))]) {
+      ++health_.declaredDead;
+      obs::count("comm.health.declared_dead");
+    }
+  return heard;
+}
+
+int Comm::shrink(const std::vector<std::uint8_t>& aliveWorld) {
+  const int n = size();
+  std::vector<int> group;
+  group.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    const int w = worldRankOf(r);
+    if (w < static_cast<int>(aliveWorld.size()) &&
+        aliveWorld[static_cast<std::size_t>(w)])
+      group.push_back(w);
+  }
+  if (group.empty())
+    throw Error("Comm::shrink: alive mask leaves no survivors");
+  int newRank = -1;
+  for (std::size_t i = 0; i < group.size(); ++i)
+    if (group[i] == worldRank()) newRank = static_cast<int>(i);
+  if (newRank < 0)
+    throw Error("Comm::shrink: world rank " + std::to_string(worldRank()) +
+                " is itself declared dead");
+  if (static_cast<int>(group.size()) == n) return rank_;  // nothing lost
+  // Stale traffic of the failed epoch must not leak into the shrunken
+  // world; the collective sequence is *kept* so a survivor already inside
+  // a post-shrink collective stays matchable (its frames carry the current
+  // sequence, which the selective drain preserves).
+  drainMailbox();
+  group_ = std::move(group);
+  rank_ = newRank;
+  obs::count("comm.shrink.count");
+  obs::gaugeSet("comm.size", size());
+  return rank_;
 }
 
 Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
@@ -419,6 +621,10 @@ void World::run(const std::function<void(Comm&)>& fn) {
     std::lock_guard<std::mutex> lock(box.m);
     box.q.clear();
   }
+  {
+    std::lock_guard<std::mutex> lock(impl_->deadM);
+    impl_->deadRanks.clear();
+  }
   std::vector<std::thread> threads;
   std::vector<Comm> comms;
   comms.reserve(static_cast<std::size_t>(size_));
@@ -435,6 +641,16 @@ void World::run(const std::function<void(Comm&)>& fn) {
       obs::ScopedBind obsBind(impl_->cfg.tracer, impl_->cfg.metrics, r);
       try {
         fn(comms[static_cast<std::size_t>(r)]);
+      } catch (const RankKilledError& e) {
+        if (e.permanent()) {
+          // A permanently killed rank exiting its thread is part of the
+          // scenario (survivors shrink around it), not a run failure.
+          std::lock_guard<std::mutex> lock(impl_->deadM);
+          impl_->deadRanks.push_back(r);
+        } else {
+          std::lock_guard<std::mutex> lock(errM);
+          if (!firstError) firstError = std::current_exception();
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(errM);
         if (!firstError) firstError = std::current_exception();
@@ -451,6 +667,11 @@ void World::run(const std::function<void(Comm&)>& fn) {
 FaultStats World::faultStats() const {
   std::lock_guard<std::mutex> lock(impl_->faultM);
   return impl_->faultStats;
+}
+
+std::vector<int> World::deadRanks() const {
+  std::lock_guard<std::mutex> lock(impl_->deadM);
+  return impl_->deadRanks;
 }
 
 CommStats World::totalStats() const {

@@ -53,6 +53,11 @@ inline constexpr int kAnyTag = -1;
 /// behind the rank's counter) from live ones.  User tags are
 /// non-negative; collective tags are <= -kBase; -1..-(kBase-1) stay free
 /// for future internal protocols.
+/// Internal tag of the liveness/health protocol (Comm::probeLiveness).
+/// Lives in the -1..-(colltag::kBase-1) space reserved for internal
+/// protocols, so it can never collide with user or collective tags.
+inline constexpr int kHealthTag = -2;
+
 namespace colltag {
 inline constexpr int kBase = 16;
 inline constexpr std::uint64_t kWindow = std::uint64_t(1) << 20;
@@ -80,20 +85,26 @@ class CorruptionError : public Error {
 };
 
 /// Thrown by Comm::faultTick on the rank the FaultPlan marked for death —
-/// models a fail-stop crash at a chosen simulation step.
+/// models a fail-stop crash at a chosen simulation step.  A *transient*
+/// kill models a crash with warm respawn (the rank comes back and replays
+/// from the rollback); a *permanent* kill models a retired node: the rank
+/// never returns, and survivors must shrink around it.
 class RankKilledError : public Error {
  public:
-  RankKilledError(int rank, std::uint64_t step)
+  RankKilledError(int rank, std::uint64_t step, bool permanent = false)
       : Error("rank " + std::to_string(rank) + " killed by fault plan at step " +
-              std::to_string(step)),
+              std::to_string(step) + (permanent ? " (permanent)" : "")),
         rank_(rank),
-        step_(step) {}
+        step_(step),
+        permanent_(permanent) {}
   int rank() const { return rank_; }
   std::uint64_t step() const { return step_; }
+  bool permanent() const { return permanent_; }
 
  private:
   int rank_;
   std::uint64_t step_;
+  bool permanent_;
 };
 
 /// Deterministic fault-injection plan for a World.  Message rules match on
@@ -120,10 +131,23 @@ struct FaultPlan {
   std::vector<MessageFault> messageFaults;
   /// Kill this rank (fail-stop) when it calls faultTick(killAtStep); -1
   /// disables.  One-shot: the "restarted" rank survives replayed steps.
+  /// With killPermanent the rank stays dead (node retired, no respawn).
+  /// Ranks in kill rules are *world* ranks — stable across Comm::shrink.
   int killRank = -1;
   std::uint64_t killAtStep = 0;
+  bool killPermanent = false;
+  /// Additional kills (each one-shot), for campaigns that lose several
+  /// ranks over one run (e.g. the 4->3->2 soak test).
+  struct RankKill {
+    int rank = -1;
+    std::uint64_t step = 0;
+    bool permanent = false;
+  };
+  std::vector<RankKill> rankKills;
   std::uint64_t seed = 0;
-  bool enabled() const { return killRank >= 0 || !messageFaults.empty(); }
+  bool enabled() const {
+    return killRank >= 0 || !rankKills.empty() || !messageFaults.empty();
+  }
 };
 
 /// Deterministic [0,1) roll used for probabilistic message faults.
@@ -166,6 +190,25 @@ struct CommStats {
   std::uint64_t bytesReceived = 0;
 };
 
+/// Knobs of the message-based liveness probe (Comm::probeLiveness): a peer
+/// is pinged up to 1 + `retries` times, each detection round waiting
+/// `timeout * backoff^round` seconds, before it is declared dead.  The
+/// retry-and-backoff ladder keeps one slow scheduler hiccup from being
+/// mistaken for a retired node.
+struct HealthConfig {
+  double timeout = 0.25;  ///< first detection round's window (seconds)
+  int retries = 3;        ///< extra rounds after the first
+  double backoff = 2.0;   ///< window multiplier per round
+};
+
+/// Per-rank counters of the health protocol.
+struct HealthStats {
+  std::uint64_t probes = 0;        ///< probeLiveness calls
+  std::uint64_t retries = 0;       ///< detection rounds beyond the first
+  std::uint64_t suspected = 0;     ///< peers unheard after a full ladder
+  std::uint64_t declaredDead = 0;  ///< peers declared dead by a probe
+};
+
 class World;
 
 /// Handle on a pending non-blocking operation.  Default-constructed
@@ -189,10 +232,25 @@ class Request {
 };
 
 /// Per-rank endpoint passed to the rank function by World::run.
+///
+/// A Comm starts out congruent with its World (rank i of N).  After a
+/// permanent rank loss, Comm::shrink compacts the surviving ranks into a
+/// dense 0..M-1 numbering over the same World: rank()/size() and every
+/// p2p/collective destination are then *communicator* ranks, while the
+/// underlying mailboxes (and fault-plan rules) keep using the immutable
+/// *world* ranks, exposed via worldRank()/worldRankOf().
 class Comm {
  public:
   int rank() const { return rank_; }
   int size() const;
+
+  /// Immutable world (thread) rank of this endpoint — equal to rank()
+  /// until a shrink renumbers the survivors.
+  int worldRank() const { return group_.empty() ? rank_ : group_[rank_]; }
+  /// World rank behind a communicator rank.
+  int worldRankOf(int commRank) const {
+    return group_.empty() ? commRank : group_[static_cast<std::size_t>(commRank)];
+  }
 
   // ---- point to point ------------------------------------------------
   void send(int dst, int tag, const void* data, std::size_t bytes);
@@ -218,6 +276,18 @@ class Comm {
   void setRecvTimeout(double seconds) { recvTimeout_ = seconds; }
   double recvTimeout() const { return recvTimeout_; }
 
+  /// Bounded retry of default-timeout receives: when the deadline expires,
+  /// retry up to `retries` more times, multiplying the window by `backoff`
+  /// each attempt, before letting TimeoutError escape.  A single delayed
+  /// message is then absorbed locally instead of escalating to a failure
+  /// vote and a full rollback.  Explicit-deadline receives never retry.
+  void setRecvRetry(int retries, double backoff) {
+    recvRetries_ = retries;
+    recvBackoff_ = backoff;
+  }
+  int recvRetries() const { return recvRetries_; }
+  double recvRetryBackoff() const { return recvBackoff_; }
+
   // ---- fault tolerance -------------------------------------------------
   /// Report the local simulation step to the fault plan; throws
   /// RankKilledError on the configured victim rank (one-shot).
@@ -229,6 +299,28 @@ class Comm {
   /// Allreduce-based liveness vote callable between steps: every rank
   /// reports its own health; returns how many ranks said alive.
   int livenessVote(bool alive);
+
+  // ---- elastic recovery (DESIGN.md §10) --------------------------------
+  /// Message-based liveness probe, callable when a collective vote has
+  /// already timed out (so collectives cannot be trusted).  Pings every
+  /// unheard peer of the current communicator with retry-and-backoff per
+  /// `hc`, gossips heard-masks so indirect evidence counts, then runs a
+  /// confirmation round among the believed-alive peers (which doubles as a
+  /// survivor barrier).  Returns an alive mask indexed by *world* rank
+  /// (entries outside the current group are reported dead).  Collective
+  /// among the surviving ranks; safe for dead ranks to never call.
+  std::vector<std::uint8_t> probeLiveness(const HealthConfig& hc = {});
+
+  /// Compact this communicator onto the surviving ranks of `aliveWorld`
+  /// (mask indexed by world rank, as returned by probeLiveness): dense
+  /// reranking in ascending world-rank order, stale mailbox traffic
+  /// drained, collective sequence preserved so in-flight collective frames
+  /// of survivors stay matchable.  Returns the new rank.  Throws when the
+  /// calling rank itself is not in the mask.  Must be called with the same
+  /// mask on every survivor.
+  int shrink(const std::vector<std::uint8_t>& aliveWorld);
+
+  const HealthStats& healthStats() const { return health_; }
 
   template <typename T>
   void sendValue(int dst, int tag, const T& v) {
@@ -267,10 +359,17 @@ class Comm {
   friend class Request;
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
   World* world_;
-  int rank_;
+  int rank_;  ///< communicator rank (== world rank until a shrink)
+  /// Survivor group after shrink(s): communicator rank -> world rank,
+  /// ascending.  Empty means the identity mapping over the whole world.
+  std::vector<int> group_;
   CommStats stats_;
+  HealthStats health_;
   double recvTimeout_ = 0;  ///< seconds; 0 = block forever
+  int recvRetries_ = 0;     ///< extra attempts of default-timeout recvs
+  double recvBackoff_ = 2.0;
   std::uint64_t collSeq_ = 0;
+  std::uint64_t probeEpoch_ = 0;  ///< filters stale health frames
 };
 
 /// Owns the mailboxes and fault-injection state; runs rank functions on
@@ -296,6 +395,12 @@ class World {
   /// Counters of injected faults applied so far (deterministic for fully
   /// specified rules; reproducible per seed for probabilistic ones).
   FaultStats faultStats() const;
+
+  /// World ranks that died *permanently* during the last run (fail-stop
+  /// without respawn).  A permanent RankKilledError unwinding a rank's
+  /// thread is recorded here instead of being rethrown by run() — the
+  /// victim's exit is part of the scenario, not a run failure.
+  std::vector<int> deadRanks() const;
 
  private:
   friend class Comm;

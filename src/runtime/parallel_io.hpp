@@ -11,8 +11,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/macroscopic.hpp"
 #include "io/checkpoint.hpp"
@@ -28,6 +30,60 @@ inline std::string group_checkpoint_path(const std::string& prefix, int rank) {
 }
 inline std::string group_manifest_path(const std::string& prefix) {
   return prefix + ".manifest";
+}
+
+/// Parsed group-checkpoint manifest.  Version 2 records each rank's owned
+/// global sub-box, which is what makes restore rank-count-independent: a
+/// survivor set of any size can map old blocks onto a new decomposition.
+/// Version-1 manifests (no block list) derive the blocks from the recorded
+/// process grid, so old generations stay restorable.
+struct GroupManifest {
+  int version = 0;
+  int ranks = 0;
+  Int3 global{};
+  Int3 procGrid{};
+  std::uint64_t steps = 0;
+  std::vector<Box3> blocks;  ///< owned global sub-box per writing rank
+};
+
+/// Read and validate a generation's manifest.  Throws on missing or
+/// malformed files (the caller treats that as "generation not committed").
+inline GroupManifest read_group_manifest(const std::string& prefix) {
+  std::ifstream in(group_manifest_path(prefix));
+  if (!in)
+    throw Error("group checkpoint: missing manifest for '" + prefix + "'");
+  GroupManifest m;
+  std::string magic, key;
+  in >> magic >> m.version;
+  if (!in || magic != "swlb-group-checkpoint" ||
+      (m.version != 1 && m.version != 2))
+    throw Error("group checkpoint: malformed manifest for '" + prefix + "'");
+  in >> key >> m.ranks >> key >> m.global.x >> m.global.y >> m.global.z >>
+      key >> m.procGrid.x >> m.procGrid.y >> m.procGrid.z >> key >> m.steps;
+  if (!in || m.ranks <= 0)
+    throw Error("group checkpoint: malformed manifest for '" + prefix + "'");
+  if (m.version >= 2) {
+    m.blocks.resize(static_cast<std::size_t>(m.ranks));
+    for (int r = 0; r < m.ranks; ++r) {
+      int rr = -1;
+      Box3 b;
+      in >> key >> rr >> b.lo.x >> b.lo.y >> b.lo.z >> b.hi.x >> b.hi.y >>
+          b.hi.z;
+      if (!in || key != "block" || rr != r)
+        throw Error("group checkpoint: malformed block table for '" + prefix +
+                    "'");
+      m.blocks[static_cast<std::size_t>(r)] = b;
+    }
+  } else {
+    const Decomposition d(m.global, m.procGrid);
+    if (d.rankCount() != m.ranks)
+      throw Error("group checkpoint: inconsistent v1 manifest for '" + prefix +
+                  "'");
+    m.blocks.resize(static_cast<std::size_t>(m.ranks));
+    for (int r = 0; r < m.ranks; ++r)
+      m.blocks[static_cast<std::size_t>(r)] = d.blockOf(r);
+  }
+  return m;
 }
 
 /// Write one checkpoint file per rank plus the root manifest.  Collective.
@@ -50,13 +106,20 @@ void save_group_checkpoint(DistributedSolver<D, S>& solver,
       std::ofstream os(tmp, std::ios::trunc);
       if (!os) throw Error("group checkpoint: cannot write manifest");
       const auto& d = solver.decomposition();
-      os << "swlb-group-checkpoint 1\n"
+      os << "swlb-group-checkpoint 2\n"
          << "ranks " << comm.size() << "\n"
          << "global " << d.globalSize().x << ' ' << d.globalSize().y << ' '
          << d.globalSize().z << "\n"
          << "procgrid " << d.procGrid().x << ' ' << d.procGrid().y << ' '
          << d.procGrid().z << "\n"
          << "steps " << solver.stepsDone() << "\n";
+      // v2 block table: each writing rank's owned global sub-box, the key
+      // to rank-count-independent (splice) restore.
+      for (int r = 0; r < comm.size(); ++r) {
+        const Box3 b = d.blockOf(r);
+        os << "block " << r << ' ' << b.lo.x << ' ' << b.lo.y << ' ' << b.lo.z
+           << ' ' << b.hi.x << ' ' << b.hi.y << ' ' << b.hi.z << "\n";
+      }
       os.flush();
       if (!os) throw Error("group checkpoint: manifest write failed");
     }
@@ -76,22 +139,12 @@ void load_group_checkpoint(DistributedSolver<D, S>& solver,
   obs::TraceScope restoreScope("checkpoint.group_restore");
   Comm& comm = solver.comm();
   // Every rank parses the manifest (cheap, avoids a broadcast round).
-  std::ifstream in(group_manifest_path(prefix));
-  if (!in) throw Error("group checkpoint: missing manifest for '" + prefix + "'");
-  std::string magic;
-  int version = 0, ranks = 0;
-  Int3 global, grid;
-  std::uint64_t steps = 0;
-  std::string key;
-  in >> magic >> version >> key >> ranks >> key >> global.x >> global.y >>
-      global.z >> key >> grid.x >> grid.y >> grid.z >> key >> steps;
-  if (!in || magic != "swlb-group-checkpoint" || version != 1)
-    throw Error("group checkpoint: malformed manifest");
+  const GroupManifest m = read_group_manifest(prefix);
   const auto& d = solver.decomposition();
-  if (ranks != comm.size() || !(global == d.globalSize()) ||
-      !(grid == d.procGrid())) {
+  if (m.ranks != comm.size() || !(m.global == d.globalSize()) ||
+      !(m.procGrid == d.procGrid())) {
     throw Error("group checkpoint: decomposition mismatch (checkpoint " +
-                std::to_string(ranks) + " ranks, live " +
+                std::to_string(m.ranks) + " ranks, live " +
                 std::to_string(comm.size()) + ")");
   }
   const io::CheckpointMeta meta = io::read_checkpoint_meta(
@@ -99,6 +152,154 @@ void load_group_checkpoint(DistributedSolver<D, S>& solver,
   solver.restoreState(meta.steps, meta.parity);
   io::load_checkpoint(group_checkpoint_path(prefix, comm.rank()), solver.f());
   comm.barrier();
+}
+
+namespace detail {
+
+/// Copy `region` (global coordinates) of one old block's payload into the
+/// live field.  Same-precision same-shift elements are copied raw (encode
+/// after decode is lossy for reduced precision, raw copies are bit-exact);
+/// anything else goes through the file-shift decode / field-shift encode
+/// path, exactly like whole-field cross-precision restore.
+template <class S, class FS>
+void splice_block_region(PopulationFieldT<S>& f, const Box3& mine,
+                         const io::detail::RawCheckpoint& raw,
+                         const Box3& oldBox, const Box3& region) {
+  const Grid og(oldBox.hi.x - oldBox.lo.x, oldBox.hi.y - oldBox.lo.y,
+                oldBox.hi.z - oldBox.lo.z, raw.meta.halo);
+  const std::size_t ovol = og.volume();
+  const int q = f.q();
+  if (raw.payload.size() != ovol * static_cast<std::size_t>(q) * sizeof(FS))
+    throw Error("group checkpoint: splice payload size mismatch");
+  const FS* in = reinterpret_cast<const FS*>(raw.payload.data());
+  bool sameRepr = raw.meta.precisionBits == StorageTraits<S>::kBits;
+  for (int i = 0; i < q && sameRepr; ++i)
+    if (raw.shift[static_cast<std::size_t>(i)] != f.shift(i)) sameRepr = false;
+  const Grid& lg = f.grid();
+  for (int qq = 0; qq < q; ++qq) {
+    const Real sh = raw.shift[static_cast<std::size_t>(qq)];
+    const FS* slab = in + static_cast<std::size_t>(qq) * ovol;
+    for (int z = region.lo.z; z < region.hi.z; ++z)
+      for (int y = region.lo.y; y < region.hi.y; ++y)
+        for (int x = region.lo.x; x < region.hi.x; ++x) {
+          const std::size_t oi =
+              og.idx(x - oldBox.lo.x, y - oldBox.lo.y, z - oldBox.lo.z);
+          const std::size_t ni =
+              lg.idx(x - mine.lo.x, y - mine.lo.y, z - mine.lo.z);
+          if constexpr (std::is_same_v<S, FS>) {
+            if (sameRepr) {
+              f.data()[f.slab(qq) + ni] = slab[oi];
+              continue;
+            }
+          }
+          f.store(qq, ni, StorageTraits<FS>::decode(slab[oi], sh));
+        }
+  }
+}
+
+}  // namespace detail
+
+/// Rank-count-independent restore: each live rank opens every *old* block
+/// whose padded box overlaps its own padded box and splices the overlap
+/// region by region.  Two passes give a deterministic result independent
+/// of the live decomposition:
+///
+///   pass 0 — old blocks' *padded* boxes in ascending old-rank order seed
+///            the live ghost layer (old ghosts were valid when the
+///            generation was taken: saves happen post-step, pre-exchange,
+///            exactly like the state a same-layout restore reproduces);
+///   pass 1 — old blocks' *interiors* (disjoint) overwrite every in-domain
+///            cell, so interior data always wins over any stale ghost.
+///
+/// Composes with cross-precision checkpoints via the same decode/encode
+/// path as load_checkpoint.  Collective.
+template <class D, class S>
+void load_group_checkpoint_spliced(DistributedSolver<D, S>& solver,
+                                   const std::string& prefix,
+                                   const GroupManifest& m) {
+  obs::TraceScope spliceScope("checkpoint.splice_restore");
+  Comm& comm = solver.comm();
+  const auto& d = solver.decomposition();
+  if (!(m.global == d.globalSize()))
+    throw Error("group checkpoint: global-size mismatch, cannot splice '" +
+                prefix + "' onto a " + std::to_string(comm.size()) +
+                "-rank run");
+  // Step counter and A-B parity come from old block 0's header (identical
+  // in every block of a committed generation); restore them first so the
+  // payload lands in the buffer that was current at save time.
+  const io::CheckpointMeta meta0 =
+      io::read_checkpoint_meta(group_checkpoint_path(prefix, 0));
+  solver.restoreState(meta0.steps, meta0.parity);
+  auto& f = solver.f();
+  const Grid& lg = f.grid();
+  const Box3 mine = solver.ownedBox();
+  const int halo = lg.halo;
+  const Box3 minePad{{mine.lo.x - halo, mine.lo.y - halo, mine.lo.z - halo},
+                     {mine.hi.x + halo, mine.hi.y + halo, mine.hi.z + halo}};
+  std::uint64_t blocksRead = 0, cellsSpliced = 0;
+  // Old blocks overlapping this rank are read once and reused by pass 1.
+  std::vector<std::unique_ptr<io::detail::RawCheckpoint>> cache(
+      static_cast<std::size_t>(m.ranks));
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int r = 0; r < m.ranks; ++r) {
+      const Box3& oldBox = m.blocks[static_cast<std::size_t>(r)];
+      const Box3 oldPad{
+          {oldBox.lo.x - halo, oldBox.lo.y - halo, oldBox.lo.z - halo},
+          {oldBox.hi.x + halo, oldBox.hi.y + halo, oldBox.hi.z + halo}};
+      const Box3 region = intersect(minePad, pass == 0 ? oldPad : oldBox);
+      if (region.hi.x <= region.lo.x || region.hi.y <= region.lo.y ||
+          region.hi.z <= region.lo.z)
+        continue;
+      auto& raw = cache[static_cast<std::size_t>(r)];
+      if (!raw) {
+        raw = std::make_unique<io::detail::RawCheckpoint>(
+            io::detail::read_checkpoint_file(group_checkpoint_path(prefix, r)));
+        obs::count("checkpoint.bytes_read", raw->fileBytes);
+        if (raw->meta.q != f.q() || raw->meta.halo != halo ||
+            raw->meta.steps != meta0.steps || raw->meta.parity != meta0.parity ||
+            raw->meta.interior.x != oldBox.hi.x - oldBox.lo.x ||
+            raw->meta.interior.y != oldBox.hi.y - oldBox.lo.y ||
+            raw->meta.interior.z != oldBox.hi.z - oldBox.lo.z)
+          throw Error("group checkpoint: block " + std::to_string(r) +
+                      " disagrees with manifest of '" + prefix + "'");
+        ++blocksRead;
+      }
+      switch (raw->meta.precisionBits) {
+        case 64:
+          detail::splice_block_region<S, double>(f, mine, *raw, oldBox, region);
+          break;
+        case 32:
+          detail::splice_block_region<S, float>(f, mine, *raw, oldBox, region);
+          break;
+        case 16:
+          detail::splice_block_region<S, f16>(f, mine, *raw, oldBox, region);
+          break;
+        default:
+          throw Error("group checkpoint: unknown storage precision " +
+                      std::to_string(raw->meta.precisionBits));
+      }
+      cellsSpliced += static_cast<std::uint64_t>(region.volume());
+    }
+  }
+  obs::count("checkpoint.splice.blocks_read", blocksRead);
+  obs::count("checkpoint.splice.cells", cellsSpliced);
+  comm.barrier();
+}
+
+/// Restore a generation onto whatever decomposition the solver currently
+/// has: exact per-rank reload when the layout matches the manifest,
+/// splice-restore otherwise.  Collective.
+template <class D, class S>
+void load_group_checkpoint_elastic(DistributedSolver<D, S>& solver,
+                                   const std::string& prefix) {
+  const GroupManifest m = read_group_manifest(prefix);
+  const auto& d = solver.decomposition();
+  if (m.ranks == solver.comm().size() && m.global == d.globalSize() &&
+      m.procGrid == d.procGrid()) {
+    load_group_checkpoint(solver, prefix);
+    return;
+  }
+  load_group_checkpoint_spliced(solver, prefix, m);
 }
 
 /// Gather density and velocity into *global* fields on `root` (other

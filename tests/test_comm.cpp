@@ -1,6 +1,7 @@
 // Message-passing runtime: point-to-point, non-blocking ops, collectives.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <numeric>
@@ -556,6 +557,68 @@ TEST(CommFaults, GatherCorruptionDetectedWithChecksummedCollectives) {
     }
   });
   EXPECT_EQ(world.faultStats().corrupted, 1u);
+}
+
+TEST(CommHealth, ProbeAllAliveDeclaresNobodyDead) {
+  World world(3);
+  world.run([](Comm& c) {
+    HealthConfig hc;
+    hc.timeout = 0.5;
+    const std::vector<std::uint8_t> alive = c.probeLiveness(hc);
+    ASSERT_EQ(alive.size(), 3u);
+    for (int r = 0; r < 3; ++r) EXPECT_EQ(alive[static_cast<std::size_t>(r)], 1);
+    EXPECT_GE(c.healthStats().probes, 1u);
+    EXPECT_EQ(c.healthStats().declaredDead, 0u);
+  });
+}
+
+TEST(CommHealth, ProbeFindsSilentRankAndShrinkCompactsSurvivors) {
+  World world(4);
+  std::array<int, 4> newRank{-1, -1, -1, -1};
+  world.run([&](Comm& c) {
+    if (c.rank() == 1) return;  // silent peer: never answers the probe
+    HealthConfig hc;
+    hc.timeout = 0.1;
+    hc.retries = 2;
+    const std::vector<std::uint8_t> alive = c.probeLiveness(hc);
+    ASSERT_EQ(alive.size(), 4u);
+    EXPECT_EQ(alive[0], 1);
+    EXPECT_EQ(alive[1], 0);
+    EXPECT_EQ(alive[2], 1);
+    EXPECT_EQ(alive[3], 1);
+    EXPECT_GE(c.healthStats().suspected, 1u);
+    EXPECT_GE(c.healthStats().declaredDead, 1u);
+
+    const int wr = c.worldRank();
+    const int nr = c.shrink(alive);
+    newRank[static_cast<std::size_t>(wr)] = nr;
+    EXPECT_EQ(c.size(), 3);
+    EXPECT_EQ(c.rank(), nr);
+    EXPECT_EQ(c.worldRank(), wr);  // world identity survives reranking
+
+    // The compacted communicator works end to end: collectives and
+    // point-to-point traffic on the new dense numbering.
+    EXPECT_EQ(c.allreduce(1.0, Comm::Op::Sum), 3.0);
+    if (nr == 0) c.sendValue(2, 5, wr);
+    if (nr == 2) {
+      EXPECT_EQ(c.recvValue<int>(0, 5), 0);
+    }
+    c.barrier();
+  });
+  EXPECT_EQ(newRank[0], 0);
+  EXPECT_EQ(newRank[1], -1);
+  EXPECT_EQ(newRank[2], 1);
+  EXPECT_EQ(newRank[3], 2);
+}
+
+TEST(CommHealth, ShrinkOnFullyAliveWorldIsIdentity) {
+  World world(2);
+  world.run([](Comm& c) {
+    const std::vector<std::uint8_t> alive(2, 1);
+    EXPECT_EQ(c.shrink(alive), c.rank());
+    EXPECT_EQ(c.size(), 2);
+    EXPECT_EQ(c.allreduce(1.0, Comm::Op::Sum), 2.0);
+  });
 }
 
 TEST(CommFaults, FaultRollIsDeterministic) {

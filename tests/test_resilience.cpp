@@ -9,8 +9,10 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <numbers>
 
+#include "obs/metrics.hpp"
 #include "runtime/resilience.hpp"
 
 namespace swlb::runtime {
@@ -67,6 +69,23 @@ PopulationField referenceRun(int n, int steps) {
   return out;
 }
 
+/// Lid-driven cavity on whatever communicator it is handed: the
+/// decomposition adapts to the live rank count (procGrid auto), which is
+/// what shrink-to-fit recovery rebuilds after a permanent rank loss.
+template <class S = Real>
+std::unique_ptr<DistributedSolver<D2Q9, S>> buildCavity(Comm& c, int n) {
+  typename DistributedSolver<D2Q9, S>::Config cfg;
+  cfg.global = {n, n, 1};
+  cfg.collision.omega = 1.3;
+  cfg.periodic = {false, false, true};
+  auto s = std::make_unique<DistributedSolver<D2Q9, S>>(c, cfg);
+  const std::uint8_t lid = s->materials().addMovingWall({0.05, 0, 0});
+  s->paintGlobal({{0, n - 1, 0}, {n, n, 1}}, lid);
+  s->finalizeMask();
+  s->initUniform(1.0, {0, 0, 0});
+  return s;
+}
+
 void expectBitIdentical(const PopulationField& a, const PopulationField& b) {
   ASSERT_EQ(a.size(), b.size());
   ASSERT_GT(a.size(), 0u);
@@ -91,7 +110,7 @@ TEST(Resilience, InjectedRankKillRollsBackAndResumesBitIdentical) {
     ResilientRunnerConfig<D2Q9> rcfg;
     rcfg.checkpoint.interval = 10;
     rcfg.checkpoint.keep = 2;
-    rcfg.recvTimeout = 0.25;
+    rcfg.fault.recvTimeout = 0.25;
     ResilientRunner<D2Q9> runner(solver, prefix, rcfg);
     const auto rep = runner.run(total);
     EXPECT_EQ(solver.stepsDone(), static_cast<std::uint64_t>(total));
@@ -130,7 +149,7 @@ TEST(Resilience, DroppedHaloMessageTimesOutAndRecoversBitIdentical) {
     initTgv(solver, n);
     ResilientRunnerConfig<D2Q9> rcfg;
     rcfg.checkpoint.interval = 10;
-    rcfg.recvTimeout = 0.25;
+    rcfg.fault.recvTimeout = 0.25;
     ResilientRunner<D2Q9> runner(solver, prefix, rcfg);
     const auto rep = runner.run(total);
     PopulationField g = solver.gatherPopulations(0);
@@ -160,7 +179,7 @@ TEST(Resilience, NanGuardTripsRollbackAndHeals) {
     initTgv(solver, n);
     ResilientRunnerConfig<D2Q9> rcfg;
     rcfg.checkpoint.interval = 10;
-    rcfg.recvTimeout = 0.25;
+    rcfg.fault.recvTimeout = 0.25;
     rcfg.guardInterval = 1;
     rcfg.beforeStep = [&](DistributedSolver<D2Q9>& s, std::uint64_t step) {
       if (step == 15 && s.comm().rank() == 1 && !injected.exchange(true))
@@ -276,6 +295,224 @@ TEST(Resilience, RunnerWithoutFaultsMatchesPlainRunAndCheckpointsRotate) {
     if (c.rank() == 0) got = std::move(g);
   });
   expectBitIdentical(reference, got);
+  removeAll(prefix);
+}
+
+TEST(Resilience, DelayedMessageIsRetriedWithoutRollback) {
+  const int n = 16, total = 40;
+  const std::string prefix = tmpPrefix("swlb_res_delay");
+  removeAll(prefix);
+  const PopulationField reference = referenceRun(n, total);
+
+  obs::MetricsRegistry reg;
+  WorldConfig wcfg;
+  FaultPlan::MessageFault slow;
+  slow.action = FaultPlan::Action::Delay;
+  slow.src = 0;
+  slow.dst = 1;
+  slow.nth = 25;
+  slow.delay = 0.4;  // beyond the 0.25 s first window, inside the retry
+  wcfg.faults.messageFaults.push_back(slow);
+  wcfg.metrics = &reg;
+  World world(4, wcfg);
+  PopulationField recovered;
+  std::uint64_t recoveries = 1;
+  world.run([&](Comm& c) {
+    DistributedSolver<D2Q9> solver(c, tgvConfig(n));
+    initTgv(solver, n);
+    ResilientRunnerConfig<D2Q9> rcfg;
+    rcfg.checkpoint.interval = 10;
+    rcfg.fault.recvTimeout = 0.25;
+    rcfg.fault.recvRetries = 1;  // one retry, window widening 0.25 -> 0.5 s
+    ResilientRunner<D2Q9> runner(solver, prefix, rcfg);
+    const auto rep = runner.run(total);
+    PopulationField g = solver.gatherPopulations(0);
+    if (c.rank() == 0) {
+      recovered = std::move(g);
+      recoveries = rep.recoveries;
+    }
+  });
+  EXPECT_EQ(world.faultStats().delayed, 2u);  // both x flows, same step
+  EXPECT_EQ(recoveries, 0u);                  // absorbed, no rollback
+  EXPECT_GE(reg.counterValue("comm.recv_retries"), 1u);
+  expectBitIdentical(reference, recovered);
+  removeAll(prefix);
+}
+
+TEST(Resilience, ScanGenerationsGarbageCollectsOrphans) {
+  const int n = 16;
+  const std::string prefix = tmpPrefix("swlb_res_gc");
+  removeAll(prefix);
+  World world(4);
+  world.run([&](Comm& c) {
+    DistributedSolver<D2Q9> solver(c, tgvConfig(n));
+    initTgv(solver, n);
+    DistributedCheckpointPolicy policy;
+    policy.interval = 10;
+    {
+      DistributedCheckpointController<D2Q9> ckpt(c, prefix, policy);
+      solver.run(10);
+      ckpt.save(solver);
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      // Crash debris: blocks of a generation whose manifest never
+      // committed, plus stray atomic-write temporaries.
+      std::ofstream(prefix + ".g999.rank0.ckpt") << "torn";
+      std::ofstream(prefix + ".g999.rank1.ckpt") << "torn";
+      std::ofstream(prefix + ".g10.rank0.ckpt.tmp") << "torn";
+      std::ofstream(prefix + ".g999.manifest.tmp") << "torn";
+    }
+    c.barrier();
+    // A fresh controller (fresh "process") sweeps the debris on
+    // construction and rediscovers only the committed generation.
+    DistributedCheckpointController<D2Q9> again(c, prefix, policy);
+    ASSERT_EQ(again.generations().size(), 1u);
+    EXPECT_EQ(again.generations().front(), 10u);
+    if (c.rank() == 0) {
+      EXPECT_FALSE(fs::exists(prefix + ".g999.rank0.ckpt"));
+      EXPECT_FALSE(fs::exists(prefix + ".g999.rank1.ckpt"));
+      EXPECT_FALSE(fs::exists(prefix + ".g10.rank0.ckpt.tmp"));
+      EXPECT_FALSE(fs::exists(prefix + ".g999.manifest.tmp"));
+      // The committed generation's files survive the sweep.
+      EXPECT_TRUE(fs::exists(group_manifest_path(prefix + ".g10")));
+      EXPECT_TRUE(fs::exists(group_checkpoint_path(prefix + ".g10", 0)));
+    }
+    solver.run(5);  // drift, then prove the swept store still restores
+    const std::uint64_t restored = again.restoreNewestComplete(solver);
+    EXPECT_EQ(restored, 10u);
+    EXPECT_EQ(solver.stepsDone(), 10u);
+  });
+  removeAll(prefix);
+}
+
+TEST(Resilience, PermanentRankLossShrinksToFitAndContinues) {
+  const int n = 24, total = 60;
+  const std::string prefix = tmpPrefix("swlb_res_shrink");
+  removeAll(prefix);
+
+  // Fault-free 4-rank cavity reference.
+  PopulationField reference;
+  {
+    World world(4);
+    world.run([&](Comm& c) {
+      auto s = buildCavity(c, n);
+      s->run(total);
+      PopulationField g = s->gatherPopulations(0);
+      if (c.rank() == 0) reference = std::move(g);
+    });
+  }
+
+  obs::MetricsRegistry reg;
+  WorldConfig wcfg;
+  wcfg.faults.killRank = 2;
+  wcfg.faults.killAtStep = 37;  // between the step-30 and step-40 generations
+  wcfg.faults.killPermanent = true;  // node retired: no respawn
+  wcfg.metrics = &reg;
+  World world(4, wcfg);
+  PopulationField recovered;
+  std::uint64_t shrinks = 0, ranksLost = 0, restored = 0;
+  int finalRanks = 0;
+  world.run([&](Comm& c) {
+    auto solver = buildCavity(c, n);
+    ResilientRunnerConfig<D2Q9> rcfg;
+    rcfg.checkpoint.interval = 10;
+    rcfg.checkpoint.keep = 8;  // keep .g30 for the comparison runs below
+    rcfg.fault.recvTimeout = 0.25;
+    rcfg.fault.maxShrinks = 1;
+    rcfg.rebuild = [n](Comm& cc) { return buildCavity(cc, n); };
+    ResilientRunner<D2Q9> runner(*solver, prefix, rcfg);
+    // Rank 2's thread unwinds via RankKilledError here; survivors shrink
+    // around it and keep running.
+    const auto rep = runner.run(total);
+    EXPECT_EQ(runner.solver().stepsDone(), static_cast<std::uint64_t>(total));
+    PopulationField g = runner.solver().gatherPopulations(0);
+    if (c.rank() == 0) {
+      recovered = std::move(g);
+      shrinks = rep.shrinks;
+      ranksLost = rep.ranksLost;
+      restored = rep.lastRestoredStep;
+      finalRanks = c.size();
+    }
+  });
+  EXPECT_EQ(world.faultStats().kills, 1u);
+  EXPECT_EQ(world.deadRanks(), std::vector<int>{2});
+  EXPECT_EQ(shrinks, 1u);
+  EXPECT_EQ(ranksLost, 1u);
+  EXPECT_EQ(restored, 30u);  // newest complete generation before the kill
+  EXPECT_EQ(finalRanks, 3);
+  EXPECT_GE(reg.counterValue("resilience.shrink.count"), 1u);
+  EXPECT_GE(reg.counterValue("resilience.shrink.ranks_lost"), 1u);
+  EXPECT_GE(reg.histogramSummary("resilience.downtime_seconds").count, 1u);
+
+  // A fresh 3-rank run restored from the same generation must continue
+  // bit-identically to the shrunken survivors (f64 path) ...
+  PopulationField fresh;
+  {
+    World w3(3);
+    w3.run([&](Comm& c) {
+      auto s = buildCavity(c, n);
+      load_group_checkpoint_elastic(*s, prefix + ".g30");
+      EXPECT_EQ(s->stepsDone(), 30u);
+      s->run(total - 30);
+      PopulationField g = s->gatherPopulations(0);
+      if (c.rank() == 0) fresh = std::move(g);
+    });
+  }
+  expectBitIdentical(recovered, fresh);
+  // ... and the whole recovered trajectory matches the fault-free one
+  // (per-cell collision + bitwise halo copies are layout-independent).
+  expectBitIdentical(reference, recovered);
+  removeAll(prefix);
+}
+
+TEST(Resilience, SpliceRestoreComposesWithCrossPrecisionCheckpoints) {
+  const int n = 16, steps = 20;
+  const std::string prefix = tmpPrefix("swlb_res_xprec");
+  removeAll(prefix);
+  const std::string gp = prefix + ".g20";
+
+  // Write an f32-storage generation at 4 ranks; keep its decoded gather.
+  PopulationField saved;
+  {
+    World world(4);
+    world.run([&](Comm& c) {
+      auto s = buildCavity<float>(c, n);
+      s->run(steps);
+      save_group_checkpoint(*s, gp);
+      PopulationField g = s->gatherPopulations(0);
+      if (c.rank() == 0) saved = std::move(g);
+    });
+  }
+
+  // Same-precision splice at 3 ranks: raw storage copy, bit-exact.
+  PopulationField at3f32;
+  {
+    World world(3);
+    world.run([&](Comm& c) {
+      auto s = buildCavity<float>(c, n);
+      load_group_checkpoint_elastic(*s, gp);
+      EXPECT_EQ(s->stepsDone(), 20u);
+      PopulationField g = s->gatherPopulations(0);
+      if (c.rank() == 0) at3f32 = std::move(g);
+    });
+  }
+  expectBitIdentical(saved, at3f32);
+
+  // Cross-precision splice at 3 ranks: the f32 file decodes into the f64
+  // field exactly as the f32 solver's own gather decodes it.
+  PopulationField at3f64;
+  {
+    World world(3);
+    world.run([&](Comm& c) {
+      auto s = buildCavity<Real>(c, n);
+      load_group_checkpoint_elastic(*s, gp);
+      EXPECT_EQ(s->stepsDone(), 20u);
+      PopulationField g = s->gatherPopulations(0);
+      if (c.rank() == 0) at3f64 = std::move(g);
+    });
+  }
+  expectBitIdentical(saved, at3f64);
   removeAll(prefix);
 }
 
