@@ -89,6 +89,28 @@ int main(int argc, char** argv) {
   perf::printHeading("Auto-tuned plan for " + tin.key().toString());
   std::cout << tune::summary(plan) << "\n";
 
+  // ---- kernel-variant trials (measured MLUPS ladder) -------------------
+  // A second plan with short wall-clock trials enabled: the tuner runs
+  // fused/simd/esoteric on a proxy lattice and records the pick.
+  tune::TunerConfig trialCfg;
+  trialCfg.variantTrialSteps = 10;
+  tune::TuningPlan trialPlan;
+  {
+    obs::ScopedBind bind(nullptr, &tuneReg);
+    trialPlan = tune::Tuner(trialCfg).plan(tin);
+  }
+  perf::printHeading("Kernel-variant trial ladder (measured, proxy lattice)");
+  perf::Table kt({"variant", "trial MLUPS", "note"});
+  for (const char* name : {"fused", "simd", "esoteric"}) {
+    const auto it = trialPlan.evidence.find(std::string("trial.kernel.") +
+                                            name + "_mlups");
+    kt.addRow({name,
+               it == trialPlan.evidence.end() ? "-"
+                                              : perf::Table::num(it->second, 2),
+               trialPlan.kernelVariant == name ? "<- tuned pick" : ""});
+  }
+  kt.print();
+
   // ---- halo scheduling: measured both ways -----------------------------
   const double seqS = measureStepSeconds(HaloMode::Sequential);
   const double ovlS = measureStepSeconds(HaloMode::Overlap);
@@ -166,6 +188,13 @@ int main(int argc, char** argv) {
     rt2.setText("key", tin.key().toString());
     rt2.setText("halo_mode", tune::halo_mode_name(plan.haloMode));
     rt2.setText("source", plan.source);
+    rt2.setText("kernel_variant", trialPlan.kernelVariant);
+    for (const char* name : {"fused", "simd", "esoteric"}) {
+      const auto it = trialPlan.evidence.find(std::string("trial.kernel.") +
+                                              name + "_mlups");
+      if (it != trialPlan.evidence.end())
+        rt2.set(std::string("kernel_trial_") + name + "_mlups", it->second);
+    }
     rt2.addMetrics(tuneReg);
     report.write(jsonPath);
     std::cout << "wrote " << jsonPath << "\n";

@@ -240,6 +240,15 @@ int main(int argc, char** argv) {
         cache.save(tuneCachePath);
         if (!hadPlan) std::cout << "tuning cache written: " << tuneCachePath << "\n";
       }
+      // Apply the plan's kernel pick (no-op for the default "fused";
+      // cached plans produced with variant trials can switch it).
+      KernelVariant kv = KernelVariant::Fused;
+      tune::apply(plan, kv);
+      if (kv != KernelVariant::Fused) {
+        sim.solver->setVariant(kv);
+        std::cout << "tuning: kernel variant -> " << kernel_variant_name(kv)
+                  << "\n";
+      }
     }
 
     const long ckptEvery = cfg.getInt("checkpoint_interval", 0);

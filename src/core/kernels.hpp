@@ -477,3 +477,7 @@ void apply_periodic(MaskField& mask, const Periodicity& per);
 void fill_halo_mask(MaskField& mask, const Periodicity& per, std::uint8_t id);
 
 }  // namespace swlb
+
+// Vectorized and single-buffer variants build on the definitions above.
+#include "core/kernels_esoteric.hpp"
+#include "core/kernels_simd.hpp"

@@ -10,8 +10,12 @@ namespace swlb {
 /// Density and velocity of one cell.  When `cfg` carries a body force the
 /// velocity includes the Guo half-force shift, matching what the collision
 /// kernel used.
-template <class D, class S>
-inline void cell_macroscopic(const PopulationFieldT<S>& f, int x, int y, int z,
+///
+/// `F` is any field-like type with `Real operator()(i, x, y, z)` and
+/// `grid()`: a PopulationFieldT of any storage precision, the AoS layout,
+/// or a decoding view such as EsotericPhase1View.
+template <class D, class F>
+inline void cell_macroscopic(const F& f, int x, int y, int z,
                              const CollisionConfig& cfg, Real& rho, Vec3& u) {
   Real fi[D::Q];
   for (int i = 0; i < D::Q; ++i) fi[i] = f(i, x, y, z);
@@ -28,8 +32,8 @@ inline void cell_macroscopic(const PopulationFieldT<S>& f, int x, int y, int z,
 
 /// Fill density and velocity fields over the interior.  Non-fluid cells get
 /// rho = material rho and u = material u (walls: zero).
-template <class D, class S>
-void compute_macroscopic(const PopulationFieldT<S>& f, const MaskField& mask,
+template <class D, class F>
+void compute_macroscopic(const F& f, const MaskField& mask,
                          const MaterialTable& mats, const CollisionConfig& cfg,
                          ScalarField& rho, VectorField& u) {
   const Grid& g = f.grid();
@@ -52,8 +56,8 @@ void compute_macroscopic(const PopulationFieldT<S>& f, const MaskField& mask,
 }
 
 /// Total mass over the interior fluid cells (conservation checks).
-template <class D, class S>
-Real total_mass(const PopulationFieldT<S>& f, const MaskField& mask,
+template <class D, class F>
+Real total_mass(const F& f, const MaskField& mask,
                 const MaterialTable& mats) {
   const Grid& g = f.grid();
   Real sum = 0;
@@ -67,8 +71,8 @@ Real total_mass(const PopulationFieldT<S>& f, const MaskField& mask,
 }
 
 /// Total momentum over the interior fluid cells.
-template <class D, class S>
-Vec3 total_momentum(const PopulationFieldT<S>& f, const MaskField& mask,
+template <class D, class F>
+Vec3 total_momentum(const F& f, const MaskField& mask,
                     const MaterialTable& mats) {
   const Grid& g = f.grid();
   Vec3 sum{0, 0, 0};

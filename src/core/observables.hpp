@@ -17,8 +17,8 @@ namespace swlb {
 /// each fluid->wall link transfers c_i (f_i* + f_opp^in); with half-way
 /// bounce-back f_opp^in = f_i* (+ moving-wall correction), giving
 /// F = sum over links of c_i (2 f_i* - 6 w_i rho_w (c_i . u_w)).
-template <class D, class S>
-Vec3 momentum_exchange_force(const PopulationFieldT<S>& f, const MaskField& mask,
+template <class D, class F>
+Vec3 momentum_exchange_force(const F& f, const MaskField& mask,
                              const MaterialTable& mats, std::uint8_t onMaterial) {
   const Grid& g = f.grid();
   Vec3 force{0, 0, 0};

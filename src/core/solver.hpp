@@ -18,7 +18,21 @@ enum class KernelVariant {
   Generic,   ///< portable fused pull kernel (reference implementation)
   TwoStep,   ///< separate stream + collide (fusion ablation baseline)
   Push,      ///< fused collide + push streaming (layout ablation baseline)
+  Simd,      ///< vectorized bulk-run fused kernel (bit-identical to Fused)
+  Esoteric,  ///< in-place single-buffer streaming (0.5x population memory)
 };
+
+inline const char* kernel_variant_name(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::Fused: return "fused";
+    case KernelVariant::Generic: return "generic";
+    case KernelVariant::TwoStep: return "twostep";
+    case KernelVariant::Push: return "push";
+    case KernelVariant::Simd: return "simd";
+    case KernelVariant::Esoteric: return "esoteric";
+  }
+  return "?";
+}
 
 /// `S` selects the population *storage* precision (double / float / f16);
 /// all collision arithmetic stays in Real.  Defaults to lossless double.
@@ -36,6 +50,8 @@ class Solver {
         mask_(grid, MaterialTable::kFluid) {
     f_[0].setShift(D::w);
     f_[1].setShift(D::w);
+    obs::gaugeSet("solver.population_bytes",
+                  static_cast<double>(populationBytes()));
   }
 
   const Grid& grid() const { return grid_; }
@@ -45,8 +61,34 @@ class Solver {
   const MaterialTable& materials() const { return mats_; }
   MaskField& mask() { return mask_; }
   const MaskField& mask() const { return mask_; }
-  void setVariant(KernelVariant v) { variant_ = v; }
+  /// Select the stream/collide implementation.  Switching to Esoteric
+  /// releases the second A-B buffer (the whole point of the scheme);
+  /// switching away reallocates it.  Either direction requires the buffer
+  /// to be in natural layout, i.e. an even phase.
+  void setVariant(KernelVariant v) {
+    if ((v == KernelVariant::Esoteric) !=
+        (variant_ == KernelVariant::Esoteric)) {
+      SWLB_ASSERT(parity_ == 0);
+      if (v == KernelVariant::Esoteric) {
+        f_[1] = Field();
+        if (maskFinal_) validateEsotericMask();
+      } else {
+        f_[1] = Field(grid_, D::Q);
+        f_[1].setShift(D::w);
+      }
+    }
+    variant_ = v;
+    obs::gaugeSet("solver.population_bytes",
+                  static_cast<double>(populationBytes()));
+  }
   KernelVariant variant() const { return variant_; }
+
+  /// Bytes held in population storage: two lattices normally, one under
+  /// the esoteric single-buffer scheme (the gauge `solver.population_bytes`
+  /// tracks this — not the historical unconditional two-lattice figure).
+  std::size_t populationBytes() const {
+    return f_[0].bytes() + f_[1].bytes();
+  }
   /// Host threads for the fused kernel (intra-rank parallelism; results
   /// are bit-identical for any thread count).
   void setHostThreads(int n) { hostThreads_ = n; }
@@ -66,6 +108,7 @@ class Solver {
   void finalizeMask() {
     fill_halo_mask(mask_, periodic_, MaterialTable::kSolid);
     maskFinal_ = true;
+    if (variant_ == KernelVariant::Esoteric) validateEsotericMask();
   }
 
   /// Initialize populations to equilibrium at constant (rho, u).
@@ -90,15 +133,23 @@ class Solver {
           equilibria<D>(rho, u, feq);
           for (int i = 0; i < D::Q; ++i) {
             f_[0](i, x, y, z) = feq[i];
-            f_[1](i, x, y, z) = feq[i];
+            if (f_[1].size()) f_[1](i, x, y, z) = feq[i];
           }
         }
   }
 
   /// Advance one time step: wrap periodic halos, fused update, A-B swap.
+  /// Under Esoteric, parity_ is the in-place phase instead of the A-B
+  /// index: 0 = natural layout, 1 = rotated (post-even) layout.
   void step() {
     obs::TraceScope stepScope("step");
     SWLB_ASSERT(maskFinal_);
+    if (variant_ == KernelVariant::Esoteric) {
+      stepEsoteric();
+      parity_ = 1 - parity_;
+      ++steps_;
+      return;
+    }
     Field& src = f_[parity_];
     Field& dst = f_[1 - parity_];
     {
@@ -122,6 +173,12 @@ class Solver {
       case KernelVariant::Push:
         stream_collide_push<D>(src, dst, mask_, mats_, cfg_, range, periodic_);
         break;
+      case KernelVariant::Simd:
+        stream_collide_simd_mt<D>(src, dst, mask_, mats_, cfg_, range,
+                                  hostThreads_);
+        break;
+      case KernelVariant::Esoteric:
+        break;  // handled above
     }
     parity_ = 1 - parity_;
     ++steps_;
@@ -144,40 +201,112 @@ class Solver {
 
   std::uint64_t stepsDone() const { return steps_; }
 
-  /// Current (most recently written) population field.
-  const Field& f() const { return f_[parity_]; }
-  Field& f() { return f_[parity_]; }
+  /// Current (most recently written) population field.  Under Esoteric
+  /// this is always the single buffer; after an odd number of steps it is
+  /// in the rotated layout — use population()/the macroscopic accessors,
+  /// which decode it, rather than indexing the raw field.
+  const Field& f() const {
+    return variant_ == KernelVariant::Esoteric ? f_[0] : f_[parity_];
+  }
+  Field& f() {
+    return variant_ == KernelVariant::Esoteric ? f_[0] : f_[parity_];
+  }
   /// The other buffer of the A-B pair (scratch / previous step).
   Field& fOther() { return f_[1 - parity_]; }
   int parity() const { return parity_; }
   void setParity(int p) { parity_ = p; }
-  /// Restore step counter and A-B parity (checkpoint restart).
+  /// Restore step counter and A-B parity (checkpoint restart).  Esoteric
+  /// checkpoints must be cut at an even phase (natural layout).
   void restoreState(std::uint64_t steps, int parity) {
     SWLB_ASSERT(parity == 0 || parity == 1);
+    SWLB_ASSERT(variant_ != KernelVariant::Esoteric || parity == 0);
     steps_ = steps;
     parity_ = parity;
+  }
+
+  /// Canonical post-stream population f_i(x) regardless of variant/phase:
+  /// after an esoteric even step, f_i*(x) lives at slot opp(i) of x + c_i.
+  Real population(int i, int x, int y, int z) const {
+    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+      return f_[0](D::opp(i), x + D::c[i][0], y + D::c[i][1], z + D::c[i][2]);
+    return f()(i, x, y, z);
   }
 
   Real density(int x, int y, int z) const {
     Real rho;
     Vec3 u;
-    cell_macroscopic<D>(f(), x, y, z, cfg_, rho, u);
+    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+      cell_macroscopic<D>(EsotericPhase1View<D, S>(f_[0]), x, y, z, cfg_, rho,
+                          u);
+    else
+      cell_macroscopic<D>(f(), x, y, z, cfg_, rho, u);
     return rho;
   }
   Vec3 velocity(int x, int y, int z) const {
     Real rho;
     Vec3 u;
-    cell_macroscopic<D>(f(), x, y, z, cfg_, rho, u);
+    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+      cell_macroscopic<D>(EsotericPhase1View<D, S>(f_[0]), x, y, z, cfg_, rho,
+                          u);
+    else
+      cell_macroscopic<D>(f(), x, y, z, cfg_, rho, u);
     return u;
   }
   void computeMacroscopic(ScalarField& rho, VectorField& u) const {
-    compute_macroscopic<D>(f(), mask_, mats_, cfg_, rho, u);
+    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+      compute_macroscopic<D>(EsotericPhase1View<D, S>(f_[0]), mask_, mats_,
+                             cfg_, rho, u);
+    else
+      compute_macroscopic<D>(f(), mask_, mats_, cfg_, rho, u);
   }
 
-  Real totalMass() const { return total_mass<D>(f(), mask_, mats_); }
-  Vec3 totalMomentum() const { return total_momentum<D>(f(), mask_, mats_); }
+  Real totalMass() const {
+    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+      return total_mass<D>(EsotericPhase1View<D, S>(f_[0]), mask_, mats_);
+    return total_mass<D>(f(), mask_, mats_);
+  }
+  Vec3 totalMomentum() const {
+    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+      return total_momentum<D>(EsotericPhase1View<D, S>(f_[0]), mask_, mats_);
+    return total_momentum<D>(f(), mask_, mats_);
+  }
 
  private:
+  /// Esoteric in-place step: even phase wraps forward, sweeps, and wraps
+  /// the rotated layout back; odd phase is purely local (no halo traffic).
+  void stepEsoteric() {
+    const Box3 range = grid_.interior();
+    if (parity_ == 0) {
+      {
+        obs::TraceScope wrapScope("periodic_wrap");
+        apply_periodic(f_[0], periodic_);
+      }
+      {
+        obs::TraceScope kernelScope("compute.kernel");
+        stream_collide_esoteric_even_mt<D>(f_[0], mask_, mats_, cfg_, range,
+                                           hostThreads_);
+      }
+      obs::TraceScope wrapScope("periodic_wrap");
+      apply_periodic_reverse<D>(f_[0], periodic_);
+    } else {
+      obs::TraceScope kernelScope("compute.kernel");
+      stream_collide_esoteric_odd_mt<D>(f_[0], mask_, mats_, cfg_, range,
+                                        hostThreads_);
+    }
+  }
+
+  /// The in-place scheme has no outflow rule (an extrapolating copy from a
+  /// neighbour would race with that neighbour's own in-place update).
+  void validateEsotericMask() const {
+    const Box3 range = grid_.interior();
+    for (int z = range.lo.z; z < range.hi.z; ++z)
+      for (int y = range.lo.y; y < range.hi.y; ++y)
+        for (int x = range.lo.x; x < range.hi.x; ++x)
+          if (!esoteric_supports(mats_[mask_(x, y, z)].cls))
+            throw Error(
+                "KernelVariant::Esoteric does not support Outflow cells "
+                "(in-place streaming has no extrapolation slot)");
+  }
   Grid grid_;
   CollisionConfig cfg_;
   Periodicity periodic_;

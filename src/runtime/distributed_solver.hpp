@@ -15,6 +15,7 @@
 #include "core/kernels.hpp"
 #include "core/macroscopic.hpp"
 #include "core/observables.hpp"
+#include "core/solver.hpp"
 #include "obs/context.hpp"
 #include "runtime/halo.hpp"
 
@@ -36,6 +37,14 @@ class DistributedSolver {
     HaloMode mode = HaloMode::Overlap;
     /// Process grid; {0,0,0} selects Decomposition::choose(comm.size()).
     Int3 procGrid{0, 0, 0};
+    /// Stream/collide implementation.  Fused, Simd, Generic and Esoteric
+    /// are supported distributed; TwoStep/Push are single-rank ablation
+    /// baselines and are rejected.  Esoteric frees the second buffer and
+    /// only communicates on even steps (halved exchange frequency); its
+    /// step always runs the sequential-style schedule regardless of
+    /// `mode`, because the in-place sweep cannot split into inner/shell
+    /// passes around an exchange that its own scatter must precede.
+    KernelVariant variant = KernelVariant::Fused;
   };
 
   DistributedSolver(Comm& comm, const Config& cfg)
@@ -52,8 +61,15 @@ class DistributedSolver {
         mask_(grid_, MaterialTable::kFluid) {
     if (decomp_.rankCount() != comm.size())
       throw Error("DistributedSolver: process grid does not match world size");
+    if (cfg_.variant == KernelVariant::TwoStep ||
+        cfg_.variant == KernelVariant::Push)
+      throw Error("DistributedSolver: TwoStep/Push are single-rank ablation "
+                  "variants");
     f_[0].setShift(D::w);
     f_[1].setShift(D::w);
+    if (cfg_.variant == KernelVariant::Esoteric) f_[1] = Field();
+    obs::gaugeSet("solver.population_bytes",
+                  static_cast<double>(populationBytes()));
   }
 
   Comm& comm() { return comm_; }
@@ -80,6 +96,16 @@ class DistributedSolver {
                    MaterialTable::kSolid);
     halo_.exchangeMask(comm_, mask_);
     maskFinal_ = true;
+    if (cfg_.variant == KernelVariant::Esoteric) {
+      const Box3 range = grid_.interior();
+      for (int z = range.lo.z; z < range.hi.z; ++z)
+        for (int y = range.lo.y; y < range.hi.y; ++y)
+          for (int x = range.lo.x; x < range.hi.x; ++x)
+            if (!esoteric_supports(mats_[mask_(x, y, z)].cls))
+              throw Error(
+                  "KernelVariant::Esoteric does not support Outflow cells "
+                  "(in-place streaming has no extrapolation slot)");
+    }
   }
 
   /// Equilibrium initialization from a *global*-coordinate field function.
@@ -95,7 +121,7 @@ class DistributedSolver {
           equilibria<D>(rho, u, feq);
           for (int i = 0; i < D::Q; ++i) {
             f_[0](i, x, y, z) = feq[i];
-            f_[1](i, x, y, z) = feq[i];
+            if (f_[1].size()) f_[1](i, x, y, z) = feq[i];
           }
         }
   }
@@ -115,6 +141,12 @@ class DistributedSolver {
   void step() {
     obs::TraceScope stepScope("step");
     SWLB_ASSERT(maskFinal_);
+    if (cfg_.variant == KernelVariant::Esoteric) {
+      stepEsoteric();
+      parity_ = 1 - parity_;
+      ++steps_;
+      return;
+    }
     Field& src = f_[parity_];
     Field& dst = f_[1 - parity_];
     {
@@ -130,8 +162,7 @@ class DistributedSolver {
         halo_.exchange(comm_, src);
       }
       obs::TraceScope computeScope("compute.interior");
-      stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision,
-                              grid_.interior());
+      runKernel(src, dst, grid_.interior());
     } else {
       {
         obs::TraceScope postScope("halo.post");
@@ -139,16 +170,14 @@ class DistributedSolver {
       }
       {
         obs::TraceScope computeScope("compute.interior");
-        stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision,
-                                halo_.innerBox());
+        runKernel(src, dst, halo_.innerBox());
       }
       {
         obs::TraceScope finishScope("halo.finish");
         halo_.finish(comm_, src);
       }
       obs::TraceScope frontierScope("compute.frontier");
-      for (const Box3& b : halo_.boundaryShell())
-        stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision, b);
+      for (const Box3& b : halo_.boundaryShell()) runKernel(src, dst, b);
     }
     parity_ = 1 - parity_;
     ++steps_;
@@ -175,35 +204,58 @@ class DistributedSolver {
   std::uint64_t stepsDone() const { return steps_; }
   int parity() const { return parity_; }
   /// Restore step counter and A-B parity (group checkpoint restart).
+  /// Esoteric checkpoints must be cut at an even phase (natural layout).
   void restoreState(std::uint64_t steps, int parity) {
     SWLB_ASSERT(parity == 0 || parity == 1);
+    SWLB_ASSERT(cfg_.variant != KernelVariant::Esoteric || parity == 0);
     steps_ = steps;
     parity_ = parity;
   }
-  const Field& f() const { return f_[parity_]; }
-  Field& f() { return f_[parity_]; }
+  const Field& f() const {
+    return cfg_.variant == KernelVariant::Esoteric ? f_[0] : f_[parity_];
+  }
+  Field& f() {
+    return cfg_.variant == KernelVariant::Esoteric ? f_[0] : f_[parity_];
+  }
+
+  /// Bytes held in population storage (one lattice under Esoteric).
+  std::size_t populationBytes() const {
+    return f_[0].bytes() + f_[1].bytes();
+  }
 
   Real density(int lx, int ly, int lz) const {
     Real rho;
     Vec3 u;
-    cell_macroscopic<D>(f(), lx, ly, lz, cfg_.collision, rho, u);
+    if (rotatedPhase())
+      cell_macroscopic<D>(EsotericPhase1View<D, S>(f_[0]), lx, ly, lz,
+                          cfg_.collision, rho, u);
+    else
+      cell_macroscopic<D>(f(), lx, ly, lz, cfg_.collision, rho, u);
     return rho;
   }
   Vec3 velocity(int lx, int ly, int lz) const {
     Real rho;
     Vec3 u;
-    cell_macroscopic<D>(f(), lx, ly, lz, cfg_.collision, rho, u);
+    if (rotatedPhase())
+      cell_macroscopic<D>(EsotericPhase1View<D, S>(f_[0]), lx, ly, lz,
+                          cfg_.collision, rho, u);
+    else
+      cell_macroscopic<D>(f(), lx, ly, lz, cfg_.collision, rho, u);
     return u;
   }
 
   /// Total fluid mass across all ranks (collective).
   Real globalMass() {
-    return comm_.allreduce(total_mass<D>(f(), mask_, mats_), Comm::Op::Sum);
+    return comm_.allreduce(localMass(), Comm::Op::Sum);
   }
 
   /// Fluid mass of this rank's block only (local; the resilient runner's
   /// divergence guard folds it into one well-ordered allreduce).
-  Real localMass() const { return total_mass<D>(f(), mask_, mats_); }
+  Real localMass() const {
+    if (rotatedPhase())
+      return total_mass<D>(EsotericPhase1View<D, S>(f_[0]), mask_, mats_);
+    return total_mass<D>(f(), mask_, mats_);
+  }
 
   /// Globally reduced communication counters (collective): every rank
   /// returns the world totals of the per-rank CommStats accumulated so
@@ -232,7 +284,11 @@ class DistributedSolver {
   /// masks are exchanged at init, so links crossing rank boundaries are
   /// counted exactly once.
   Vec3 globalForce(std::uint8_t id) {
-    const Vec3 local = momentum_exchange_force<D>(f(), mask_, mats_, id);
+    const Vec3 local =
+        rotatedPhase()
+            ? momentum_exchange_force<D>(EsotericPhase1View<D, S>(f_[0]),
+                                         mask_, mats_, id)
+            : momentum_exchange_force<D>(f(), mask_, mats_, id);
     double v[3] = {local.x, local.y, local.z};
     coll::Collectives cs(comm_);
     cs.allreduce(std::span<double>(v, 3), coll::Op::Sum);
@@ -302,10 +358,73 @@ class DistributedSolver {
 
  private:
   bool zWrapLocal() const { return cfg_.periodic.z; }
+  /// True when the single esoteric buffer is in the rotated (post-even)
+  /// layout and reads must go through EsotericPhase1View.
+  bool rotatedPhase() const {
+    return cfg_.variant == KernelVariant::Esoteric && parity_ == 1;
+  }
+
+  void runKernel(const Field& src, Field& dst, const Box3& range) {
+    switch (cfg_.variant) {
+      case KernelVariant::Generic:
+        stream_collide_generic<D>(src, dst, mask_, mats_, cfg_.collision,
+                                  range);
+        break;
+      case KernelVariant::Simd:
+        stream_collide_simd<D>(src, dst, mask_, mats_, cfg_.collision, range);
+        break;
+      default:
+        stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision, range);
+        break;
+    }
+  }
+
+  /// In-place esoteric step.  Even phase: local z wrap, forward exchange
+  /// (the gather pulls from the halo exactly like the fused kernel), one
+  /// whole-interior in-place sweep, then the *reverse* exchange + local
+  /// reverse z wrap fold the outward scatter back to its owners.  Odd
+  /// phase: fully local — no communication at all, halving the exchange
+  /// frequency relative to the two-lattice schedule.
+  void stepEsoteric() {
+    Field& buf = f_[0];
+    if (parity_ == 0) {
+      {
+        obs::TraceScope zScope("z_wrap");
+        apply_periodic(buf, Periodicity{false, false, zWrapLocal()});
+      }
+      {
+        obs::TraceScope haloScope("halo.exchange");
+        halo_.exchange(comm_, buf);
+      }
+      {
+        obs::TraceScope computeScope("compute.interior");
+        stream_collide_esoteric_even<D>(buf, mask_, mats_, cfg_.collision,
+                                        grid_.interior());
+      }
+      {
+        obs::TraceScope haloScope("halo.exchange");
+        halo_.template exchangeReverse<D>(comm_, buf);
+      }
+      obs::TraceScope zScope("z_wrap");
+      apply_periodic_reverse<D>(buf, Periodicity{false, false, zWrapLocal()});
+    } else {
+      obs::TraceScope computeScope("compute.interior");
+      stream_collide_esoteric_odd<D>(buf, mask_, mats_, cfg_.collision,
+                                     grid_.interior());
+    }
+  }
 
   void packLocal(std::vector<Real>& buf) const {
-    const Field& field = f();
     std::size_t k = 0;
+    if (rotatedPhase()) {
+      const EsotericPhase1View<D, S> view(f_[0]);
+      for (int q = 0; q < D::Q; ++q)
+        for (int z = 0; z < grid_.nz; ++z)
+          for (int y = 0; y < grid_.ny; ++y)
+            for (int x = 0; x < grid_.nx; ++x) buf[k++] = view(q, x, y, z);
+      return;
+    }
+    const Field& field = f();
     for (int q = 0; q < D::Q; ++q)
       for (int z = 0; z < grid_.nz; ++z)
         for (int y = 0; y < grid_.ny; ++y)

@@ -107,6 +107,90 @@ class HaloExchange {
     }
   }
 
+  /// Reverse halo exchange for the esoteric single-buffer scheme, run
+  /// *after* the even in-place step.  That step scatters post-collision
+  /// populations outward: a boundary cell writes slot opp(i) of the halo
+  /// cell x + c_i, which canonically belongs to the neighbour rank's edge
+  /// cell.  So the roles flip relative to the forward exchange — we *pack
+  /// from the recvBox* (our halo, where the deposits landed) and *unpack
+  /// into the sendBox* (our interior edge, where the neighbour's deposits
+  /// belong).  Only slots whose velocity points INTO the neighbour carry
+  /// deposits (c_j · d ≥ 0 componentwise with at least the face axis
+  /// matching); both sides enumerate the same slot set in ascending j, so
+  /// the packed layouts agree.  Wall parks never cross ranks (a park is a
+  /// cell's deposit into its *own* adjacent wall), so face strips suffice.
+  /// Tags are offset by 16 to stay disjoint from the forward tags (0..8).
+  template <class D, class S>
+  void exchangeReverse(Comm& comm, PopulationFieldT<S>& f) {
+    // A deposit [j, h] in our halo was written by our interior cell
+    // h + c_j, so exported slots have c_j pointing from the halo *into*
+    // our interior (c_j · d = -d componentwise).  Conversely an interior
+    // edge slot [j, e] whose writer e + c_j lives on the neighbour has
+    // c_j pointing *toward* the neighbour (c_j · d = +d).  The mirrored
+    // neighbour flips d, so both ranks enumerate the same slot set.
+    auto fromHalo = [](int dx, int dy, int j) {
+      return (dx == 0 || D::c[j][0] == -dx) && (dy == 0 || D::c[j][1] == -dy);
+    };
+    auto intoEdge = [](int dx, int dy, int j) {
+      return (dx == 0 || D::c[j][0] == dx) && (dy == 0 || D::c[j][1] == dy);
+    };
+    for (auto& n : neighbors_) {
+      int slots = 0;
+      for (int j = 0; j < D::Q; ++j)
+        if (intoEdge(n.dx, n.dy, j)) ++slots;
+      n.recvBuf.resize(static_cast<std::size_t>(n.sendBox.volume()) * slots *
+                       sizeof(S));
+      n.pending = comm.irecv(n.rank, 16 + n.recvTag, n.recvBuf.data(),
+                             n.recvBuf.size());
+    }
+    {
+      obs::TraceScope packScope("halo.pack");
+      for (auto& n : neighbors_) {
+        int slots = 0;
+        for (int j = 0; j < D::Q; ++j)
+          if (fromHalo(n.dx, n.dy, j)) ++slots;
+        n.sendBuf.resize(static_cast<std::size_t>(n.recvBox.volume()) * slots *
+                         sizeof(S));
+        S* out = reinterpret_cast<S*>(n.sendBuf.data());
+        std::size_t k = 0;
+        const Box3& box = n.recvBox;
+        for (int j = 0; j < D::Q; ++j) {
+          if (!fromHalo(n.dx, n.dy, j)) continue;
+          for (int z = box.lo.z; z < box.hi.z; ++z)
+            for (int y = box.lo.y; y < box.hi.y; ++y)
+              for (int x = box.lo.x; x < box.hi.x; ++x)
+                out[k++] = f.raw(j, x, y, z);
+        }
+        comm.isend(n.rank, 16 + n.sendTag, n.sendBuf.data(), n.sendBuf.size());
+      }
+    }
+    {
+      obs::TraceScope waitScope("halo.wait");
+      for (auto& n : neighbors_) n.pending.wait();
+    }
+    // Unpack faces first, corners second: a face strip reaches the corner
+    // cell, where its diagonal-slot payload is stale on the sender (the
+    // canonical writer lives on the *diagonal* rank); the corner message
+    // carries the true value and must win.
+    obs::TraceScope unpackScope("halo.unpack");
+    for (int pass = 0; pass < 2; ++pass) {
+      for (auto& n : neighbors_) {
+        const bool corner = n.dx != 0 && n.dy != 0;
+        if (corner != (pass == 1)) continue;
+        const S* in = reinterpret_cast<const S*>(n.recvBuf.data());
+        std::size_t k = 0;
+        const Box3& box = n.sendBox;
+        for (int j = 0; j < D::Q; ++j) {
+          if (!intoEdge(n.dx, n.dy, j)) continue;
+          for (int z = box.lo.z; z < box.hi.z; ++z)
+            for (int y = box.lo.y; y < box.hi.y; ++y)
+              for (int x = box.lo.x; x < box.hi.x; ++x)
+                f.raw(j, x, y, z) = in[k++];
+        }
+      }
+    }
+  }
+
   /// One-off exchange of the material mask at setup time.
   void exchangeMask(Comm& comm, MaskField& mask);
 

@@ -258,6 +258,14 @@ TuningPlan planFromJson(const JsonValue& obj) {
   p.ringThresholdBytes =
       static_cast<std::size_t>(numberField(obj, "ring_threshold_bytes"));
   p.chunkX = static_cast<int>(numberField(obj, "chunk_x"));
+  // Tolerant read: plans written before the kernel-variant knob existed
+  // have no such field and mean "fused".
+  const auto kv = obj.object.find("kernel_variant");
+  if (kv != obj.object.end()) {
+    if (kv->second.type != JsonValue::Type::String)
+      throw Error("tuning cache: \"kernel_variant\" is not a string");
+    p.kernelVariant = kv->second.str;
+  }
   p.precision = stringField(obj, "precision");
   p.precisionAdvice = stringField(obj, "precision_advice");
   p.advisedQuantError = numberField(obj, "advised_quant_error");
@@ -302,6 +310,7 @@ std::string to_json(const TuningPlan& plan) {
     os << '"' << escape(k) << "\": " << numStr(v);
   }
   os << "}, \"halo_mode\": \"" << halo_mode_name(plan.haloMode)
+     << "\", \"kernel_variant\": \"" << escape(plan.kernelVariant)
      << "\", \"precision\": \"" << escape(plan.precision)
      << "\", \"precision_advice\": \"" << escape(plan.precisionAdvice)
      << "\", \"ring_threshold_bytes\": " << plan.ringThresholdBytes

@@ -50,6 +50,11 @@ struct TuningPlan {
   /// LDM x-chunk width for sw::SwKernelConfig::chunkX (cells; >= 1 and
   /// <= sw::max_chunk_x for the target block).
   int chunkX = 32;
+  /// Host stream/collide variant for Solver/DistributedSolver (name as in
+  /// kernel_variant_name: "fused" | "simd" | "esoteric").  "fused" unless
+  /// wall-clock variant trials (TunerConfig::variantTrialSteps > 0) found
+  /// a faster one; absent from old cache files, which parse as "fused".
+  std::string kernelVariant = "fused";
   /// Storage precision the plan was tuned for (matches the key).
   std::string precision = "f64";
   /// Human-readable advisory: what a smaller storage type would buy and

@@ -134,6 +134,39 @@ double haloTrial(runtime::HaloMode mode, const Int3& extent, int ranks,
   return meanStep;
 }
 
+// ---- wall-clock kernel-variant trials ----------------------------------
+// Single-rank proxy runs of the host stream/collide variants.  Evidence +
+// pick; not deterministic — guarded by variantTrialSteps > 0 (the plan's
+// default stays "fused").
+
+template <class D, class S>
+double variantTrial(KernelVariant v, const Int3& extent, int steps) {
+  obs::TraceScope scope("tune.trial.kernel");
+  const Grid g(extent.x, extent.y, extent.z);
+  Solver<D, S> solver(g, CollisionConfig{}, Periodicity{true, true, true});
+  solver.collision().omega = 1.5;
+  solver.setVariant(v);
+  solver.finalizeMask();
+  solver.initUniform(1.0, {0.02, 0, 0});
+  solver.run(2);  // warm-up
+  const double mlups = solver.runMeasured(static_cast<std::uint64_t>(steps));
+  obs::count("tune.trials.kernel");
+  return mlups;
+}
+
+double runVariantTrial(const TuningInput& in, KernelVariant v,
+                       const Int3& extent, int steps) {
+  const bool d3 = in.lattice == "D3Q19";
+  if (in.precision == "f64")
+    return d3 ? variantTrial<D3Q19, double>(v, extent, steps)
+              : variantTrial<D2Q9, double>(v, extent, steps);
+  if (in.precision == "f32")
+    return d3 ? variantTrial<D3Q19, float>(v, extent, steps)
+              : variantTrial<D2Q9, float>(v, extent, steps);
+  return d3 ? variantTrial<D3Q19, f16>(v, extent, steps)
+            : variantTrial<D2Q9, f16>(v, extent, steps);
+}
+
 /// Shrink the domain until each rank's block is at most `cellsPerRank`
 /// cells, halving the largest axis (deterministic; aspect roughly kept).
 Int3 proxyExtent(Int3 e, int ranks, std::size_t cellsPerRank) {
@@ -332,7 +365,38 @@ TuningPlan Tuner::plan(const TuningInput& in) const {
     }
   }
 
+  // ---- host kernel variant: wall-clock trial ladder --------------------
+  // fused vs simd vs esoteric on a single-rank proxy block.  The pick is
+  // MLUPS-argmax with ties (within 1%) kept on "fused"; without trials the
+  // default "fused" stands, keeping plan() deterministic.
+  if (cfg_.variantTrialSteps > 0) {
+    Int3 proxy = proxyExtent(in.extent, 1, cfg_.trialCellsPerRank);
+    if (in.lattice == "D2Q9") proxy.z = 1;
+    const std::pair<KernelVariant, const char*> ladder[] = {
+        {KernelVariant::Fused, "fused"},
+        {KernelVariant::Simd, "simd"},
+        {KernelVariant::Esoteric, "esoteric"},
+    };
+    double fusedMlups = 0, pickMlups = 0;
+    for (const auto& [v, name] : ladder) {
+      const double mlups =
+          runVariantTrial(in, v, proxy, cfg_.variantTrialSteps);
+      plan.evidence[std::string("trial.kernel.") + name + "_mlups"] = mlups;
+      if (v == KernelVariant::Fused) {
+        fusedMlups = pickMlups = mlups;
+      } else if (mlups > pickMlups && mlups > fusedMlups * 1.01) {
+        pickMlups = mlups;
+        plan.kernelVariant = name;
+      }
+    }
+    plan.source = "measured";
+  }
+
   obs::count("tune.plans");
+  obs::gaugeSet("tune.kernel_variant",
+                plan.kernelVariant == "esoteric" ? 2
+                : plan.kernelVariant == "simd"   ? 1
+                                                 : 0);
   obs::gaugeSet("tune.chunk_x", plan.chunkX);
   obs::gaugeSet("tune.ring_threshold_bytes",
                 static_cast<double>(plan.ringThresholdBytes));
@@ -360,6 +424,21 @@ void apply(const TuningPlan& plan, runtime::HaloMode& mode) {
                 plan.haloMode == runtime::HaloMode::Overlap ? 1 : 0);
 }
 
+void apply(const TuningPlan& plan, KernelVariant& variant) {
+  if (plan.kernelVariant == "fused")
+    variant = KernelVariant::Fused;
+  else if (plan.kernelVariant == "simd")
+    variant = KernelVariant::Simd;
+  else if (plan.kernelVariant == "esoteric")
+    variant = KernelVariant::Esoteric;
+  // Unknown names (newer plan files) keep the caller's current value.
+  obs::count("tune.plan.applied");
+  obs::gaugeSet("tune.kernel_variant",
+                plan.kernelVariant == "esoteric" ? 2
+                : plan.kernelVariant == "simd"   ? 1
+                                                 : 0);
+}
+
 void apply(const TuningPlan& plan, coll::CollConfig& cfg) {
   cfg.ringThresholdBytes = plan.ringThresholdBytes;
   obs::count("tune.plan.applied");
@@ -377,8 +456,8 @@ std::string summary(const TuningPlan& plan) {
   std::ostringstream os;
   os << "halo=" << halo_mode_name(plan.haloMode)
      << " ring_threshold=" << plan.ringThresholdBytes << "B"
-     << " chunk_x=" << plan.chunkX << " precision=" << plan.precision
-     << " source=" << plan.source;
+     << " chunk_x=" << plan.chunkX << " kernel=" << plan.kernelVariant
+     << " precision=" << plan.precision << " source=" << plan.source;
   return os.str();
 }
 

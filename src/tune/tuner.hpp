@@ -24,6 +24,7 @@
 #pragma once
 
 #include "coll/coll.hpp"
+#include "core/solver.hpp"
 #include "sw/spec.hpp"
 #include "sw/sw_kernels.hpp"
 #include "tune/cache.hpp"
@@ -60,6 +61,10 @@ struct TunerConfig {
   /// Cells per rank above which wall-clock trials run on a proportionally
   /// shrunk proxy domain instead of the full one.
   std::size_t trialCellsPerRank = 32768;
+  /// Steps per wall-clock kernel-variant trial (fused vs simd vs esoteric
+  /// on a single-rank proxy).  0 (default) skips the ladder and keeps the
+  /// plan's "fused" default — and the search byte-deterministic.
+  int variantTrialSteps = 0;
 };
 
 class Tuner {
@@ -93,6 +98,9 @@ class Tuner {
 
 /// DistributedSolver: halo scheduling (write into Config::mode).
 void apply(const TuningPlan& plan, runtime::HaloMode& mode);
+/// Solver/DistributedSolver: stream/collide variant.  Unknown names keep
+/// the current value (forward compatibility with newer plan files).
+void apply(const TuningPlan& plan, KernelVariant& variant);
 /// coll::Collectives: ring/tree size threshold.
 void apply(const TuningPlan& plan, coll::CollConfig& cfg);
 /// sw kernels: LDM chunk width (clamped to >= 1).

@@ -1,0 +1,138 @@
+// Kernel-conformance harness (DESIGN.md §11): the contract every
+// stream/collide variant — and every future backend — must satisfy
+// against the production fused pull kernel.
+//
+//   * f64 identity storage: bit-identical populations after every step.
+//   * Same reduced storage (f32/f16): still bit-identical (the variants
+//     run the same Real expression trees between decode and encode).
+//   * Reduced vs f64: agreement within a quantization bound that grows
+//     linearly in steps (StorageTraits<S>::kEpsilon per encode).
+//
+// Comparisons go through Solver::population(), the canonical post-stream
+// accessor, so in-place variants whose raw layout rotates (Esoteric) are
+// compared in natural order at every phase.  Solid/MovingWall cells are
+// excluded: their storage is a scratch mailbox under in-place streaming.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "core/precision.hpp"
+#include "core/solver.hpp"
+
+namespace swlb::conformance {
+
+/// One mask/boundary pattern the harness drives every variant through.
+/// `paint` works on the raw mask/material table so it is independent of
+/// the solver's storage type.
+struct Scenario {
+  std::string name;
+  Int3 extent{7, 5, 3};  ///< odd, non-vector-width extents by default
+  Periodicity periodic{true, true, true};
+  std::function<void(MaskField&, MaterialTable&, const Grid&)> paint;
+  bool hasOutflow = false;  ///< Esoteric rejects Outflow; skip it there
+};
+
+/// Deterministic smooth non-equilibrium-free init (same field for every
+/// solver under test; no RNG so failures reproduce exactly).
+template <class D, class S>
+void initSmooth(Solver<D, S>& s) {
+  s.initField([](int x, int y, int z, Real& rho, Vec3& u) {
+    rho = 1.0 + 0.03 * std::sin(0.7 * x + 0.3) * std::cos(0.5 * y + 0.1) *
+                    std::cos(0.4 * z + 0.2);
+    u = {0.02 * std::sin(0.5 * x + 0.1), 0.015 * std::cos(0.6 * y + 0.2),
+         0.01 * std::sin(0.3 * z + 0.4)};
+  });
+}
+
+template <class D, class S>
+Solver<D, S> makeSolver(const Scenario& sc) {
+  CollisionConfig cc;
+  cc.omega = 1.7;
+  const Grid g(sc.extent.x, sc.extent.y, sc.extent.z);
+  Solver<D, S> solver(g, cc, sc.periodic);
+  if (sc.paint) sc.paint(solver.mask(), solver.materials(), g);
+  return solver;
+}
+
+/// Compare canonical populations over the interior (excluding wall-class
+/// cells).  tol == 0 demands bitwise equality; otherwise absolute
+/// difference <= tol per population.  Fails once with the worst offender
+/// so a mismatch doesn't produce thousands of assertions.
+template <class D, class SA, class SB>
+void expectEquivalent(const Solver<D, SA>& a, const Solver<D, SB>& b,
+                      double tol, const std::string& what) {
+  const Grid& g = a.grid();
+  const MaskField& mask = a.mask();
+  const MaterialTable& mats = a.materials();
+  double worst = 0;
+  int wx = 0, wy = 0, wz = 0, wi = 0;
+  long long bad = 0;
+  for (int z = 0; z < g.nz; ++z)
+    for (int y = 0; y < g.ny; ++y)
+      for (int x = 0; x < g.nx; ++x) {
+        const CellClass cls = mats[mask(x, y, z)].cls;
+        if (cls == CellClass::Solid || cls == CellClass::MovingWall) continue;
+        for (int i = 0; i < D::Q; ++i) {
+          const Real va = a.population(i, x, y, z);
+          const Real vb = b.population(i, x, y, z);
+          const double diff = std::abs(static_cast<double>(va - vb));
+          const bool miss = tol == 0 ? va != vb : diff > tol;
+          if (miss) {
+            ++bad;
+            if (diff >= worst) {
+              worst = diff;
+              wx = x; wy = y; wz = z; wi = i;
+            }
+          }
+        }
+      }
+  EXPECT_EQ(bad, 0) << what << ": " << bad << " populations differ, worst |d|="
+                    << worst << " at i=" << wi << " (" << wx << "," << wy
+                    << "," << wz << "), tol=" << tol;
+}
+
+/// Drive `variant` in lockstep with the fused reference for `steps` steps
+/// of the same scenario/init, comparing canonical populations after every
+/// step (so odd/rotated phases of in-place variants are covered too).
+/// SREF/SSUT may differ to probe reduced-precision quantization bounds.
+template <class D, class SREF, class SSUT>
+void runLockstep(const Scenario& sc, KernelVariant variant, int steps,
+                 double tol) {
+  SCOPED_TRACE(sc.name + " variant=" + kernel_variant_name(variant));
+  Solver<D, SREF> ref = makeSolver<D, SREF>(sc);
+  Solver<D, SSUT> sut = makeSolver<D, SSUT>(sc);
+  sut.setVariant(variant);
+  ref.finalizeMask();
+  sut.finalizeMask();
+  initSmooth(ref);
+  initSmooth(sut);
+  for (int s = 0; s < steps; ++s) {
+    ref.step();
+    sut.step();
+    expectEquivalent<D>(ref, sut, tol,
+                        sc.name + "/" + kernel_variant_name(variant) +
+                            " step " + std::to_string(s + 1));
+    if (::testing::Test::HasFailure()) return;  // first bad step suffices
+  }
+}
+
+/// Closed-box mass conservation: total fluid mass after `steps` equals the
+/// initial mass to within accumulated f64 rounding.
+template <class D, class S>
+void expectMassConserved(const Scenario& sc, KernelVariant variant,
+                         int steps) {
+  SCOPED_TRACE(sc.name + " mass variant=" + kernel_variant_name(variant));
+  Solver<D, S> s = makeSolver<D, S>(sc);
+  s.setVariant(variant);
+  s.finalizeMask();
+  initSmooth(s);
+  const Real m0 = s.totalMass();
+  for (int i = 0; i < steps; ++i) s.step();
+  EXPECT_NEAR(s.totalMass() / m0, 1.0, 1e-12);
+}
+
+}  // namespace swlb::conformance

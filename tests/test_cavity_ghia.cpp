@@ -45,7 +45,8 @@ Real interpolate(const std::vector<Real>& profile, Real frac) {
 /// so the probe plateaus around the single-precision noise floor and
 /// cannot meet the f64 run's 1e-8 criterion.
 template <class S>
-void runGhiaComparison(Real tol, Real probeTol) {
+void runGhiaComparison(Real tol, Real probeTol,
+                       KernelVariant variant = KernelVariant::Fused) {
   const int n = 64;
   const Real uLid = 0.1;
   const Real re = 100.0;
@@ -58,6 +59,7 @@ void runGhiaComparison(Real tol, Real probeTol) {
   // of side H = n (walls at -0.5 and n - 0.5 in both axes).
   Solver<D2Q9, S> solver(Grid(n, n + 1, 1), cfg,
                          Periodicity{false, false, true});
+  solver.setVariant(variant);
   const auto lid = solver.materials().addMovingWall({uLid, 0, 0});
   solver.paint({{0, n, 0}, {n, n + 1, 1}}, lid);
   solver.finalizeMask();
@@ -112,6 +114,19 @@ TEST(GhiaCavity, Re100CentrelineProfilesMatchReference) {
 // floor.
 TEST(GhiaCavity, Re100F32StorageMatchesReferenceWithinLooserTolerance) {
   runGhiaComparison<float>(0.04, 1e-6);
+}
+
+// End-to-end physics with the new kernel variants, at f32 storage so the
+// run doubles as a reduced-precision soak.  The SIMD kernel is bit-
+// identical to fused, so any deviation here means the bulk/boundary run
+// segmentation broke; the esoteric kernel additionally proves the
+// in-place odd-phase macroscopic accessors on a real benchmark.
+TEST(GhiaCavity, Re100SimdKernelMatchesReference) {
+  runGhiaComparison<float>(0.04, 1e-6, KernelVariant::Simd);
+}
+
+TEST(GhiaCavity, Re100EsotericKernelMatchesReference) {
+  runGhiaComparison<float>(0.04, 1e-6, KernelVariant::Esoteric);
 }
 
 }  // namespace

@@ -1,0 +1,255 @@
+// Conformance suite for every stream/collide variant (DESIGN.md §11):
+// bit-identity to the fused pull kernel at f64, bit-identity at the same
+// reduced storage, quantization-bounded agreement across storage types,
+// mass conservation, bounce-back rest states and multithreaded sweep
+// parity — over odd extents, all boundary mask patterns and both D2Q9 and
+// D3Q19.  tests/kernel_conformance.hpp holds the reusable harness so
+// future backends can run the same contract.
+#include "kernel_conformance.hpp"
+
+#include <vector>
+
+namespace swlb {
+namespace {
+
+using conformance::Scenario;
+using conformance::expectEquivalent;
+using conformance::expectMassConserved;
+using conformance::initSmooth;
+using conformance::makeSolver;
+using conformance::runLockstep;
+
+std::vector<Scenario> scenarios(bool twoD) {
+  std::vector<Scenario> out;
+  const int nz = twoD ? 1 : 3;
+  const Periodicity perAll{true, true, !twoD};
+  const Periodicity perYZ{false, true, !twoD};
+  out.push_back({"all_fluid_periodic", {7, 5, nz}, perAll, nullptr, false});
+  out.push_back({"solid_obstacle", {9, 7, nz}, perAll,
+                 [](MaskField& mask, MaterialTable&, const Grid& g) {
+                   for (int z = 0; z < g.nz; ++z)
+                     for (int y = 2; y < 5; ++y)
+                       for (int x = 3; x < 6; ++x)
+                         mask(x, y, z) = MaterialTable::kSolid;
+                 },
+                 false});
+  out.push_back({"moving_lid", {7, 5, nz}, Periodicity{false, false, false},
+                 [](MaskField& mask, MaterialTable& mats, const Grid& g) {
+                   const auto lid = mats.addMovingWall({0.05, 0, 0});
+                   for (int z = 0; z < g.nz; ++z)
+                     for (int x = 0; x < g.nx; ++x)
+                       mask(x, g.ny - 1, z) = lid;
+                 },
+                 false});
+  out.push_back({"zouhe_channel", {11, 5, nz}, perYZ,
+                 [](MaskField& mask, MaterialTable& mats, const Grid& g) {
+                   const auto in = mats.addZouHeVelocity({0.03, 0, 0}, {1, 0, 0});
+                   const auto outP = mats.addZouHePressure(1.0, {-1, 0, 0});
+                   for (int z = 0; z < g.nz; ++z)
+                     for (int y = 0; y < g.ny; ++y) {
+                       mask(0, y, z) = in;
+                       mask(g.nx - 1, y, z) = outP;
+                     }
+                 },
+                 false});
+  out.push_back({"porous_block", {7, 5, nz}, perAll,
+                 [](MaskField& mask, MaterialTable& mats, const Grid& g) {
+                   const auto por = mats.addPorous(0.4);
+                   for (int z = 0; z < g.nz; ++z)
+                     for (int y = 1; y < 4; ++y)
+                       for (int x = 2; x < 5; ++x) mask(x, y, z) = por;
+                 },
+                 false});
+  out.push_back({"inlet_outflow", {9, 5, nz}, perYZ,
+                 [](MaskField& mask, MaterialTable& mats, const Grid& g) {
+                   const auto in = mats.addVelocityInlet({0.04, 0, 0});
+                   const auto outF = mats.addOutflow({-1, 0, 0});
+                   for (int z = 0; z < g.nz; ++z)
+                     for (int y = 0; y < g.ny; ++y) {
+                       mask(0, y, z) = in;
+                       mask(g.nx - 1, y, z) = outF;
+                     }
+                 },
+                 true});
+  out.push_back({"mixed_walls", {9, 7, nz}, Periodicity{true, false, !twoD},
+                 [](MaskField& mask, MaterialTable& mats, const Grid& g) {
+                   const auto lid = mats.addMovingWall({0.04, 0, 0});
+                   const auto por = mats.addPorous(0.25);
+                   for (int z = 0; z < g.nz; ++z)
+                     for (int x = 0; x < g.nx; ++x)
+                       mask(x, g.ny - 1, z) = lid;
+                   for (int z = 0; z < g.nz; ++z)
+                     for (int x = 2; x < 4; ++x) {
+                       mask(x, 2, z) = MaterialTable::kSolid;
+                       if (g.ny > 4) mask(x, 4, z) = por;
+                     }
+                 },
+                 false});
+  return out;
+}
+
+constexpr int kSteps = 6;  // even: Esoteric ends in natural layout
+
+// Push is absent: it collides before streaming, so after N steps its
+// populations sit a half-update away from the pull family's — the same
+// physics, but not a step-synchronous trajectory.  It is covered by the
+// invariant tests below instead (test_kernels.cpp likewise checks it via
+// conservation only).
+const KernelVariant kTwoLattice[] = {KernelVariant::Generic,
+                                     KernelVariant::Simd,
+                                     KernelVariant::TwoStep};
+
+// ---- f64 bit-identity: every variant, every scenario, both lattices ----
+
+TEST(KernelConformance, BitIdentityF64_D3Q19) {
+  for (const Scenario& sc : scenarios(false)) {
+    for (KernelVariant v : kTwoLattice)
+      runLockstep<D3Q19, double, double>(sc, v, kSteps, 0);
+    if (!sc.hasOutflow)
+      runLockstep<D3Q19, double, double>(sc, KernelVariant::Esoteric, kSteps,
+                                         0);
+  }
+}
+
+TEST(KernelConformance, BitIdentityF64_D2Q9) {
+  for (const Scenario& sc : scenarios(true)) {
+    for (KernelVariant v : kTwoLattice)
+      runLockstep<D2Q9, double, double>(sc, v, kSteps, 0);
+    if (!sc.hasOutflow)
+      runLockstep<D2Q9, double, double>(sc, KernelVariant::Esoteric, kSteps,
+                                        0);
+  }
+}
+
+// ---- same reduced storage: still bit-identical -------------------------
+// The variants execute identical Real expression trees between decode and
+// encode, so equal storage types must agree exactly, not approximately.
+
+TEST(KernelConformance, BitIdentitySameStorageF32) {
+  for (const Scenario& sc : scenarios(false)) {
+    runLockstep<D3Q19, float, float>(sc, KernelVariant::Generic, kSteps, 0);
+    runLockstep<D3Q19, float, float>(sc, KernelVariant::Simd, kSteps, 0);
+    if (!sc.hasOutflow)
+      runLockstep<D3Q19, float, float>(sc, KernelVariant::Esoteric, kSteps, 0);
+  }
+}
+
+TEST(KernelConformance, BitIdentitySameStorageF16) {
+  for (const Scenario& sc : scenarios(false)) {
+    runLockstep<D3Q19, f16, f16>(sc, KernelVariant::Simd, kSteps, 0);
+    if (!sc.hasOutflow)
+      runLockstep<D3Q19, f16, f16>(sc, KernelVariant::Esoteric, kSteps, 0);
+  }
+}
+
+// ---- reduced storage vs f64: quantization-bounded ----------------------
+// Each step encodes once; the stored DDF-shifted deviations are O(0.1), so
+// a per-step error of ~kEpsilon compounds roughly linearly over kSteps.
+// The bound uses a generous constant — it must catch scheme bugs (O(1)
+// errors), not pin the exact rounding.
+
+TEST(KernelConformance, QuantizationBoundF32) {
+  const double tol = 64.0 * StorageTraits<float>::kEpsilon * kSteps;
+  for (const Scenario& sc : scenarios(false)) {
+    runLockstep<D3Q19, double, float>(sc, KernelVariant::Simd, kSteps, tol);
+    if (!sc.hasOutflow)
+      runLockstep<D3Q19, double, float>(sc, KernelVariant::Esoteric, kSteps,
+                                        tol);
+  }
+}
+
+TEST(KernelConformance, QuantizationBoundF16) {
+  const double tol = 64.0 * StorageTraits<f16>::kEpsilon * kSteps;
+  for (const Scenario& sc : scenarios(false)) {
+    runLockstep<D3Q19, double, f16>(sc, KernelVariant::Simd, kSteps, tol);
+    if (!sc.hasOutflow)
+      runLockstep<D3Q19, double, f16>(sc, KernelVariant::Esoteric, kSteps,
+                                      tol);
+  }
+}
+
+// ---- invariants --------------------------------------------------------
+
+TEST(KernelConformance, MassConservedClosedBox) {
+  // Closed box (non-periodic => solid halo walls) with an obstacle, odd
+  // extents; 7 steps so the esoteric solver is probed at an odd phase.
+  Scenario closed{"closed_box", {7, 5, 3}, Periodicity{false, false, false},
+                  [](MaskField& mask, MaterialTable&, const Grid& g) {
+                    for (int z = 0; z < g.nz; ++z)
+                      mask(3, 2, z) = MaterialTable::kSolid;
+                  },
+                  false};
+  for (KernelVariant v :
+       {KernelVariant::Fused, KernelVariant::Simd, KernelVariant::Esoteric,
+        KernelVariant::Push})
+    expectMassConserved<D3Q19, double>(closed, v, 7);
+}
+
+TEST(KernelConformance, RestStateFixedPoint) {
+  // Uniform equilibrium at rest next to plain walls is a fixed point up
+  // to f64 rounding of the moment sums (the weight sums are not exact in
+  // binary, so bitwise invariance is too strong — but any streaming or
+  // bounce-back defect shows up as an O(f) error, 12+ orders larger).
+  Scenario box{"rest_box", {5, 5, 3}, Periodicity{false, false, false},
+               nullptr, false};
+  for (KernelVariant v : {KernelVariant::Simd, KernelVariant::Esoteric}) {
+    Solver<D3Q19, double> s = makeSolver<D3Q19, double>(box);
+    s.setVariant(v);
+    s.finalizeMask();
+    s.initUniform(1.0, {0, 0, 0});
+    Real feq[D3Q19::Q];
+    equilibria<D3Q19>(1.0, {0, 0, 0}, feq);
+    s.run(4);
+    for (int z = 0; z < 3; ++z)
+      for (int y = 0; y < 5; ++y)
+        for (int x = 0; x < 5; ++x)
+          for (int i = 0; i < D3Q19::Q; ++i)
+            ASSERT_NEAR(s.population(i, x, y, z), feq[i], 5e-14)
+                << kernel_variant_name(v) << " at i=" << i << " (" << x << ","
+                << y << "," << z << ")";
+  }
+}
+
+TEST(KernelConformance, ThreadCountParity) {
+  // The mt drivers split z-slabs; any thread count must be bit-identical
+  // (fused already guarantees this; Simd and Esoteric inherit the claim).
+  for (int threads : {2, 3}) {
+    for (KernelVariant v : {KernelVariant::Simd, KernelVariant::Esoteric}) {
+      Scenario sc = scenarios(false)[1];  // solid_obstacle
+      Solver<D3Q19, double> a = makeSolver<D3Q19, double>(sc);
+      Solver<D3Q19, double> b = makeSolver<D3Q19, double>(sc);
+      a.setVariant(v);
+      b.setVariant(v);
+      b.setHostThreads(threads);
+      a.finalizeMask();
+      b.finalizeMask();
+      initSmooth(a);
+      initSmooth(b);
+      for (int s = 0; s < 4; ++s) {
+        a.step();
+        b.step();
+      }
+      expectEquivalent<D3Q19>(a, b, 0,
+                              std::string(kernel_variant_name(v)) + " mt=" +
+                                  std::to_string(threads));
+    }
+  }
+}
+
+TEST(KernelConformance, EsotericRejectsOutflow) {
+  Scenario sc = scenarios(false)[5];  // inlet_outflow
+  Solver<D3Q19, double> s = makeSolver<D3Q19, double>(sc);
+  s.setVariant(KernelVariant::Esoteric);
+  EXPECT_THROW(s.finalizeMask(), Error);
+}
+
+TEST(KernelConformance, EsotericHalvesPopulationMemory) {
+  Scenario sc = scenarios(false)[0];
+  Solver<D3Q19, double> two = makeSolver<D3Q19, double>(sc);
+  Solver<D3Q19, double> one = makeSolver<D3Q19, double>(sc);
+  one.setVariant(KernelVariant::Esoteric);
+  EXPECT_EQ(one.populationBytes() * 2, two.populationBytes());
+}
+
+}  // namespace
+}  // namespace swlb

@@ -51,6 +51,9 @@ TEST(Tuner, PlanRespectsKnobRanges) {
   EXPECT_LE(p.chunkX, static_cast<int>(cap->second));
   EXPECT_GE(p.ringThresholdBytes, std::size_t{1});
   EXPECT_EQ(p.precision, "f64");
+  // Without kernel trials the model has no evidence to deviate from the
+  // production default.
+  EXPECT_EQ(p.kernelVariant, "fused");
   // The emulator ladder left its evidence behind (auditable plans).
   EXPECT_NE(p.evidence.count("model.halo.fraction"), 0u);
   EXPECT_NE(p.evidence.count("model.coll.crossover_bytes"), 0u);
@@ -92,6 +95,40 @@ TEST(Tuner, AppliesPlanToSubsystemConfigs) {
   EXPECT_EQ(scfg.chunkX, p.chunkX);
 }
 
+TEST(Tuner, AppliesKernelVariantToSolverKnob) {
+  TuningPlan p = Tuner().plan(cavityInput());
+  KernelVariant v = KernelVariant::Generic;
+  apply(p, v);  // "fused" plan overrides whatever the caller had
+  EXPECT_EQ(v, KernelVariant::Fused);
+  p.kernelVariant = "esoteric";
+  apply(p, v);
+  EXPECT_EQ(v, KernelVariant::Esoteric);
+  p.kernelVariant = "simd";
+  apply(p, v);
+  EXPECT_EQ(v, KernelVariant::Simd);
+  // Unknown names (from a newer cache schema) leave the caller's value.
+  p.kernelVariant = "warp-speculative";
+  apply(p, v);
+  EXPECT_EQ(v, KernelVariant::Simd);
+}
+
+TEST(Tuner, KernelVariantTrialsPickFromMeasuredLadder) {
+  TunerConfig cfg;
+  cfg.variantTrialSteps = 2;
+  cfg.trialCellsPerRank = 1 << 12;  // keep the proxy lattice tiny
+  TuningInput in = cavityInput();
+  in.ranks = 1;
+  const TuningPlan p = Tuner(cfg).plan(in);
+  EXPECT_EQ(p.source, "measured");
+  EXPECT_TRUE(p.kernelVariant == "fused" || p.kernelVariant == "simd" ||
+              p.kernelVariant == "esoteric")
+      << p.kernelVariant;
+  // The trial ladder leaves auditable MLUPS evidence for every rung.
+  EXPECT_NE(p.evidence.count("trial.kernel.fused_mlups"), 0u);
+  EXPECT_NE(p.evidence.count("trial.kernel.simd_mlups"), 0u);
+  EXPECT_NE(p.evidence.count("trial.kernel.esoteric_mlups"), 0u);
+}
+
 // --------------------------------------------------------------- cache
 
 TEST(TuningCache, RoundTripsThroughDisk) {
@@ -109,6 +146,22 @@ TEST(TuningCache, RoundTripsThroughDisk) {
   EXPECT_EQ(*hit, p);  // every field, evidence map included
   // Save -> load -> save is byte-stable.
   EXPECT_EQ(loaded.toString(), cache.toString());
+  fs::remove(path);
+}
+
+TEST(TuningCache, KernelVariantSurvivesRoundTrip) {
+  const TuningInput in = cavityInput();
+  TuningPlan p = Tuner().plan(in);
+  p.kernelVariant = "esoteric";
+  TuningCache cache;
+  cache.store(in.key(), p);
+  const std::string path = tmpPath("swlb_tune_variant.json");
+  cache.save(path);
+  const TuningCache loaded = TuningCache::load(path);
+  const auto hit = loaded.lookup(in.key());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kernelVariant, "esoteric");
+  EXPECT_EQ(*hit, p);
   fs::remove(path);
 }
 
