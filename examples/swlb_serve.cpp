@@ -1,0 +1,200 @@
+// Multi-tenant simulation daemon (DESIGN.md §12): the swlb::serve Server
+// exposed over an AF_UNIX socket with the line-delimited flat-JSON
+// protocol.
+//
+// Usage:
+//   swlb_serve --socket PATH [--workers N] [--quantum STEPS]
+//              [--max-resident N] [--ckpt-dir DIR]
+//       Run the daemon until a client sends {"op":"shutdown"}.
+//
+//   swlb_serve --connect PATH
+//       Minimal client: request lines from stdin go to the daemon, event
+//       lines from the daemon go to stdout.  Example session:
+//         {"op":"submit","tenant":"acme","steps":100,"cfg.case":"cavity",
+//          "cfg.nx":"16","cfg.ny":"16","cfg.nz":"16"}
+//         {"op":"status","job":1}
+//         {"op":"shutdown"}
+//
+//   swlb_serve --smoke CLIENTS JOBS
+//       Self-contained CI smoke: daemon on a scratch socket, CLIENTS
+//       concurrent client connections each submitting JOBS cavity jobs,
+//       wait for every job to finish, shut down cleanly, and fail unless
+//       all jobs completed and zero serve_job*.ckpt files remain.
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+
+using namespace swlb;
+using namespace swlb::serve;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: swlb_serve --socket PATH [--workers N] [--quantum STEPS]\n"
+    "                  [--max-resident N] [--ckpt-dir DIR]\n"
+    "       swlb_serve --connect PATH\n"
+    "       swlb_serve --smoke CLIENTS JOBS\n";
+
+int runDaemon(const ServerConfig& cfg, const std::string& path) {
+  Server server(cfg);
+  std::cout << "swlb_serve: listening on " << path << " (" << cfg.workers
+            << " workers, quantum " << cfg.quantumSteps << " steps, "
+            << cfg.maxResident << " resident)" << std::endl;
+  serve_unix(server, path);
+  std::cout << "swlb_serve: shut down" << std::endl;
+  return 0;
+}
+
+int runClient(const std::string& path) {
+  LineStream stream(connect_unix(path));
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (const auto line = stream.readLine()) std::cout << *line << "\n";
+    done = true;
+  });
+  std::string line;
+  while (!done && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (!stream.writeLine(line)) break;
+  }
+  stream.close();
+  reader.join();
+  return 0;
+}
+
+/// One smoke client: submit `jobs` small cavity jobs over its own
+/// connection, then read events until every one of them is done.
+bool smokeClient(const std::string& path, int index, int jobs) {
+  LineStream stream(connect_unix(path));
+  for (int j = 0; j < jobs; ++j) {
+    WireMap req;
+    req["op"] = WireValue::ofString("submit");
+    req["tenant"] = WireValue::ofString("smoke" + std::to_string(index));
+    req["steps"] = WireValue::ofNumber(40);
+    req["priority"] = WireValue::ofNumber(1 + (index + j) % 3);
+    req["cfg.case"] = WireValue::ofString("cavity");
+    req["cfg.nx"] = WireValue::ofString("12");
+    req["cfg.ny"] = WireValue::ofString("12");
+    req["cfg.nz"] = WireValue::ofString("12");
+    if (!stream.writeLine(encode_line(req))) return false;
+  }
+  int accepted = 0, finished = 0;
+  while (finished < jobs) {
+    const auto line = stream.readLine();
+    if (!line) return false;
+    const WireMap ev = decode_line(*line);
+    const std::string kind = wire_string(ev, "event", "");
+    if (kind == "accepted") ++accepted;
+    if (kind == "done") ++finished;
+    if (kind == "failed" || kind == "rejected" || kind == "error") {
+      std::cerr << "smoke client " << index << ": " << *line << "\n";
+      return false;
+    }
+  }
+  return accepted == jobs;
+}
+
+int runSmoke(int clients, int jobs) {
+  const std::string dir = "swlb_serve_smoke";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/daemon.sock";
+
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.quantumSteps = 10;
+  cfg.maxResident = 2;
+  cfg.admission.maxActive = 8;
+  cfg.admission.maxQueueDepth =
+      static_cast<std::size_t>(clients) * static_cast<std::size_t>(jobs);
+  cfg.admission.maxPerTenant = static_cast<std::size_t>(jobs);
+  cfg.checkpointDir = dir;
+  Server server(cfg);
+  std::thread daemon([&] { serve_unix(server, path); });
+  // serve_unix binds before accepting; wait for the socket file.
+  for (int i = 0; i < 200 && !std::filesystem::exists(path); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      try {
+        if (smokeClient(path, c, jobs)) ++ok;
+      } catch (const std::exception& e) {
+        std::cerr << "smoke client " << c << ": " << e.what() << "\n";
+      }
+    });
+  for (auto& t : threads) t.join();
+
+  {
+    LineStream ctl(connect_unix(path));
+    WireMap req;
+    req["op"] = WireValue::ofString("shutdown");
+    ctl.writeLine(encode_line(req));
+    ctl.readLine();  // "bye"
+  }
+  daemon.join();
+
+  int debris = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().filename().string().rfind("serve_job", 0) == 0) ++debris;
+  std::filesystem::remove_all(dir);
+
+  const bool pass = ok == clients && debris == 0;
+  std::cout << "smoke: " << ok << "/" << clients << " clients ok, " << debris
+            << " checkpoint files left -> " << (pass ? "PASS" : "FAIL")
+            << std::endl;
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string socketPath, connectPath;
+    int smokeClients = 0, smokeJobs = 0;
+    ServerConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw Error(a + " needs a value");
+        return argv[++i];
+      };
+      if (a == "--socket") {
+        socketPath = next();
+      } else if (a == "--connect") {
+        connectPath = next();
+      } else if (a == "--smoke") {
+        smokeClients = std::stoi(next());
+        smokeJobs = std::stoi(next());
+      } else if (a == "--workers") {
+        cfg.workers = std::stoi(next());
+      } else if (a == "--quantum") {
+        cfg.quantumSteps = static_cast<std::uint64_t>(std::stoul(next()));
+      } else if (a == "--max-resident") {
+        cfg.maxResident = static_cast<std::size_t>(std::stoul(next()));
+      } else if (a == "--ckpt-dir") {
+        cfg.checkpointDir = next();
+      } else {
+        std::cerr << kUsage;
+        return 2;
+      }
+    }
+    if (!socketPath.empty()) return runDaemon(cfg, socketPath);
+    if (!connectPath.empty()) return runClient(connectPath);
+    if (smokeClients > 0) return runSmoke(smokeClients, smokeJobs);
+    std::cerr << kUsage;
+    return 2;
+  } catch (const Error& e) {
+    std::cerr << "swlb_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

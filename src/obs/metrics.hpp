@@ -174,6 +174,8 @@ class Histogram {
   std::vector<double> samples_;
 };
 
+class ScopedMetrics;
+
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name) { return *get(counters_, name); }
@@ -181,6 +183,11 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name) {
     return *get(histograms_, name);
   }
+
+  /// Prefix view: scoped("tenant.3").counter("steps") names the counter
+  /// "tenant.3.steps" in THIS registry — subsystems namespace their
+  /// per-entity metrics without string-pasting at every call site.
+  inline ScopedMetrics scoped(const std::string& prefix);
 
   /// Read a counter without creating it (0 when absent).
   std::uint64_t counterValue(const std::string& name) const {
@@ -248,5 +255,49 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// Lightweight value handle over a registry that prepends "<prefix>." to
+/// every metric name.  Copyable; valid as long as the registry it views.
+/// Scopes nest: reg.scoped("serve.tenant").scoped("acme") addresses the
+/// "serve.tenant.acme.*" namespace.
+class ScopedMetrics {
+ public:
+  ScopedMetrics(MetricsRegistry& reg, std::string prefix)
+      : reg_(&reg), prefix_(std::move(prefix)) {}
+
+  Counter& counter(const std::string& name) { return reg_->counter(key(name)); }
+  Gauge& gauge(const std::string& name) { return reg_->gauge(key(name)); }
+  Histogram& histogram(const std::string& name) {
+    return reg_->histogram(key(name));
+  }
+
+  std::uint64_t counterValue(const std::string& name) const {
+    return reg_->counterValue(key(name));
+  }
+  double gaugeValue(const std::string& name) const {
+    return reg_->gaugeValue(key(name));
+  }
+  Histogram::Summary histogramSummary(const std::string& name) const {
+    return reg_->histogramSummary(key(name));
+  }
+
+  ScopedMetrics scoped(const std::string& prefix) const {
+    return ScopedMetrics(*reg_, key(prefix));
+  }
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string key(const std::string& name) const {
+    return prefix_.empty() ? name : prefix_ + "." + name;
+  }
+
+  MetricsRegistry* reg_;
+  std::string prefix_;
+};
+
+inline ScopedMetrics MetricsRegistry::scoped(const std::string& prefix) {
+  return ScopedMetrics(*this, prefix);
+}
 
 }  // namespace swlb::obs

@@ -1,0 +1,66 @@
+// Job model of the `swlb::serve` multi-tenant simulation service
+// (DESIGN.md §12): what a client submits, the lifecycle states the
+// scheduler moves a job through, and the read-only snapshot rows the
+// server exposes to drivers and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "app/config.hpp"
+
+namespace swlb::serve {
+
+/// Lifecycle of a job (admission/eviction state machine, DESIGN.md §12):
+///
+///   submit -> Queued ----promote----> Waiting <-> Running -> Done
+///                (admission queue)      ^  |                \-> Failed
+///                                 resume|  |evict
+///                                       (checkpoint on disk)
+///
+/// Waiting covers both a resident job between quanta and an evicted job
+/// whose newest state lives in its v2 checkpoint file; JobInfo::resident
+/// distinguishes them.
+enum class JobState { Queued, Waiting, Running, Done, Failed };
+
+inline const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Waiting: return "waiting";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+  }
+  return "?";
+}
+
+/// What a client submits: which tenant it bills to, how urgent it is,
+/// the step budget, and the case description (same `key = value` space
+/// as the swlb_run config files — "case", "nx", "omega", ...).
+struct JobSpec {
+  std::string tenant = "default";
+  /// Fair-share weight: a priority-p job receives p step quanta per
+  /// scheduler rotation (clamped to [1, kMaxPriority]).
+  int priority = 1;
+  static constexpr int kMaxPriority = 8;
+  /// Total steps to advance before the job is Done.
+  std::uint64_t steps = 100;
+  app::Config config;
+};
+
+/// One row of Server::snapshot(): enough to audit fairness and progress
+/// without touching server internals.
+struct JobInfo {
+  std::uint64_t id = 0;
+  std::string tenant;
+  JobState state = JobState::Queued;
+  int priority = 1;
+  std::uint64_t stepsDone = 0;
+  std::uint64_t targetSteps = 0;
+  std::uint64_t quantaDone = 0;
+  int recoveries = 0;
+  bool resident = false;  ///< holds a live solver instance right now
+  bool onDisk = false;    ///< newest state lives in its checkpoint file
+};
+
+}  // namespace swlb::serve

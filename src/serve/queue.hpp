@@ -1,0 +1,104 @@
+// Admission control of the `swlb::serve` daemon (DESIGN.md §12): bounded
+// active set, bounded backlog queue, per-tenant in-flight caps.  Pure
+// bookkeeping — the Server calls it under its own mutex, tests drive it
+// directly.
+//
+// Verdict order for a submit:
+//   1. tenant already at its in-flight cap          -> RejectTenantCap
+//   2. active set below maxActive                   -> Admit
+//   3. backlog below maxQueueDepth                  -> Enqueue (FIFO)
+//   4. otherwise                                    -> RejectQueueFull
+//
+// "In flight" counts a tenant's admitted-or-queued jobs until they reach
+// Done/Failed, so a tenant cannot sidestep its cap by flooding the
+// backlog.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/common.hpp"
+
+namespace swlb::serve {
+
+struct JobQueueLimits {
+  std::size_t maxActive = 8;       ///< jobs multiplexed by the scheduler
+  std::size_t maxQueueDepth = 64;  ///< backlog bound beyond the active set
+  std::size_t maxPerTenant = 8;    ///< one tenant's admitted+queued jobs
+};
+
+class JobQueue {
+ public:
+  using Limits = JobQueueLimits;
+
+  enum class Admission { Admit, Enqueue, RejectTenantCap, RejectQueueFull };
+
+  static const char* admission_name(Admission a) {
+    switch (a) {
+      case Admission::Admit: return "admit";
+      case Admission::Enqueue: return "enqueue";
+      case Admission::RejectTenantCap: return "tenant_cap";
+      case Admission::RejectQueueFull: return "queue_full";
+    }
+    return "?";
+  }
+
+  explicit JobQueue(const Limits& lim = {}) : lim_(lim) {
+    if (lim_.maxActive < 1) throw Error("JobQueue: maxActive must be >= 1");
+  }
+
+  /// Decide (and record) the fate of a new job.  On Admit the job joins
+  /// the active set immediately; on Enqueue it waits in FIFO order for
+  /// promote().  Rejections record nothing.
+  Admission admit(std::uint64_t id, const std::string& tenant) {
+    if (inFlight(tenant) >= lim_.maxPerTenant)
+      return Admission::RejectTenantCap;
+    if (active_ < lim_.maxActive) {
+      ++active_;
+      ++tenantInFlight_[tenant];
+      return Admission::Admit;
+    }
+    if (queued_.size() >= lim_.maxQueueDepth) return Admission::RejectQueueFull;
+    queued_.push_back(id);
+    ++tenantInFlight_[tenant];
+    return Admission::Enqueue;
+  }
+
+  /// Move the oldest queued job into the active set when capacity allows.
+  std::optional<std::uint64_t> promote() {
+    if (active_ >= lim_.maxActive || queued_.empty()) return std::nullopt;
+    const std::uint64_t id = queued_.front();
+    queued_.pop_front();
+    ++active_;
+    return id;
+  }
+
+  /// A previously admitted job reached Done/Failed: release its active
+  /// slot and its tenant's in-flight share.
+  void finish(const std::string& tenant) {
+    SWLB_ASSERT(active_ > 0);
+    --active_;
+    const auto it = tenantInFlight_.find(tenant);
+    SWLB_ASSERT(it != tenantInFlight_.end() && it->second > 0);
+    if (--it->second == 0) tenantInFlight_.erase(it);
+  }
+
+  std::size_t active() const { return active_; }
+  std::size_t queueDepth() const { return queued_.size(); }
+  std::size_t inFlight(const std::string& tenant) const {
+    const auto it = tenantInFlight_.find(tenant);
+    return it == tenantInFlight_.end() ? 0 : it->second;
+  }
+  const Limits& limits() const { return lim_; }
+
+ private:
+  Limits lim_;
+  std::size_t active_ = 0;
+  std::deque<std::uint64_t> queued_;
+  std::map<std::string, std::size_t> tenantInFlight_;
+};
+
+}  // namespace swlb::serve

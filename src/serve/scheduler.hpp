@@ -1,0 +1,67 @@
+// Fair-share rotation of the `swlb::serve` scheduler (DESIGN.md §12).
+// A strict round-robin deque of active job ids: the front job runs the
+// next step quantum and rejoins at the back, so with J active jobs no
+// job waits more than J-1 quanta between turns — the starvation bound
+// the serve acceptance test pins down.  Priorities scale the *length*
+// of a job's quantum (JobSpec::priority), never its place in the
+// rotation, so a low-priority job still progresses every round.
+//
+// Pure data structure: the Server drives it under its own mutex.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace swlb::serve {
+
+class Scheduler {
+ public:
+  /// A newly admitted job joins the back of the rotation.
+  void add(std::uint64_t id) { rr_.push_back(id); }
+
+  /// Pop the next job to run one quantum (front of the rotation).
+  std::optional<std::uint64_t> next() {
+    if (rr_.empty()) return std::nullopt;
+    const std::uint64_t id = rr_.front();
+    rr_.pop_front();
+    return id;
+  }
+
+  /// Peek without popping (workers test runnability before committing).
+  std::optional<std::uint64_t> peek() const {
+    if (rr_.empty()) return std::nullopt;
+    return rr_.front();
+  }
+
+  /// A job whose quantum just ended rejoins at the back.
+  void requeue(std::uint64_t id) { rr_.push_back(id); }
+
+  /// Put a popped job back at the front (its turn was not consumed).
+  void pushFront(std::uint64_t id) { rr_.push_front(id); }
+
+  /// Remove a job that finished or failed while still in the rotation.
+  void remove(std::uint64_t id) {
+    rr_.erase(std::remove(rr_.begin(), rr_.end(), id), rr_.end());
+  }
+
+  bool empty() const { return rr_.empty(); }
+  std::size_t size() const { return rr_.size(); }
+
+  /// Eviction victim: the waiting job that will not run again for the
+  /// longest time, i.e. the one nearest the *back* of the rotation (it
+  /// just finished a quantum).  `runnable(id)` filters to jobs that can
+  /// actually be evicted (resident, not running).
+  template <class Pred>
+  std::optional<std::uint64_t> pickVictim(Pred runnable) const {
+    for (auto it = rr_.rbegin(); it != rr_.rend(); ++it)
+      if (runnable(*it)) return *it;
+    return std::nullopt;
+  }
+
+ private:
+  std::deque<std::uint64_t> rr_;
+};
+
+}  // namespace swlb::serve

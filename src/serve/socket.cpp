@@ -1,0 +1,167 @@
+#include "serve/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/common.hpp"
+#include "serve/server.hpp"
+
+namespace swlb::serve {
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw Error("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+// ---- LineStream --------------------------------------------------------
+
+LineStream::~LineStream() { close(); }
+
+std::optional<std::string> LineStream::readLine() {
+  for (;;) {
+    const auto nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    if (fd_ < 0) return std::nullopt;
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return std::nullopt;  // EOF or error: a partial last line is dropped
+  }
+}
+
+bool LineStream::writeLine(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void LineStream::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---- UnixListener ------------------------------------------------------
+
+UnixListener::UnixListener(const std::string& path) : path_(path), fd_(-1) {
+  const sockaddr_un addr = make_addr(path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw Error("socket() failed: " + std::string(strerror(errno)));
+  ::unlink(path.c_str());  // replace a stale socket from a crashed daemon
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    throw Error("bind(" + path + ") failed: " + strerror(err));
+  }
+  if (::listen(fd_, 64) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    ::unlink(path.c_str());
+    throw Error("listen(" + path + ") failed: " + strerror(err));
+  }
+}
+
+UnixListener::~UnixListener() {
+  close();
+  ::unlink(path_.c_str());
+}
+
+std::optional<int> UnixListener::accept() {
+  for (;;) {
+    const int fd = fd_;
+    if (fd < 0) return std::nullopt;
+    const int c = ::accept(fd, nullptr, nullptr);
+    if (c >= 0) return c;
+    if (errno == EINTR) continue;
+    return std::nullopt;  // listener closed under us
+  }
+}
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() wakes a blocked accept() portably on Linux.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("socket() failed: " + std::string(strerror(errno)));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("connect(" + path + ") failed: " + strerror(err));
+  }
+  return fd;
+}
+
+// ---- serve_unix --------------------------------------------------------
+
+void serve_unix(Server& server, const std::string& path) {
+  UnixListener listener(path);
+  server.addShutdownHook([&listener] { listener.close(); });
+
+  std::vector<std::thread> conns;
+  while (const auto fd = listener.accept()) {
+    conns.emplace_back([&server, cfd = *fd] {
+      auto stream = std::make_shared<LineStream>(cfd);
+      Session& session = server.openSession();
+      // Writer: session events -> socket.  Ends when the session closes
+      // (server shutdown) or the peer stops reading.
+      std::thread writer([stream, &session] {
+        while (const auto ev = session.nextEvent())
+          if (!stream->writeLine(*ev)) break;
+        stream->close();  // wake the reader if the peer is still connected
+      });
+      // Reader: socket lines -> dispatch, on this connection's thread.
+      while (const auto line = stream->readLine()) {
+        if (line->empty()) continue;
+        session.request(*line);
+      }
+      session.close();
+      writer.join();
+    });
+  }
+  for (auto& t : conns) t.join();
+}
+
+}  // namespace swlb::serve

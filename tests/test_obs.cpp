@@ -353,6 +353,32 @@ TEST(MetricsRegistry, NamedAccessAndSnapshots) {
   EXPECT_EQ(reg.counterSnapshot().count("missing"), 0u);
 }
 
+TEST(MetricsRegistry, ScopedViewPrefixesEveryName) {
+  MetricsRegistry reg;
+  auto tenant = reg.scoped("tenant.3");
+  tenant.counter("steps").add(7);
+  tenant.gauge("resident").set(1);
+  tenant.histogram("quantum_s").observe(0.25);
+  // The view writes into THIS registry under the prefixed names.
+  EXPECT_EQ(reg.counterValue("tenant.3.steps"), 7u);
+  EXPECT_DOUBLE_EQ(reg.gaugeValue("tenant.3.resident"), 1.0);
+  EXPECT_EQ(reg.histogramSummary("tenant.3.quantum_s").count, 1u);
+  // Reads through the view see the same entries.
+  EXPECT_EQ(tenant.counterValue("steps"), 7u);
+  EXPECT_DOUBLE_EQ(tenant.gaugeValue("resident"), 1.0);
+  EXPECT_EQ(tenant.histogramSummary("quantum_s").count, 1u);
+  // Scopes nest, and the handle stays usable as a value.
+  auto nested = reg.scoped("serve").scoped("tenant").scoped("acme");
+  EXPECT_EQ(nested.prefix(), "serve.tenant.acme");
+  nested.counter("jobs").add(1);
+  EXPECT_EQ(reg.counterValue("serve.tenant.acme.jobs"), 1u);
+  // Same underlying counter whether addressed scoped or flat.
+  reg.counter("tenant.3.steps").add(1);
+  EXPECT_EQ(tenant.counterValue("steps"), 8u);
+  // An empty prefix is the identity view.
+  EXPECT_EQ(reg.scoped("").counterValue("tenant.3.steps"), 8u);
+}
+
 // ---- Chrome-trace golden structure -------------------------------------
 
 TEST(ChromeTrace, GoldenStructureFourRankOverlapRun) {
