@@ -4,12 +4,19 @@
 //
 // Usage: swlb_run <config-file> [--trace out.json] [--tune]
 //                 [--tuning-cache cache.json] [--ranks N] [--max-shrinks K]
+//                 [--patches N] [--rebalance-every K]
 //        swlb_run --demo [--trace out.json] [--tune] [...]
 //
 // --ranks N runs the case on the N-rank distributed runtime (cavity only
 // in this driver) under the resilient driver; --max-shrinks K additionally
 // arms elastic shrink-to-fit recovery (DESIGN.md §10), so up to K
 // permanently lost ranks degrade the run instead of killing it.
+//
+// --patches N switches the distributed path to the patch-aware runtime
+// (runtime/patches, DESIGN.md §13) with N patches per rank, assigned by
+// fluid-weighted bisection along the Morton curve; --rebalance-every K
+// additionally migrates patches every K steps whenever the measured
+// per-patch step-time imbalance exceeds the threshold.
 //
 // --trace records every solver phase (periodic wrap, fused kernel,
 // checkpoint writes) on a Chrome trace-event timeline; open the file in
@@ -50,6 +57,7 @@
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/patches.hpp"
 #include "runtime/resilience.hpp"
 #include "tune/tuner.hpp"
 
@@ -58,7 +66,75 @@ using namespace swlb;
 namespace {
 constexpr const char* kUsage =
     "usage: swlb_run <config-file> | --demo [--trace out.json] [--tune] "
-    "[--tuning-cache cache.json] [--ranks N] [--max-shrinks K]\n";
+    "[--tuning-cache cache.json] [--ranks N] [--max-shrinks K] "
+    "[--patches N] [--rebalance-every K]\n";
+
+/// Patch-aware distributed front end (DESIGN.md §13): the cavity case on
+/// the patch runtime, fluid-weighted assignment, optional measured
+/// rebalancing.
+int runPatchedCavity(const app::Config& cfg, int ranks, int patchesPerRank,
+                     long rebalanceEvery, const std::string& tracePath) {
+  using runtime::Comm;
+  using runtime::PatchSolver;
+  const Int3 n{static_cast<int>(cfg.getInt("nx", 48)),
+               static_cast<int>(cfg.getInt("ny", 48)),
+               static_cast<int>(cfg.getInt("nz", 48))};
+  const long steps = cfg.getInt("steps", 1000);
+  const Real uLid = cfg.getReal("lid_velocity", 0.05);
+  const CollisionConfig col = app::collision_from_config(cfg);
+  std::cout << "case 'cavity' on " << ranks << " ranks, patch mode: "
+            << patchesPerRank << " patches/rank"
+            << (rebalanceEvery > 0
+                    ? ", rebalance every " + std::to_string(rebalanceEvery) +
+                          " steps"
+                    : "")
+            << ", " << n.x << "x" << n.y << "x" << n.z << " cells, " << steps
+            << " steps\n";
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  runtime::WorldConfig wcfg;
+  if (!tracePath.empty()) wcfg.tracer = &tracer;
+  wcfg.metrics = &metrics;
+  runtime::World world(ranks, wcfg);
+  double mlups = 0, imbalance = 1.0;
+  int patchCount = 0;
+  world.run([&](Comm& c) {
+    PatchSolver<D3Q19>::Config pcfg;
+    pcfg.global = n;
+    pcfg.collision = col;
+    pcfg.patchesPerRank = patchesPerRank;
+    pcfg.rebalanceEvery =
+        rebalanceEvery > 0 ? static_cast<std::uint64_t>(rebalanceEvery) : 0;
+    PatchSolver<D3Q19> solver(c, pcfg);
+    const auto lid = solver.materials().addMovingWall({uLid, 0, 0});
+    solver.paintGlobal({{0, 0, n.z - 1}, {n.x, n.y, n.z}}, lid);
+    solver.finalizeMask();
+    solver.initUniform(1.0, {0, 0, 0});
+    const double m = solver.runMeasured(static_cast<std::uint64_t>(steps));
+    const double i = solver.measuredImbalance();
+    if (c.rank() == 0) {
+      mlups = m;
+      imbalance = i;
+      patchCount = solver.layout().patchCount();
+    }
+  });
+  std::cout << "done (" << mlups << " MLUPS aggregate, " << patchCount
+            << " patches)\n"
+            << "patch.rebalances = " << metrics.counterValue("patch.rebalances")
+            << ", patch.migrations = "
+            << metrics.counterValue("patch.migrations")
+            << ", measured imbalance = " << imbalance << "\n";
+  if (!tracePath.empty()) {
+    tracer.writeChromeTrace(tracePath);
+    std::cout << "wrote " << tracePath << " (" << tracer.eventCount()
+              << " events, " << tracer.threadCount() << " rank timelines)\n";
+  }
+  if (cfg.getBool("vtk", false) || cfg.getBool("ppm", false))
+    std::cout << "note: vtk/ppm outputs are not wired to patch mode; rerun "
+                 "without --patches\n";
+  return 0;
+}
 
 /// Distributed front end: the cavity case on N threads-as-ranks under the
 /// resilient driver, with elastic shrink-to-fit recovery armed when
@@ -172,7 +248,8 @@ int runDistributedCavity(const app::Config& cfg, int ranks, int maxShrinks,
 int main(int argc, char** argv) {
   std::string configArg, tracePath, tuneCachePath;
   bool tuneFlag = false;
-  int ranks = 1, maxShrinks = 0;
+  int ranks = 1, maxShrinks = 0, patches = 0;
+  long rebalanceEvery = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       tracePath = argv[++i];
@@ -185,6 +262,11 @@ int main(int argc, char** argv) {
       ranks = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--max-shrinks") == 0 && i + 1 < argc) {
       maxShrinks = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--patches") == 0 && i + 1 < argc) {
+      patches = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rebalance-every") == 0 &&
+               i + 1 < argc) {
+      rebalanceEvery = std::atol(argv[++i]);
     } else if (configArg.empty()) {
       configArg = argv[i];
     } else {
@@ -208,10 +290,14 @@ int main(int argc, char** argv) {
       cfg = app::Config::load(configArg);
     }
 
-    if (ranks > 1) {
+    if (ranks > 1 || patches > 0) {
       if (cfg.getString("case") != "cavity")
         throw Error(
-            "--ranks: only 'case = cavity' runs distributed in this driver");
+            "--ranks/--patches: only 'case = cavity' runs distributed in "
+            "this driver");
+      if (patches > 0)
+        return runPatchedCavity(cfg, ranks, patches, rebalanceEvery,
+                                tracePath);
       return runDistributedCavity(cfg, ranks, maxShrinks, tracePath);
     }
 

@@ -25,7 +25,7 @@ void Decomposition::split(int n, int parts, int idx, int& lo, int& hi) {
 
 Int3 Decomposition::choose(int nranks, const Int3& global, bool allow3d) {
   if (nranks <= 0) throw Error("Decomposition::choose: nranks must be positive");
-  Int3 best{1, 1, nranks > global.z ? 1 : 1};
+  Int3 best{0, 0, 0};  // overwritten by the first valid grid
   long long bestCost = std::numeric_limits<long long>::max();
   bool found = false;
   for (int px = 1; px <= nranks; ++px) {
@@ -97,19 +97,58 @@ double Decomposition::imbalance() const {
   return static_cast<double>(maxV) / static_cast<double>(minV);
 }
 
+double Decomposition::imbalance(const MaskField& mask) const {
+  if (mask.grid().nx != global_.x || mask.grid().ny != global_.y ||
+      mask.grid().nz != global_.z)
+    throw Error("Decomposition::imbalance: mask grid does not match global");
+  long long maxW = 0, total = 0;
+  for (int r = 0; r < rankCount(); ++r) {
+    const Box3 b = blockOf(r);
+    long long w = 0;
+    for (int z = b.lo.z; z < b.hi.z; ++z)
+      for (int y = b.lo.y; y < b.hi.y; ++y)
+        for (int x = b.lo.x; x < b.hi.x; ++x)
+          if (mask(x, y, z) == MaterialTable::kFluid) ++w;
+    maxW = std::max(maxW, w);
+    total += w;
+  }
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / rankCount();
+  return static_cast<double>(maxW) / mean;
+}
+
 long long Decomposition::totalHaloArea() const {
+  // Count exactly what HaloExchange ships.  In the paper's 2-D xy scheme
+  // (pz == 1) every block sends, toward each existing neighbour, a 1-wide
+  // strip spanning the full z extent *including both z halo layers*
+  // (zLo = -1 .. nz+1), and the four diagonal neighbours get 1x1 corner
+  // columns of the same z span.  The old model counted faces only, with
+  // interior z extent, so choose() ranked grids by an underestimate.
+  // For pz > 1 (3-D ablation) the same direction enumeration generalizes
+  // to up to 26 neighbours with interior-extent strips.
+  const int halo = 1;
   long long area = 0;
   for (int r = 0; r < rankCount(); ++r) {
     const Int3 n = localSize(r);
     const Int3 c = coordsOf(r);
-    // Count faces toward existing neighbours (interior faces counted once
-    // per side, which is what each rank pays in message volume).
-    if (procGrid_.x > 1) area += (c.x > 0 ? 1 : 0) * static_cast<long long>(n.y) * n.z +
-                                 (c.x < procGrid_.x - 1 ? 1 : 0) * static_cast<long long>(n.y) * n.z;
-    if (procGrid_.y > 1) area += (c.y > 0 ? 1 : 0) * static_cast<long long>(n.x) * n.z +
-                                 (c.y < procGrid_.y - 1 ? 1 : 0) * static_cast<long long>(n.x) * n.z;
-    if (procGrid_.z > 1) area += (c.z > 0 ? 1 : 0) * static_cast<long long>(n.x) * n.y +
-                                 (c.z < procGrid_.z - 1 ? 1 : 0) * static_cast<long long>(n.x) * n.y;
+    const int dzMax = procGrid_.z > 1 ? 1 : 0;
+    for (int dz = -dzMax; dz <= dzMax; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          // Neighbour existence without periodic wrap: wrapped messages
+          // are still paid for, but choose() compares grids for a fixed
+          // periodicity, so the non-wrapped count is the comparable core.
+          if (c.x + dx < 0 || c.x + dx >= procGrid_.x) continue;
+          if (c.y + dy < 0 || c.y + dy >= procGrid_.y) continue;
+          if (c.z + dz < 0 || c.z + dz >= procGrid_.z) continue;
+          const long long sx = dx != 0 ? halo : n.x;
+          const long long sy = dy != 0 ? halo : n.y;
+          const long long sz = dz != 0          ? halo
+                               : procGrid_.z == 1 ? n.z + 2 * halo
+                                                  : n.z;
+          area += sx * sy * sz;
+        }
   }
   return area;
 }

@@ -9,7 +9,9 @@
 
 #include <vector>
 
+#include "core/boundary.hpp"
 #include "core/common.hpp"
+#include "core/field.hpp"
 
 namespace swlb::runtime {
 
@@ -44,8 +46,16 @@ class Decomposition {
   /// Maximum imbalance: max block volume / min block volume.
   double imbalance() const;
 
-  /// Total halo surface (cells) summed over all blocks — the metric
-  /// minimized when choosing a process grid.
+  /// Fluid-cell-weighted load-imbalance factor: max per-block fluid-cell
+  /// count over the mean.  Solid cells skip collision, so this — not raw
+  /// volume — predicts which rank bottlenecks a masked case.  The mask
+  /// must cover the full global box (halo ignored).
+  double imbalance(const MaskField& mask) const;
+
+  /// Total halo cells shipped per exchange, summed over all blocks — the
+  /// metric minimized when choosing a process grid.  Matches what
+  /// HaloExchange actually sends in the pz == 1 scheme: face strips span
+  /// the z halo (nz + 2) and the four corner columns are counted.
   long long totalHaloArea() const;
 
  private:

@@ -6,6 +6,13 @@
 // the *inner* cells (which need no remote data) are updated while messages
 // are in flight, and the one-cell boundary shell is updated after the halo
 // lands — hiding almost all communication cost behind computation.
+//
+// Every rank owns exactly one uniform block here.  For workloads where
+// the uniform volume split leaves ranks idle (solid-heavy masks), the
+// patch-aware mode in runtime/patches.hpp (PatchSolver, DESIGN.md §13)
+// splits the domain into many small patches per rank, balances them by
+// fluid weight or measured step time, and stays bit-identical to this
+// solver and the monolithic one.
 #pragma once
 
 #include <chrono>

@@ -207,6 +207,28 @@ class HaloExchange {
   std::size_t bytesPerExchange(int q,
                                std::size_t elemBytes = sizeof(Real)) const;
 
+  /// One planned ghost link, exposed so the patch runtime (runtime/patches)
+  /// can reuse the exchange plan — boxes in local coordinates, tags in the
+  /// forward tag space 0..8 — without going through Comm.  Pack order is
+  /// the same as exchange(): q outer, then z, y, x.
+  struct Link {
+    int peer = -1;       // neighbour id in the planning decomposition
+    int dx = 0, dy = 0;  // direction from this block to the peer
+    Box3 sendBox;        // our cells the peer's halo needs
+    Box3 recvBox;        // our halo cells the peer fills
+    int sendTag = 0, recvTag = 0;
+  };
+
+  /// Copy of the planned links (faces + corners, wrapped axes included).
+  std::vector<Link> links() const {
+    std::vector<Link> out;
+    out.reserve(neighbors_.size());
+    for (const auto& n : neighbors_)
+      out.push_back({n.rank, n.dx, n.dy, n.sendBox, n.recvBox, n.sendTag,
+                     n.recvTag});
+    return out;
+  }
+
  private:
   struct Neighbor {
     int rank = -1;

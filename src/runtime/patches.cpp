@@ -1,0 +1,188 @@
+#include "runtime/patches.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace swlb::runtime {
+
+namespace {
+
+/// Interleave the low 32 bits of x and y (x in the even bit positions):
+/// the Morton / Z-order key over patch-grid coordinates.  Consecutive
+/// keys are spatially close, so contiguous curve segments make compact
+/// rank territories with short inter-rank borders.
+std::uint64_t mortonKey(std::uint32_t x, std::uint32_t y) {
+  auto spread = [](std::uint64_t v) {
+    v &= 0xffffffffull;
+    v = (v | (v << 16)) & 0x0000ffff0000ffffull;
+    v = (v | (v << 8)) & 0x00ff00ff00ff00ffull;
+    v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0full;
+    v = (v | (v << 2)) & 0x3333333333333333ull;
+    v = (v | (v << 1)) & 0x5555555555555555ull;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+}  // namespace
+
+PatchLayout::PatchLayout(const Int3& global, const Int3& patchGrid)
+    : decomp_(global, patchGrid) {
+  if (patchGrid.z != 1)
+    throw Error("PatchLayout: patch grid must keep z whole (xy scheme)");
+  order_.resize(static_cast<std::size_t>(patchCount()));
+  for (int p = 0; p < patchCount(); ++p)
+    order_[static_cast<std::size_t>(p)] = p;
+  std::sort(order_.begin(), order_.end(), [&](int a, int b) {
+    const Int3 ca = decomp_.coordsOf(a);
+    const Int3 cb = decomp_.coordsOf(b);
+    const std::uint64_t ka =
+        mortonKey(static_cast<std::uint32_t>(ca.x),
+                  static_cast<std::uint32_t>(ca.y));
+    const std::uint64_t kb =
+        mortonKey(static_cast<std::uint32_t>(cb.x),
+                  static_cast<std::uint32_t>(cb.y));
+    return ka != kb ? ka < kb : a < b;
+  });
+}
+
+std::vector<double> PatchLayout::fluidWeights(const MaskField& globalMask,
+                                              const MaterialTable& mats) const {
+  const Int3& g = decomp_.globalSize();
+  if (globalMask.grid().nx != g.x || globalMask.grid().ny != g.y ||
+      globalMask.grid().nz != g.z)
+    throw Error("PatchLayout::fluidWeights: mask grid does not match global");
+  std::vector<double> w(static_cast<std::size_t>(patchCount()), 0.0);
+  for (int p = 0; p < patchCount(); ++p) {
+    const Box3 b = decomp_.blockOf(p);
+    long long n = 0;
+    for (int z = b.lo.z; z < b.hi.z; ++z)
+      for (int y = b.lo.y; y < b.hi.y; ++y)
+        for (int x = b.lo.x; x < b.hi.x; ++x)
+          if (is_streaming(mats[globalMask(x, y, z)].cls)) ++n;
+    w[static_cast<std::size_t>(p)] = static_cast<double>(n);
+  }
+  return w;
+}
+
+std::vector<int> PatchLayout::assignBisect(const std::vector<double>& weights,
+                                           int nranks) const {
+  const int n = patchCount();
+  if (nranks <= 0 || nranks > n)
+    throw Error("PatchLayout::assignBisect: need 1..patchCount ranks");
+  if (static_cast<int>(weights.size()) != n)
+    throw Error("PatchLayout::assignBisect: weight vector size mismatch");
+  std::vector<double> prefix(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i)
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] +
+        std::max(0.0, weights[static_cast<std::size_t>(order_[
+                          static_cast<std::size_t>(i)])]);
+  std::vector<int> owners(static_cast<std::size_t>(n), -1);
+  // Recursive bisection over the curve: split the rank range in half and
+  // find the curve cut whose left weight best matches the left half's
+  // share, keeping at least one patch per rank on each side.
+  auto rec = [&](auto&& self, int a, int b, int r0, int r1) -> void {
+    if (r1 - r0 == 1) {
+      for (int i = a; i < b; ++i)
+        owners[static_cast<std::size_t>(order_[static_cast<std::size_t>(i)])] =
+            r0;
+      return;
+    }
+    const int rm = r0 + (r1 - r0) / 2;
+    const double total = prefix[static_cast<std::size_t>(b)] -
+                         prefix[static_cast<std::size_t>(a)];
+    const double target = prefix[static_cast<std::size_t>(a)] +
+                          total * static_cast<double>(rm - r0) / (r1 - r0);
+    const int sLo = a + (rm - r0);
+    const int sHi = b - (r1 - rm);
+    int sBest = sLo;
+    double best = std::numeric_limits<double>::max();
+    for (int s = sLo; s <= sHi; ++s) {
+      const double d = std::abs(prefix[static_cast<std::size_t>(s)] - target);
+      if (d < best) {
+        best = d;
+        sBest = s;
+      }
+    }
+    self(self, a, sBest, r0, rm);
+    self(self, sBest, b, rm, r1);
+  };
+  rec(rec, 0, n, 0, nranks);
+  return owners;
+}
+
+double PatchLayout::rankImbalance(const std::vector<int>& owners,
+                                  const std::vector<double>& weights,
+                                  int nranks) {
+  std::vector<double> load(static_cast<std::size_t>(nranks), 0.0);
+  double total = 0;
+  for (std::size_t p = 0; p < owners.size(); ++p) {
+    const double w = std::max(0.0, weights[p]);
+    load[static_cast<std::size_t>(owners[p])] += w;
+    total += w;
+  }
+  if (total <= 0) return 1.0;
+  const double mean = total / nranks;
+  return *std::max_element(load.begin(), load.end()) / mean;
+}
+
+std::vector<PatchLayout::Move> PatchLayout::planRebalance(
+    const std::vector<int>& owners, const std::vector<double>& weights,
+    int nranks, double threshold) const {
+  const int n = patchCount();
+  std::vector<int> own = owners;
+  std::vector<double> load(static_cast<std::size_t>(nranks), 0.0);
+  std::vector<int> count(static_cast<std::size_t>(nranks), 0);
+  double total = 0;
+  for (int p = 0; p < n; ++p) {
+    const double w = std::max(0.0, weights[static_cast<std::size_t>(p)]);
+    load[static_cast<std::size_t>(own[static_cast<std::size_t>(p)])] += w;
+    ++count[static_cast<std::size_t>(own[static_cast<std::size_t>(p)])];
+    total += w;
+  }
+  std::vector<Move> moves;
+  if (total <= 0) return moves;
+  const double mean = total / nranks;
+  // Greedy: repeatedly move the one patch from the most- to the
+  // least-loaded rank that most lowers their pairwise peak.  Bounded by
+  // the patch count; each accepted move strictly lowers max(load of the
+  // pair), so it terminates.
+  for (int iter = 0; iter < n; ++iter) {
+    int maxR = 0, minR = 0;
+    for (int r = 1; r < nranks; ++r) {
+      if (load[static_cast<std::size_t>(r)] >
+          load[static_cast<std::size_t>(maxR)])
+        maxR = r;
+      if (load[static_cast<std::size_t>(r)] <
+          load[static_cast<std::size_t>(minR)])
+        minR = r;
+    }
+    if (load[static_cast<std::size_t>(maxR)] <= threshold * mean) break;
+    if (count[static_cast<std::size_t>(maxR)] <= 1) break;
+    int pBest = -1;
+    double bestPeak = load[static_cast<std::size_t>(maxR)];
+    for (int p = 0; p < n; ++p) {
+      if (own[static_cast<std::size_t>(p)] != maxR) continue;
+      const double w = std::max(0.0, weights[static_cast<std::size_t>(p)]);
+      const double peak = std::max(load[static_cast<std::size_t>(maxR)] - w,
+                                   load[static_cast<std::size_t>(minR)] + w);
+      if (peak < bestPeak) {
+        bestPeak = peak;
+        pBest = p;
+      }
+    }
+    if (pBest < 0) break;
+    const double w = std::max(0.0, weights[static_cast<std::size_t>(pBest)]);
+    moves.push_back({pBest, maxR, minR});
+    own[static_cast<std::size_t>(pBest)] = minR;
+    load[static_cast<std::size_t>(maxR)] -= w;
+    load[static_cast<std::size_t>(minR)] += w;
+    --count[static_cast<std::size_t>(maxR)];
+    ++count[static_cast<std::size_t>(minR)];
+  }
+  return moves;
+}
+
+}  // namespace swlb::runtime

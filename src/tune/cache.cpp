@@ -266,6 +266,14 @@ TuningPlan planFromJson(const JsonValue& obj) {
       throw Error("tuning cache: \"kernel_variant\" is not a string");
     p.kernelVariant = kv->second.str;
   }
+  // Tolerant read: plans written before the patch knob existed mean one
+  // block per rank.
+  const auto ppr = obj.object.find("patches_per_rank");
+  if (ppr != obj.object.end()) {
+    if (ppr->second.type != JsonValue::Type::Number)
+      throw Error("tuning cache: \"patches_per_rank\" is not a number");
+    p.patchesPerRank = static_cast<int>(ppr->second.number);
+  }
   p.precision = stringField(obj, "precision");
   p.precisionAdvice = stringField(obj, "precision_advice");
   p.advisedQuantError = numberField(obj, "advised_quant_error");
@@ -311,7 +319,8 @@ std::string to_json(const TuningPlan& plan) {
   }
   os << "}, \"halo_mode\": \"" << halo_mode_name(plan.haloMode)
      << "\", \"kernel_variant\": \"" << escape(plan.kernelVariant)
-     << "\", \"precision\": \"" << escape(plan.precision)
+     << "\", \"patches_per_rank\": " << plan.patchesPerRank
+     << ", \"precision\": \"" << escape(plan.precision)
      << "\", \"precision_advice\": \"" << escape(plan.precisionAdvice)
      << "\", \"ring_threshold_bytes\": " << plan.ringThresholdBytes
      << ", \"source\": \"" << escape(plan.source) << "\"}";

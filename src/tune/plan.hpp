@@ -55,6 +55,11 @@ struct TuningPlan {
   /// wall-clock variant trials (TunerConfig::variantTrialSteps > 0) found
   /// a faster one; absent from old cache files, which parse as "fused".
   std::string kernelVariant = "fused";
+  /// Patches per rank for the patch-aware runtime (runtime/patches,
+  /// DESIGN.md §13): granularity of the load balancer.  1 keeps the
+  /// classic one-block-per-rank split; absent from old cache files,
+  /// which parse as 1.
+  int patchesPerRank = 1;
   /// Storage precision the plan was tuned for (matches the key).
   std::string precision = "f64";
   /// Human-readable advisory: what a smaller storage type would buy and

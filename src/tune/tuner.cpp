@@ -392,12 +392,15 @@ TuningPlan Tuner::plan(const TuningInput& in) const {
     plan.source = "measured";
   }
 
+  plan.patchesPerRank = std::max(1, cfg_.patchesPerRank);
+
   obs::count("tune.plans");
   obs::gaugeSet("tune.kernel_variant",
                 plan.kernelVariant == "esoteric" ? 2
                 : plan.kernelVariant == "simd"   ? 1
                                                  : 0);
   obs::gaugeSet("tune.chunk_x", plan.chunkX);
+  obs::gaugeSet("tune.patches_per_rank", plan.patchesPerRank);
   obs::gaugeSet("tune.ring_threshold_bytes",
                 static_cast<double>(plan.ringThresholdBytes));
   obs::gaugeSet("tune.halo_overlap",
@@ -457,6 +460,7 @@ std::string summary(const TuningPlan& plan) {
   os << "halo=" << halo_mode_name(plan.haloMode)
      << " ring_threshold=" << plan.ringThresholdBytes << "B"
      << " chunk_x=" << plan.chunkX << " kernel=" << plan.kernelVariant
+     << " patches_per_rank=" << plan.patchesPerRank
      << " precision=" << plan.precision << " source=" << plan.source;
   return os.str();
 }

@@ -65,6 +65,11 @@ struct TunerConfig {
   /// on a single-rank proxy).  0 (default) skips the ladder and keeps the
   /// plan's "fused" default — and the search byte-deterministic.
   int variantTrialSteps = 0;
+  /// Patch granularity recorded in the plan for the patch-aware runtime
+  /// (runtime/patches): patches per rank handed to PatchSolver::Config.
+  /// Pure pass-through today (the balance win depends on the mask, which
+  /// the tuner does not see); >= 1.
+  int patchesPerRank = 1;
 };
 
 class Tuner {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "runtime/decomposition.hpp"
+#include "runtime/halo.hpp"
 
 namespace swlb::runtime {
 namespace {
@@ -103,6 +104,59 @@ TEST(Decomposition, RejectsInvalidConfigurations) {
   EXPECT_THROW(Decomposition({10, 10, 10}, {0, 1, 1}), Error);
   EXPECT_THROW(Decomposition({4, 4, 4}, {8, 1, 1}), Error);  // px > nx
   EXPECT_THROW(Decomposition::choose(0, {10, 10, 10}), Error);
+}
+
+TEST(Decomposition, HaloAreaModelMatchesHaloExchangeVolume) {
+  // Cost-model regression (the totalHaloArea undercount bugfix): on a
+  // 2x2 grid the model must equal the cell volume HaloExchange actually
+  // ships — corner columns included, strips spanning the z halo.
+  // bytesPerExchange is in turn pinned to the live halo.bytes wire
+  // counters by test_obs_integration.HaloBytesCounterMatchesModel.
+  const Int3 global{10, 8, 4};
+  Decomposition d(global, {2, 2, 1});
+  const int q = 19;
+  const std::size_t elem = sizeof(double);
+  std::size_t wire = 0;
+  for (int r = 0; r < d.rankCount(); ++r) {
+    const Int3 n = d.localSize(r);
+    HaloExchange h(d, r, Periodicity{false, false, false},
+                   Grid(n.x, n.y, n.z));
+    wire += h.bytesPerExchange(q, elem);
+  }
+  EXPECT_EQ(wire, static_cast<std::size_t>(d.totalHaloArea()) * q * elem);
+}
+
+TEST(Decomposition, HaloAreaCountsCornersAndZHalo) {
+  // 2x2 over 10x8x4: each rank has 2 face strips + 1 corner column, all
+  // spanning nz + 2 = 6 rows.  Σ = 2*(2*4*6 + 2*5*6 + ... ) worked out:
+  // x-faces: 4 strips of ny*6, y-faces: 4 strips of nx*6, corners: 4
+  // columns of 6.
+  Decomposition d({10, 8, 4}, {2, 2, 1});
+  const long long expected = 4 * (4LL * 6) + 4 * (5LL * 6) + 4 * 6;
+  EXPECT_EQ(d.totalHaloArea(), expected);
+}
+
+TEST(Decomposition, ChooseThrowsWhenNoGridFits) {
+  // 7 is prime and exceeds every axis: the explicit not-found fallback
+  // (formerly masked by a dead ternary) must throw, not return garbage.
+  EXPECT_THROW(Decomposition::choose(7, {4, 4, 4}), Error);
+  EXPECT_THROW(Decomposition::choose(7, {4, 4, 4}, true), Error);
+}
+
+TEST(Decomposition, FluidWeightedImbalanceSeesTheMask) {
+  // Left half solid: volume imbalance says "balanced", the fluid-weighted
+  // overload reports rank 1 carrying twice the mean load.
+  const Int3 global{8, 4, 2};
+  Decomposition d(global, {2, 1, 1});
+  MaskField mask(Grid(global.x, global.y, global.z), MaterialTable::kFluid);
+  for (int z = 0; z < global.z; ++z)
+    for (int y = 0; y < global.y; ++y)
+      for (int x = 0; x < 4; ++x) mask(x, y, z) = MaterialTable::kSolid;
+  EXPECT_EQ(d.imbalance(), 1.0);
+  EXPECT_NEAR(d.imbalance(mask), 2.0, 1e-12);
+  // Uniform mask: both metrics agree on balance.
+  MaskField fluid(Grid(global.x, global.y, global.z), MaterialTable::kFluid);
+  EXPECT_NEAR(d.imbalance(fluid), 1.0, 1e-12);
 }
 
 TEST(Decomposition, PaperScaleWeakScalingBlocks) {

@@ -165,6 +165,50 @@ TEST(TuningCache, KernelVariantSurvivesRoundTrip) {
   fs::remove(path);
 }
 
+TEST(TuningCache, PatchesPerRankSurvivesRoundTrip) {
+  const TuningInput in = cavityInput();
+  TuningPlan p = Tuner().plan(in);
+  p.patchesPerRank = 4;
+  TuningCache cache;
+  cache.store(in.key(), p);
+  const std::string path = tmpPath("swlb_tune_patches.json");
+  cache.save(path);
+  const TuningCache loaded = TuningCache::load(path);
+  const auto hit = loaded.lookup(in.key());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->patchesPerRank, 4);
+  EXPECT_EQ(*hit, p);
+  fs::remove(path);
+}
+
+TEST(TuningCache, PlanWithoutPatchesFieldReadsAsOne) {
+  // A cache written before the patches_per_rank knob existed must still
+  // load, with the field at its pre-knob default (one patch per rank,
+  // i.e. the monolithic block decomposition).
+  const TuningInput in = cavityInput();
+  TuningPlan p = Tuner().plan(in);
+  p.patchesPerRank = 1;
+  TuningCache cache;
+  cache.store(in.key(), p);
+  std::string json = cache.toString();
+  const std::string field = "\"patches_per_rank\": 1, ";
+  const auto pos = json.find(field);
+  ASSERT_NE(pos, std::string::npos);
+  json.erase(pos, field.size());
+
+  const std::string path = tmpPath("swlb_tune_patches_legacy.json");
+  {
+    std::ofstream out(path);
+    out << json;
+  }
+  const TuningCache loaded = TuningCache::load(path);
+  const auto hit = loaded.lookup(in.key());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->patchesPerRank, 1);
+  EXPECT_EQ(*hit, p);
+  fs::remove(path);
+}
+
 TEST(TuningCache, MissesOnAnyKeyMismatch) {
   const TuningInput in = cavityInput();
   TuningCache cache;
