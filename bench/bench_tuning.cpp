@@ -89,25 +89,25 @@ int main(int argc, char** argv) {
   perf::printHeading("Auto-tuned plan for " + tin.key().toString());
   std::cout << tune::summary(plan) << "\n";
 
-  // ---- kernel-variant trials (measured MLUPS ladder) -------------------
+  // ---- backend trials (measured MLUPS ladder) --------------------------
   // A second plan with short wall-clock trials enabled: the tuner runs
-  // fused/simd/esoteric on a proxy lattice and records the pick.
+  // the backend ladder on a proxy lattice and records the pick.
   tune::TunerConfig trialCfg;
-  trialCfg.variantTrialSteps = 10;
+  trialCfg.backendTrialSteps = 10;
   tune::TuningPlan trialPlan;
   {
     obs::ScopedBind bind(nullptr, &tuneReg);
     trialPlan = tune::Tuner(trialCfg).plan(tin);
   }
-  perf::printHeading("Kernel-variant trial ladder (measured, proxy lattice)");
-  perf::Table kt({"variant", "trial MLUPS", "note"});
-  for (const char* name : {"fused", "simd", "esoteric"}) {
-    const auto it = trialPlan.evidence.find(std::string("trial.kernel.") +
+  perf::printHeading("Backend trial ladder (measured, proxy lattice)");
+  perf::Table kt({"backend", "trial MLUPS", "note"});
+  for (const char* name : {"fused", "simd", "esoteric", "threads"}) {
+    const auto it = trialPlan.evidence.find(std::string("trial.backend.") +
                                             name + "_mlups");
     kt.addRow({name,
                it == trialPlan.evidence.end() ? "-"
                                               : perf::Table::num(it->second, 2),
-               trialPlan.kernelVariant == name ? "<- tuned pick" : ""});
+               trialPlan.backend == name ? "<- tuned pick" : ""});
   }
   kt.print();
 
@@ -188,12 +188,12 @@ int main(int argc, char** argv) {
     rt2.setText("key", tin.key().toString());
     rt2.setText("halo_mode", tune::halo_mode_name(plan.haloMode));
     rt2.setText("source", plan.source);
-    rt2.setText("kernel_variant", trialPlan.kernelVariant);
-    for (const char* name : {"fused", "simd", "esoteric"}) {
-      const auto it = trialPlan.evidence.find(std::string("trial.kernel.") +
+    rt2.setText("backend", trialPlan.backend);
+    for (const char* name : {"fused", "simd", "esoteric", "threads"}) {
+      const auto it = trialPlan.evidence.find(std::string("trial.backend.") +
                                               name + "_mlups");
       if (it != trialPlan.evidence.end())
-        rt2.set(std::string("kernel_trial_") + name + "_mlups", it->second);
+        rt2.set(std::string("backend_trial_") + name + "_mlups", it->second);
     }
     rt2.addMetrics(tuneReg);
     report.write(jsonPath);

@@ -4,8 +4,15 @@
 //
 // Usage: swlb_run <config-file> [--trace out.json] [--tune]
 //                 [--tuning-cache cache.json] [--ranks N] [--max-shrinks K]
-//                 [--patches N] [--rebalance-every K]
+//                 [--patches N] [--rebalance-every K] [--backend NAME]
 //        swlb_run --demo [--trace out.json] [--tune] [...]
+//
+// --backend NAME selects the stream/collide backend from the registry
+// (DESIGN.md §14: fused, generic, twostep, push, simd, esoteric, threads,
+// swcpe) on every path — single-rank, --ranks and --patches.  An unknown
+// name or a capability conflict (e.g. an in-place backend under
+// --patches) is an explicit error, never a silent fallback.  The flag
+// overrides the tuned plan's pick.
 //
 // --ranks N runs the case on the N-rank distributed runtime (cavity only
 // in this driver) under the resilient driver; --max-shrinks K additionally
@@ -24,10 +31,12 @@
 //
 // --tune runs the auto-tuner (DESIGN.md §9) for this case's problem shape
 // before the run and prints the resulting plan: halo scheduling, the
-// collective ring threshold, the CPE LDM chunk width and the storage
-// precision advisory.  With --tuning-cache the plan is read from /
-// written to the given swlb-tune-v1 JSON file, so a second identical run
-// reports a cache hit and skips the search.
+// collective ring threshold, the CPE LDM chunk width, the storage
+// precision advisory and the backend pick (plus, under --patches, the
+// per-patch backend map from plans produced with backend trials).  With
+// --tuning-cache the plan is read from / written to the given
+// swlb-tune-v1 JSON file, so a second identical run reports a cache hit
+// and skips the search.
 //
 // Example config:
 //   case = cylinder
@@ -67,13 +76,15 @@ namespace {
 constexpr const char* kUsage =
     "usage: swlb_run <config-file> | --demo [--trace out.json] [--tune] "
     "[--tuning-cache cache.json] [--ranks N] [--max-shrinks K] "
-    "[--patches N] [--rebalance-every K]\n";
+    "[--patches N] [--rebalance-every K] [--backend NAME]\n";
 
 /// Patch-aware distributed front end (DESIGN.md §13): the cavity case on
 /// the patch runtime, fluid-weighted assignment, optional measured
 /// rebalancing.
 int runPatchedCavity(const app::Config& cfg, int ranks, int patchesPerRank,
-                     long rebalanceEvery, const std::string& tracePath) {
+                     long rebalanceEvery, const std::string& tracePath,
+                     const std::string& backendFlag, bool tuneFlag,
+                     const std::string& tuneCachePath) {
   using runtime::Comm;
   using runtime::PatchSolver;
   const Int3 n{static_cast<int>(cfg.getInt("nx", 48)),
@@ -82,6 +93,38 @@ int runPatchedCavity(const app::Config& cfg, int ranks, int patchesPerRank,
   const long steps = cfg.getInt("steps", 1000);
   const Real uLid = cfg.getReal("lid_velocity", 0.05);
   const CollisionConfig col = app::collision_from_config(cfg);
+
+  // Backend plan: tuned pick (plus per-patch map from plans produced
+  // with backend trials) unless --backend pins one explicitly.
+  std::string backend = backendFlag.empty() ? "fused" : backendFlag;
+  std::map<int, std::string> patchBackends;
+  if (tuneFlag) {
+    tune::TuningInput tin;
+    tin.lattice = "D3Q19";
+    tin.extent = n;
+    tin.ranks = ranks;
+    // Same layout choice PatchSolver makes, so patch ids line up.
+    const runtime::PatchLayout layout(
+        n, runtime::Decomposition::choose(
+               std::max(1, patchesPerRank) * ranks, n));
+    for (int p = 0; p < layout.patchCount(); ++p) {
+      const Box3 b = layout.boxOf(p);
+      tin.patchCells.push_back(static_cast<double>(b.hi.x - b.lo.x) *
+                               (b.hi.y - b.lo.y) * (b.hi.z - b.lo.z));
+    }
+    tune::TuningCache cache;
+    if (!tuneCachePath.empty()) cache = tune::TuningCache::load(tuneCachePath);
+    const tune::TuningPlan plan = tune::Tuner().planCached(cache, tin);
+    std::cout << "tuning [" << tin.key().toString() << "]: "
+              << tune::summary(plan) << "\n";
+    if (!tuneCachePath.empty()) cache.save(tuneCachePath);
+    if (backendFlag.empty()) {
+      tune::apply(plan, backend);
+      tune::apply(plan, patchBackends);
+      std::cout << "tuning: backend -> " << backend << " ("
+                << patchBackends.size() << " per-patch overrides)\n";
+    }
+  }
   std::cout << "case 'cavity' on " << ranks << " ranks, patch mode: "
             << patchesPerRank << " patches/rank"
             << (rebalanceEvery > 0
@@ -106,6 +149,8 @@ int runPatchedCavity(const app::Config& cfg, int ranks, int patchesPerRank,
     pcfg.patchesPerRank = patchesPerRank;
     pcfg.rebalanceEvery =
         rebalanceEvery > 0 ? static_cast<std::uint64_t>(rebalanceEvery) : 0;
+    pcfg.backend = backend;
+    pcfg.patchBackends = patchBackends;
     PatchSolver<D3Q19> solver(c, pcfg);
     const auto lid = solver.materials().addMovingWall({uLid, 0, 0});
     solver.paintGlobal({{0, 0, n.z - 1}, {n.x, n.y, n.z}}, lid);
@@ -140,7 +185,8 @@ int runPatchedCavity(const app::Config& cfg, int ranks, int patchesPerRank,
 /// resilient driver, with elastic shrink-to-fit recovery armed when
 /// maxShrinks > 0.  Outputs are gathered to rank 0.
 int runDistributedCavity(const app::Config& cfg, int ranks, int maxShrinks,
-                         const std::string& tracePath) {
+                         const std::string& tracePath,
+                         const std::string& backendFlag) {
   using runtime::Comm;
   using runtime::DistributedSolver;
   const Int3 n{static_cast<int>(cfg.getInt("nx", 48)),
@@ -164,6 +210,7 @@ int runDistributedCavity(const app::Config& cfg, int ranks, int maxShrinks,
     DistributedSolver<D3Q19>::Config dcfg;
     dcfg.global = n;
     dcfg.collision = col;
+    if (!backendFlag.empty()) dcfg.backend = backendFlag;
     auto s = std::make_unique<DistributedSolver<D3Q19>>(c, dcfg);
     const auto lid = s->materials().addMovingWall({uLid, 0, 0});
     s->paintGlobal({{0, 0, n.z - 1}, {n.x, n.y, n.z}}, lid);
@@ -246,7 +293,7 @@ int runDistributedCavity(const app::Config& cfg, int ranks, int maxShrinks,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string configArg, tracePath, tuneCachePath;
+  std::string configArg, tracePath, tuneCachePath, backendFlag;
   bool tuneFlag = false;
   int ranks = 1, maxShrinks = 0, patches = 0;
   long rebalanceEvery = 0;
@@ -267,6 +314,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--rebalance-every") == 0 &&
                i + 1 < argc) {
       rebalanceEvery = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backendFlag = argv[++i];
     } else if (configArg.empty()) {
       configArg = argv[i];
     } else {
@@ -297,8 +346,10 @@ int main(int argc, char** argv) {
             "this driver");
       if (patches > 0)
         return runPatchedCavity(cfg, ranks, patches, rebalanceEvery,
-                                tracePath);
-      return runDistributedCavity(cfg, ranks, maxShrinks, tracePath);
+                                tracePath, backendFlag, tuneFlag,
+                                tuneCachePath);
+      return runDistributedCavity(cfg, ranks, maxShrinks, tracePath,
+                                  backendFlag);
     }
 
     app::Case sim = app::build_case(cfg);
@@ -326,15 +377,21 @@ int main(int argc, char** argv) {
         cache.save(tuneCachePath);
         if (!hadPlan) std::cout << "tuning cache written: " << tuneCachePath << "\n";
       }
-      // Apply the plan's kernel pick (no-op for the default "fused";
-      // cached plans produced with variant trials can switch it).
-      KernelVariant kv = KernelVariant::Fused;
-      tune::apply(plan, kv);
-      if (kv != KernelVariant::Fused) {
-        sim.solver->setVariant(kv);
-        std::cout << "tuning: kernel variant -> " << kernel_variant_name(kv)
-                  << "\n";
+      // Apply the plan's backend pick (no-op for the default "fused";
+      // cached plans produced with backend trials can switch it) unless
+      // --backend pinned one explicitly.
+      if (backendFlag.empty()) {
+        std::string backend = "fused";
+        tune::apply(plan, backend);
+        if (backend != "fused") {
+          sim.solver->setBackend(backend);
+          std::cout << "tuning: backend -> " << backend << "\n";
+        }
       }
+    }
+    if (!backendFlag.empty()) {
+      sim.solver->setBackend(backendFlag);
+      std::cout << "backend: " << backendFlag << "\n";
     }
 
     const long ckptEvery = cfg.getInt("checkpoint_interval", 0);

@@ -1,0 +1,73 @@
+#include "core/backend.hpp"
+
+namespace swlb {
+
+// The catalog is the single source of truth for what backends exist and
+// what they promise.  scripts/check_docs.py parses the block between the
+// BACKEND-CATALOG markers and fails CI when a name here is missing from
+// the README "Backends" table or DESIGN.md §14 — keep the `{"name",`
+// literal on the first line of each entry.
+const std::vector<BackendInfo>& backend_catalog() {
+  static const std::vector<BackendInfo> catalog = {
+      // BACKEND-CATALOG-BEGIN
+      {"fused",
+       "optimized SoA fused pull kernel (the bit-identity reference)",
+       BackendCaps{.usesHostThreads = true},
+       BackendCostHints{}},
+      {"generic",
+       "portable field-agnostic fused pull kernel (readable reference)",
+       BackendCaps{},
+       BackendCostHints{.relativeRate = 0.9}},
+      {"twostep",
+       "separate stream + collide passes (fusion ablation baseline)",
+       BackendCaps{.distributed = false},
+       BackendCostHints{.relativeRate = 0.7}},
+      {"push",
+       "fused collide + push streaming (layout ablation baseline)",
+       BackendCaps{.distributed = false, .stepConformant = false},
+       BackendCostHints{.relativeRate = 0.9}},
+      {"simd",
+       "vectorized bulk-run fused kernel (#pragma omp simd lanes)",
+       BackendCaps{.usesHostThreads = true},
+       BackendCostHints{}},
+      {"esoteric",
+       "in-place Esoteric-Pull streaming, single buffer (0.5x memory)",
+       BackendCaps{.inPlaceStreaming = true, .supportsOutflow = false,
+                   .usesHostThreads = true},
+       BackendCostHints{.memoryFactor = 0.5}},
+      {"threads",
+       "persistent host thread team over z-slabs (OpenMP when available)",
+       BackendCaps{.usesHostThreads = true},
+       BackendCostHints{.stepOverheadSeconds = 2e-5}},
+      {"swcpe",
+       "SW26010 CPE-cluster emulator: 64-CPE y-partition, LDM-blocked DMA",
+       BackendCaps{.subRange = false},
+       BackendCostHints{.relativeRate = 0.02, .stepOverheadSeconds = 1e-4},
+       "D2Q9 D3Q19", "all"},
+      // BACKEND-CATALOG-END
+  };
+  return catalog;
+}
+
+const BackendInfo* find_backend_info(const std::string& name) {
+  for (const BackendInfo& b : backend_catalog())
+    if (b.name == name) return &b;
+  return nullptr;
+}
+
+KernelVariant kernel_variant_from_name(const std::string& name) {
+  for (KernelVariant v :
+       {KernelVariant::Fused, KernelVariant::Generic, KernelVariant::TwoStep,
+        KernelVariant::Push, KernelVariant::Simd, KernelVariant::Esoteric,
+        KernelVariant::Threads, KernelVariant::SwCpe})
+    if (name == kernel_variant_name(v)) return v;
+  std::string known;
+  for (const BackendInfo& b : backend_catalog()) {
+    if (!known.empty()) known += ", ";
+    known += b.name;
+  }
+  throw Error("unknown kernel backend '" + name + "' (registered: " + known +
+              ")");
+}
+
+}  // namespace swlb

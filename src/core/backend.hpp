@@ -1,0 +1,253 @@
+// Kernel-backend concept (DESIGN.md §14): the one interface every
+// stream/collide execution strategy implements, so Solver,
+// DistributedSolver and PatchSolver dispatch through a registry instead
+// of per-variant switch statements — the miniLB-style portability layer
+// (PAPERS.md, arXiv:2409.16781).  A backend owns *how* one fused LBM
+// update executes (serial sweep, SIMD runs, a host thread team, the SW
+// CPE emulator, in-place Esoteric-Pull); the solvers own *when*: halo
+// wraps, exchanges, parity, observables.
+//
+// Contract summary (details on each hook below):
+//
+//   * step() performs exactly one two-lattice stream/collide update of
+//     `range` and must be bit-identical to stream_collide_fused for the
+//     same storage type whenever caps.bitIdentical is set.
+//   * In-place backends (caps.inPlaceStreaming) implement the
+//     stepInPlaceEven/Odd pair instead; step() throws.  The in-place
+//     phase contract IS the Esoteric-Pull rotated layout (DESIGN.md §11):
+//     after an even sweep, f_i*(x) lives at slot opp(i) of x + c_i, and
+//     solvers decode through EsotericPhase1View.
+//   * packHalo/unpackHalo serialize a box of raw storage elements in the
+//     HaloExchange order (q outer, then z, y, x) — the bytes ghost
+//     messages and patch strips carry.  Backends with exotic layouts
+//     override them; the defaults copy PopulationFieldT::raw verbatim.
+//   * All hooks are called from the solver's step thread.  A backend may
+//     spawn or pool its own workers inside step() (caps.usesHostThreads
+//     backends honor the `threads` argument), but must return only after
+//     `dst` is fully written — hooks never overlap each other.
+//
+// Units: cost hints are seconds and dimensionless ratios; `threads` is a
+// host-thread count where <= 0 means "one per hardware core".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/kernels.hpp"
+
+namespace swlb {
+
+/// Which stream/collide implementation a solver drives each step.  Every
+/// enumerator is also a registered backend under kernel_variant_name();
+/// the enum survives as the cheap config-struct spelling of that name.
+enum class KernelVariant {
+  Fused,     ///< production path: optimized SoA fused pull kernel
+  Generic,   ///< portable fused pull kernel (reference implementation)
+  TwoStep,   ///< separate stream + collide (fusion ablation baseline)
+  Push,      ///< fused collide + push streaming (layout ablation baseline)
+  Simd,      ///< vectorized bulk-run fused kernel (bit-identical to Fused)
+  Esoteric,  ///< in-place single-buffer streaming (0.5x population memory)
+  Threads,   ///< persistent host thread team over z-slabs (OpenMP or pool)
+  SwCpe,     ///< SW26010 CPE-cluster emulator (LDM-blocked, bit-identical)
+};
+
+inline const char* kernel_variant_name(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::Fused: return "fused";
+    case KernelVariant::Generic: return "generic";
+    case KernelVariant::TwoStep: return "twostep";
+    case KernelVariant::Push: return "push";
+    case KernelVariant::Simd: return "simd";
+    case KernelVariant::Esoteric: return "esoteric";
+    case KernelVariant::Threads: return "threads";
+    case KernelVariant::SwCpe: return "swcpe";
+  }
+  return "?";
+}
+
+/// Inverse of kernel_variant_name.  Throws on names that are not
+/// registered backends — the explicit-rejection path that replaced the
+/// old silent switch-default fallbacks.
+KernelVariant kernel_variant_from_name(const std::string& name);
+
+/// What a backend can and cannot do.  Solvers check these flags up front
+/// and reject unsupported combinations with a named error — never fall
+/// back silently to another backend.
+struct BackendCaps {
+  /// Streams in place in a single buffer (Esoteric-Pull).  Implies the
+  /// stepInPlaceEven/Odd pair, the rotated phase-1 layout, 0.5x
+  /// population memory, and rejection by PatchSolver (patch ghost
+  /// exchange needs the two-lattice A-B contract).
+  bool inPlaceStreaming = false;
+  /// Handles CellClass::Outflow.  In-place streaming cannot (the
+  /// extrapolating copy would race the neighbour's own update), so
+  /// init() rejects masks containing Outflow cells when this is off.
+  bool supportsOutflow = true;
+  /// Step-synchronous full-domain semantics usable under
+  /// DistributedSolver / PatchSolver.  Off for the single-rank ablation
+  /// baselines (twostep, push).
+  bool distributed = true;
+  /// step() accepts an arbitrary sub-box of the interior (required for
+  /// the overlap schedule's inner/shell split).  Off for whole-block
+  /// backends (swcpe): DistributedSolver then forces Sequential mode.
+  bool subRange = true;
+  /// Output is bit-identical to stream_collide_fused at equal storage.
+  /// The conformance harness enforces bitwise equality where set and a
+  /// quantization bound otherwise.
+  bool bitIdentical = true;
+  /// Populations after N steps align step-for-step with the pull
+  /// family's trajectory.  Off for push (collide-then-stream sits a
+  /// half-update away); such backends are checked via invariants (mass
+  /// conservation) instead of lockstep identity.
+  bool stepConformant = true;
+  /// Honors the `threads` argument of step() (z-slab intra-rank
+  /// parallelism, bit-identical for any thread count).
+  bool usesHostThreads = false;
+};
+
+/// A-priori cost model inputs for the tuner's per-patch backend choice.
+/// Trials measure the real rate; hints break ties and scale the measured
+/// proxy rate to patches the trial never ran.
+struct BackendCostHints {
+  /// Expected throughput multiplier vs the fused backend on the same
+  /// host (dimensionless; 1.0 = parity).  Advisory only — measured
+  /// trial MLUPS always override it.
+  double relativeRate = 1.0;
+  /// Fixed cost per step() invocation in seconds (thread fork/join
+  /// barriers, emulator dispatch).  Dominates on small patches, which is
+  /// why the tuner's per-patch map keeps them on serial backends.
+  double stepOverheadSeconds = 0.0;
+  /// Population-storage bytes relative to the two-lattice A-B pair
+  /// (esoteric: 0.5).
+  double memoryFactor = 1.0;
+};
+
+/// Registry/docs entry for one backend: identity, one-line summary, and
+/// the flags/hints above.  `lattices`/`storages` document the (D, S)
+/// template combinations the backend is registered for ("all" or a
+/// space-separated list) — requesting it outside that set throws at
+/// make_backend time, it does not degrade to another backend.
+struct BackendInfo {
+  std::string name;
+  std::string summary;
+  BackendCaps caps;
+  BackendCostHints hints;
+  std::string lattices = "all";
+  std::string storages = "all";
+};
+
+/// The static catalog of built-in backends, in registration order.  This
+/// is the single source the per-(D,S) registries, the docs drift check
+/// (scripts/check_docs.py) and bench_backends iterate.
+const std::vector<BackendInfo>& backend_catalog();
+
+/// Catalog lookup by name; nullptr when unknown.
+const BackendInfo* find_backend_info(const std::string& name);
+
+/// Arguments of one two-lattice update: read `src`, write `dst` over
+/// `range` (interior coordinates; halos of `src` are already prepared by
+/// the caller exactly as for stream_collide_fused).  `periodic` is only
+/// consulted by push-style scatters that wrap in-kernel; `threads` is
+/// the host-thread hint for caps.usesHostThreads backends (<= 0 = one
+/// per hardware core).
+template <class D, class S>
+struct BackendStepArgs {
+  const PopulationFieldT<S>* src = nullptr;
+  PopulationFieldT<S>* dst = nullptr;
+  const MaskField* mask = nullptr;
+  const MaterialTable* mats = nullptr;
+  const CollisionConfig* cfg = nullptr;
+  Box3 range;
+  Periodicity periodic;
+  int threads = 1;
+};
+
+/// Abstract kernel backend for lattice D and storage S.  Instances are
+/// created per solver (or per patch) through make_backend and may hold
+/// mutable execution state (thread pools, the CPE cluster, LDM arenas);
+/// they are not shared between solvers.
+template <class D, class S>
+class KernelBackend {
+ public:
+  using Field = PopulationFieldT<S>;
+
+  virtual ~KernelBackend() = default;
+
+  /// Catalog entry: name, capability flags, cost hints.
+  virtual const BackendInfo& info() const = 0;
+
+  /// One-time setup against the finalized mask: allocate persistent
+  /// state and validate capability flags against the actual cell classes
+  /// present.  The default rejects Outflow cells when
+  /// caps.supportsOutflow is off and accepts everything else.  Called by
+  /// the solver at finalizeMask() and again whenever the backend is
+  /// swapped in after finalization; must be idempotent.
+  virtual void init(const Grid& grid, const MaskField& mask,
+                    const MaterialTable& mats) {
+    if (info().caps.supportsOutflow) return;
+    const Box3 range = grid.interior();
+    for (int z = range.lo.z; z < range.hi.z; ++z)
+      for (int y = range.lo.y; y < range.hi.y; ++y)
+        for (int x = range.lo.x; x < range.hi.x; ++x)
+          if (mats[mask(x, y, z)].cls == CellClass::Outflow)
+            throw Error("backend '" + info().name +
+                        "' does not support Outflow cells (in-place "
+                        "streaming has no extrapolation slot)");
+  }
+
+  /// One two-lattice stream/collide update (see BackendStepArgs).
+  /// In-place backends throw — callers must branch on
+  /// caps.inPlaceStreaming first.
+  virtual void step(const BackendStepArgs<D, S>& a) = 0;
+
+  /// Even in-place phase: sweep `range` of the single buffer, leaving it
+  /// in the rotated Esoteric-Pull layout.  The caller wraps periodic
+  /// halos before and folds the outward scatter back (reverse wrap /
+  /// reverse exchange) after.  Only caps.inPlaceStreaming backends
+  /// implement the pair; the defaults throw.
+  virtual void stepInPlaceEven(Field&, const MaskField&,
+                               const MaterialTable&, const CollisionConfig&,
+                               const Box3&, int /*threads*/) {
+    throw Error("backend '" + info().name +
+                "' does not stream in place (no even-phase hook)");
+  }
+
+  /// Odd in-place phase: purely local rotated-layout sweep (no halo
+  /// traffic), restoring the natural layout.
+  virtual void stepInPlaceOdd(Field&, const MaskField&, const MaterialTable&,
+                              const CollisionConfig&, const Box3&,
+                              int /*threads*/) {
+    throw Error("backend '" + info().name +
+                "' does not stream in place (no odd-phase hook)");
+  }
+
+  /// Serialize `box` of `f` into `out` as raw storage elements in the
+  /// HaloExchange pack order (q outer, then z, y, x) — `box.volume() *
+  /// Q` elements.  Ghost messages between patches carry exactly these
+  /// bytes, so sender and receiver backends must agree on the order;
+  /// the defaults implement it for the natural SoA layout.
+  virtual void packHalo(const Field& f, const Box3& box, S* out) const {
+    std::size_t k = 0;
+    for (int q = 0; q < D::Q; ++q)
+      for (int z = box.lo.z; z < box.hi.z; ++z)
+        for (int y = box.lo.y; y < box.hi.y; ++y)
+          for (int x = box.lo.x; x < box.hi.x; ++x)
+            out[k++] = f.raw(q, x, y, z);
+  }
+
+  /// Inverse of packHalo: deposit `box.volume() * Q` raw elements from
+  /// `in` into `box` of `f` (halo cells of the receiving block).
+  virtual void unpackHalo(Field& f, const Box3& box, const S* in) const {
+    std::size_t k = 0;
+    for (int q = 0; q < D::Q; ++q)
+      for (int z = box.lo.z; z < box.hi.z; ++z)
+        for (int y = box.lo.y; y < box.hi.y; ++y)
+          for (int x = box.lo.x; x < box.hi.x; ++x)
+            f.raw(q, x, y, z) = in[k++];
+  }
+};
+
+}  // namespace swlb

@@ -1,0 +1,236 @@
+// Built-in kernel backends and the per-(lattice, storage) registry
+// (DESIGN.md §14).  Each host backend is a thin adapter from the
+// KernelBackend hooks onto the kernels in core/kernels*.hpp; the SW CPE
+// emulator adapter lives in sw/backend_cpe.hpp and is registered here
+// for the lattices its kernel is instantiated for.  Solvers obtain
+// instances through make_backend<D, S>(name); unknown names throw with
+// the registered list — requesting a backend never silently degrades to
+// another one.
+#pragma once
+
+#include <type_traits>
+
+#include "core/backend.hpp"
+#include "core/kernels_team.hpp"
+#include "sw/backend_cpe.hpp"
+
+#ifdef SWLB_OPENMP
+#include <omp.h>
+#endif
+
+namespace swlb {
+
+namespace detail {
+
+/// CRTP-free helper: backends that only differ in which kernel function
+/// they call share everything else through this base.
+template <class D, class S>
+class TwoLatticeBackend : public KernelBackend<D, S> {
+ public:
+  explicit TwoLatticeBackend(const char* name)
+      : info_(*find_backend_info(name)) {}
+  const BackendInfo& info() const override { return info_; }
+
+ private:
+  const BackendInfo& info_;
+};
+
+}  // namespace detail
+
+template <class D, class S>
+class FusedBackend final : public detail::TwoLatticeBackend<D, S> {
+ public:
+  FusedBackend() : detail::TwoLatticeBackend<D, S>("fused") {}
+  void step(const BackendStepArgs<D, S>& a) override {
+    stream_collide_fused_mt<D>(*a.src, *a.dst, *a.mask, *a.mats, *a.cfg,
+                               a.range, a.threads);
+  }
+};
+
+template <class D, class S>
+class GenericBackend final : public detail::TwoLatticeBackend<D, S> {
+ public:
+  GenericBackend() : detail::TwoLatticeBackend<D, S>("generic") {}
+  void step(const BackendStepArgs<D, S>& a) override {
+    stream_collide_generic<D>(*a.src, *a.dst, *a.mask, *a.mats, *a.cfg,
+                              a.range);
+  }
+};
+
+template <class D, class S>
+class TwoStepBackend final : public detail::TwoLatticeBackend<D, S> {
+ public:
+  TwoStepBackend() : detail::TwoLatticeBackend<D, S>("twostep") {}
+  void step(const BackendStepArgs<D, S>& a) override {
+    stream_only<D>(*a.src, *a.dst, *a.mask, *a.mats, a.range);
+    collide_inplace<D>(*a.dst, *a.mask, *a.mats, *a.cfg, a.range);
+  }
+};
+
+template <class D, class S>
+class PushBackend final : public detail::TwoLatticeBackend<D, S> {
+ public:
+  PushBackend() : detail::TwoLatticeBackend<D, S>("push") {}
+  void step(const BackendStepArgs<D, S>& a) override {
+    stream_collide_push<D>(*a.src, *a.dst, *a.mask, *a.mats, *a.cfg, a.range,
+                           a.periodic);
+  }
+};
+
+template <class D, class S>
+class SimdBackend final : public detail::TwoLatticeBackend<D, S> {
+ public:
+  SimdBackend() : detail::TwoLatticeBackend<D, S>("simd") {}
+  void step(const BackendStepArgs<D, S>& a) override {
+    stream_collide_simd_mt<D>(*a.src, *a.dst, *a.mask, *a.mats, *a.cfg,
+                              a.range, a.threads);
+  }
+};
+
+/// In-place Esoteric-Pull backend: implements the even/odd phase pair,
+/// two-lattice step() is rejected (callers branch on
+/// caps.inPlaceStreaming, so reaching it is a solver bug).
+template <class D, class S>
+class EsotericBackend final : public detail::TwoLatticeBackend<D, S> {
+ public:
+  using Field = PopulationFieldT<S>;
+  EsotericBackend() : detail::TwoLatticeBackend<D, S>("esoteric") {}
+  void step(const BackendStepArgs<D, S>&) override {
+    throw Error("backend 'esoteric' streams in place; use the "
+                "stepInPlaceEven/Odd hooks");
+  }
+  void stepInPlaceEven(Field& f, const MaskField& mask,
+                       const MaterialTable& mats, const CollisionConfig& cfg,
+                       const Box3& range, int threads) override {
+    stream_collide_esoteric_even_mt<D>(f, mask, mats, cfg, range, threads);
+  }
+  void stepInPlaceOdd(Field& f, const MaskField& mask,
+                      const MaterialTable& mats, const CollisionConfig& cfg,
+                      const Box3& range, int threads) override {
+    stream_collide_esoteric_odd_mt<D>(f, mask, mats, cfg, range, threads);
+  }
+};
+
+/// Host thread-team backend: the fused kernel over the canonical z-slab
+/// split, executed by a persistent team (OpenMP when the build has it,
+/// the TeamPool fallback otherwise) instead of per-step thread spawns.
+/// `threads <= 0` selects one lane per hardware core — the knob that
+/// lets a single rank use the whole host (the CPE-cluster role on
+/// commodity machines).
+template <class D, class S>
+class ThreadTeamBackend final : public detail::TwoLatticeBackend<D, S> {
+ public:
+  ThreadTeamBackend() : detail::TwoLatticeBackend<D, S>("threads") {}
+  void step(const BackendStepArgs<D, S>& a) override {
+    const int nz = a.range.hi.z - a.range.lo.z;
+    const int n = std::max(1, std::min(resolve_host_threads(a.threads), nz));
+    if (n <= 1) {
+      stream_collide_fused<D>(*a.src, *a.dst, *a.mask, *a.mats, *a.cfg,
+                              a.range);
+      return;
+    }
+#ifdef SWLB_OPENMP
+#pragma omp parallel num_threads(n)
+    {
+      const int t = omp_get_thread_num();
+      if (t < n)
+        stream_collide_fused<D>(*a.src, *a.dst, *a.mask, *a.mats, *a.cfg,
+                                team_slab(a.range, t, n));
+    }
+#else
+    pool_.parallelFor(n, [&](int t) {
+      stream_collide_fused<D>(*a.src, *a.dst, *a.mask, *a.mats, *a.cfg,
+                              team_slab(a.range, t, n));
+    });
+#endif
+  }
+
+ private:
+#ifndef SWLB_OPENMP
+  TeamPool pool_;
+#endif
+};
+
+/// Factory registry for one (lattice, storage) instantiation.  Built-ins
+/// register in the constructor; a backend whose kernel is not
+/// instantiated for this lattice (swcpe outside D3Q19/D2Q9) is simply
+/// absent, so requesting it throws the explicit "not registered" error
+/// instead of link-failing or falling back.
+template <class D, class S>
+class BackendRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<KernelBackend<D, S>>()>;
+
+  static BackendRegistry& instance() {
+    static BackendRegistry reg;
+    return reg;
+  }
+
+  bool has(const std::string& name) const {
+    return factories_.count(name) > 0;
+  }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const BackendInfo& b : backend_catalog())
+      if (has(b.name)) out.push_back(b.name);
+    return out;
+  }
+
+  std::unique_ptr<KernelBackend<D, S>> make(const std::string& name) const {
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const std::string& n : names()) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      throw Error("backend '" + name + "' is not registered for lattice " +
+                  D::name() + " (registered: " + known + ")");
+    }
+    return it->second();
+  }
+
+ private:
+  BackendRegistry() {
+    add("fused", [] { return std::make_unique<FusedBackend<D, S>>(); });
+    add("generic", [] { return std::make_unique<GenericBackend<D, S>>(); });
+    add("twostep", [] { return std::make_unique<TwoStepBackend<D, S>>(); });
+    add("push", [] { return std::make_unique<PushBackend<D, S>>(); });
+    add("simd", [] { return std::make_unique<SimdBackend<D, S>>(); });
+    add("esoteric", [] { return std::make_unique<EsotericBackend<D, S>>(); });
+    add("threads",
+        [] { return std::make_unique<ThreadTeamBackend<D, S>>(); });
+    // The CPE kernel is explicitly instantiated for D3Q19/D2Q9 only
+    // (sw/sw_kernels.cpp); other lattices must get the not-registered
+    // error above, not a link error.
+    if constexpr (std::is_same_v<D, D3Q19> || std::is_same_v<D, D2Q9>) {
+      add("swcpe",
+          [] { return std::make_unique<sw::SwCpeBackend<D, S>>(); });
+    }
+  }
+
+  void add(const char* name, Factory f) {
+    SWLB_ASSERT(find_backend_info(name) != nullptr);
+    factories_.emplace(name, std::move(f));
+  }
+
+  std::map<std::string, Factory> factories_;
+};
+
+/// Create a backend instance by catalog name for (D, S).  Throws (with
+/// the registered list) for unknown names or lattices the backend does
+/// not support — the capability-rejection contract.
+template <class D, class S>
+std::unique_ptr<KernelBackend<D, S>> make_backend(const std::string& name) {
+  return BackendRegistry<D, S>::instance().make(name);
+}
+
+/// Registered backend names for (D, S), in catalog order.
+template <class D, class S>
+std::vector<std::string> backend_names() {
+  return BackendRegistry<D, S>::instance().names();
+}
+
+}  // namespace swlb

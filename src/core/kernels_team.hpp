@@ -1,0 +1,129 @@
+// Persistent host-thread team for the "threads" backend (DESIGN.md §14).
+//
+// The existing _mt kernel drivers spawn-and-join std::threads on every
+// step — correct (z-slab writes are disjoint, bit-identical for any
+// thread count) but the fork cost is paid per step.  The thread-team
+// backend keeps the workers alive instead:
+//
+//   * with OpenMP (SWLB_OPENMP, set by CMake when the toolchain has it
+//     and no sanitizer is active — libgomp's barriers are opaque to
+//     TSan), one `#pragma omp parallel` region per step reuses libgomp's
+//     persistent team;
+//   * otherwise TeamPool below parks std::threads on a condition
+//     variable and wakes them per step — same slab split, same results,
+//     and clean under every sanitizer.
+//
+// Both paths run stream_collide_fused over the identical z-slab
+// partition as stream_collide_fused_mt, so the backend inherits its
+// bit-identity claim (tests/kernel_conformance.hpp enforces it at 1, 2
+// and hardware_concurrency threads).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/kernels.hpp"
+
+namespace swlb {
+
+/// The canonical z-slab of thread `t` out of `n` over `range` — the same
+/// split stream_collide_fused_mt uses, factored out so every threaded
+/// driver partitions identically (a prerequisite for bit-identity claims
+/// that quote "the MT segmentation").
+inline Box3 team_slab(const Box3& range, int t, int n) {
+  const long long nz = range.hi.z - range.lo.z;
+  Box3 slab = range;
+  slab.lo.z = range.lo.z + static_cast<int>(nz * t / n);
+  slab.hi.z = range.lo.z + static_cast<int>(nz * (t + 1) / n);
+  return slab;
+}
+
+/// Resolve a host-thread request against the hardware: <= 0 means one
+/// thread per core (never less than 1), anything else is taken as-is.
+inline int resolve_host_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Persistent worker pool: N parked std::threads woken per parallelFor
+/// call.  The calling thread runs index 0 itself, workers run 1..n-1.
+/// All shared state is mutex-protected (sanitizer-clean); the job body
+/// runs outside the lock.  Workers are created lazily on first use and
+/// grown on demand; idle extras (when a call asks for fewer lanes) skip
+/// the round at the barrier.
+class TeamPool {
+ public:
+  TeamPool() = default;
+  TeamPool(const TeamPool&) = delete;
+  TeamPool& operator=(const TeamPool&) = delete;
+
+  ~TeamPool() {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+    cvWork_.notify_all();
+    lock.unlock();
+    for (auto& w : workers_) w.join();
+  }
+
+  /// Run fn(t) for every t in [0, n) across the team and return when all
+  /// lanes finished.  Not reentrant (one parallelFor at a time per pool
+  /// — the solvers' step hooks never overlap, see KernelBackend docs).
+  void parallelFor(int n, const std::function<void(int)>& fn) {
+    if (n <= 1) {
+      fn(0);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (static_cast<int>(workers_.size()) < n - 1) {
+        const int index = static_cast<int>(workers_.size()) + 1;
+        workers_.emplace_back([this, index] { workerLoop(index); });
+      }
+      job_ = &fn;
+      active_ = n;
+      pending_ = n - 1;
+      ++epoch_;
+      cvWork_.notify_all();
+    }
+    fn(0);
+    std::unique_lock<std::mutex> lock(mu_);
+    cvDone_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void workerLoop(int index) {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cvWork_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        if (index < active_) job = job_;
+      }
+      if (job) (*job)(index);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (index < active_ && --pending_ == 0) cvDone_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cvWork_, cvDone_;
+  std::vector<std::thread> workers_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int active_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace swlb

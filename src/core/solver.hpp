@@ -1,38 +1,24 @@
 // Single-block LBM solver: owns the A-B population fields, the material
 // mask, and the time loop (paper §IV-A: pull scheme, SoA, A-B pattern).
+// The stream/collide execution itself is delegated to a KernelBackend
+// (core/backend.hpp, DESIGN.md §14): the solver schedules wraps, parity
+// and observables; the backend runs the update.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <string>
 
+#include "core/backends.hpp"
 #include "core/kernels.hpp"
 #include "core/macroscopic.hpp"
 #include "obs/context.hpp"
 
 namespace swlb {
 
-/// Which stream/collide implementation the solver drives each step.
-enum class KernelVariant {
-  Fused,     ///< production path: optimized SoA fused pull kernel
-  Generic,   ///< portable fused pull kernel (reference implementation)
-  TwoStep,   ///< separate stream + collide (fusion ablation baseline)
-  Push,      ///< fused collide + push streaming (layout ablation baseline)
-  Simd,      ///< vectorized bulk-run fused kernel (bit-identical to Fused)
-  Esoteric,  ///< in-place single-buffer streaming (0.5x population memory)
-};
-
-inline const char* kernel_variant_name(KernelVariant v) {
-  switch (v) {
-    case KernelVariant::Fused: return "fused";
-    case KernelVariant::Generic: return "generic";
-    case KernelVariant::TwoStep: return "twostep";
-    case KernelVariant::Push: return "push";
-    case KernelVariant::Simd: return "simd";
-    case KernelVariant::Esoteric: return "esoteric";
-  }
-  return "?";
-}
+// KernelVariant (the enum spelling of backend names) lives in
+// core/backend.hpp together with the backend concept and registry.
 
 /// `S` selects the population *storage* precision (double / float / f16);
 /// all collision arithmetic stays in Real.  Defaults to lossless double.
@@ -47,7 +33,8 @@ class Solver {
         cfg_(collision),
         periodic_(periodic),
         f_{Field(grid, D::Q), Field(grid, D::Q)},
-        mask_(grid, MaterialTable::kFluid) {
+        mask_(grid, MaterialTable::kFluid),
+        backend_(make_backend<D, S>("fused")) {
     f_[0].setShift(D::w);
     f_[1].setShift(D::w);
     obs::gaugeSet("solver.population_bytes",
@@ -61,36 +48,49 @@ class Solver {
   const MaterialTable& materials() const { return mats_; }
   MaskField& mask() { return mask_; }
   const MaskField& mask() const { return mask_; }
-  /// Select the stream/collide implementation.  Switching to Esoteric
-  /// releases the second A-B buffer (the whole point of the scheme);
-  /// switching away reallocates it.  Either direction requires the buffer
-  /// to be in natural layout, i.e. an even phase.
-  void setVariant(KernelVariant v) {
-    if ((v == KernelVariant::Esoteric) !=
-        (variant_ == KernelVariant::Esoteric)) {
+
+  /// Select the stream/collide backend by registry name.  Switching to
+  /// an in-place backend releases the second A-B buffer (the point of
+  /// the scheme); switching away reallocates it.  Either direction
+  /// requires the buffer in natural layout, i.e. an even phase.  Unknown
+  /// names and capability conflicts (e.g. an in-place backend over an
+  /// Outflow mask) throw — no silent fallback.
+  void setBackend(const std::string& name) {
+    auto next = make_backend<D, S>(name);
+    const bool wasInPlace = backend_->info().caps.inPlaceStreaming;
+    const bool isInPlace = next->info().caps.inPlaceStreaming;
+    if (wasInPlace != isInPlace) {
       SWLB_ASSERT(parity_ == 0);
-      if (v == KernelVariant::Esoteric) {
+      if (isInPlace) {
         f_[1] = Field();
-        if (maskFinal_) validateEsotericMask();
       } else {
         f_[1] = Field(grid_, D::Q);
         f_[1].setShift(D::w);
       }
     }
-    variant_ = v;
+    backend_ = std::move(next);
+    variant_ = kernel_variant_from_name(name);
+    if (maskFinal_) backend_->init(grid_, mask_, mats_);
     obs::gaugeSet("solver.population_bytes",
                   static_cast<double>(populationBytes()));
   }
+
+  /// Enum spelling of setBackend (kept for config structs and call sites
+  /// that predate the registry).
+  void setVariant(KernelVariant v) { setBackend(kernel_variant_name(v)); }
   KernelVariant variant() const { return variant_; }
+  const KernelBackend<D, S>& backend() const { return *backend_; }
+  const std::string& backendName() const { return backend_->info().name; }
 
   /// Bytes held in population storage: two lattices normally, one under
-  /// the esoteric single-buffer scheme (the gauge `solver.population_bytes`
-  /// tracks this — not the historical unconditional two-lattice figure).
+  /// an in-place single-buffer backend (the gauge `solver.population_
+  /// bytes` tracks this — not the historical two-lattice figure).
   std::size_t populationBytes() const {
     return f_[0].bytes() + f_[1].bytes();
   }
-  /// Host threads for the fused kernel (intra-rank parallelism; results
-  /// are bit-identical for any thread count).
+  /// Host threads for backends with caps.usesHostThreads (intra-rank
+  /// parallelism; results are bit-identical for any thread count).
+  /// <= 0 selects one thread per hardware core.
   void setHostThreads(int n) { hostThreads_ = n; }
   int hostThreads() const { return hostThreads_; }
 
@@ -104,11 +104,12 @@ class Solver {
 
   /// Finish mask setup: non-periodic halo becomes solid wall, periodic
   /// halo wraps.  Must be called after all paint()/mask edits and before
-  /// the first step.
+  /// the first step.  Runs the backend's capability validation (e.g.
+  /// in-place backends reject Outflow cells here).
   void finalizeMask() {
     fill_halo_mask(mask_, periodic_, MaterialTable::kSolid);
     maskFinal_ = true;
-    if (variant_ == KernelVariant::Esoteric) validateEsotericMask();
+    backend_->init(grid_, mask_, mats_);
   }
 
   /// Initialize populations to equilibrium at constant (rho, u).
@@ -138,14 +139,14 @@ class Solver {
         }
   }
 
-  /// Advance one time step: wrap periodic halos, fused update, A-B swap.
-  /// Under Esoteric, parity_ is the in-place phase instead of the A-B
-  /// index: 0 = natural layout, 1 = rotated (post-even) layout.
+  /// Advance one time step: wrap periodic halos, backend update, A-B
+  /// swap.  Under an in-place backend, parity_ is the phase instead of
+  /// the A-B index: 0 = natural layout, 1 = rotated (post-even) layout.
   void step() {
     obs::TraceScope stepScope("step");
     SWLB_ASSERT(maskFinal_);
-    if (variant_ == KernelVariant::Esoteric) {
-      stepEsoteric();
+    if (backend_->info().caps.inPlaceStreaming) {
+      stepInPlace();
       parity_ = 1 - parity_;
       ++steps_;
       return;
@@ -157,29 +158,16 @@ class Solver {
       apply_periodic(src, periodic_);
     }
     obs::TraceScope kernelScope("compute.kernel");
-    const Box3 range = grid_.interior();
-    switch (variant_) {
-      case KernelVariant::Fused:
-        stream_collide_fused_mt<D>(src, dst, mask_, mats_, cfg_, range,
-                                   hostThreads_);
-        break;
-      case KernelVariant::Generic:
-        stream_collide_generic<D>(src, dst, mask_, mats_, cfg_, range);
-        break;
-      case KernelVariant::TwoStep:
-        stream_only<D>(src, dst, mask_, mats_, range);
-        collide_inplace<D>(dst, mask_, mats_, cfg_, range);
-        break;
-      case KernelVariant::Push:
-        stream_collide_push<D>(src, dst, mask_, mats_, cfg_, range, periodic_);
-        break;
-      case KernelVariant::Simd:
-        stream_collide_simd_mt<D>(src, dst, mask_, mats_, cfg_, range,
-                                  hostThreads_);
-        break;
-      case KernelVariant::Esoteric:
-        break;  // handled above
-    }
+    BackendStepArgs<D, S> args;
+    args.src = &src;
+    args.dst = &dst;
+    args.mask = &mask_;
+    args.mats = &mats_;
+    args.cfg = &cfg_;
+    args.range = grid_.interior();
+    args.periodic = periodic_;
+    args.threads = hostThreads_;
+    backend_->step(args);
     parity_ = 1 - parity_;
     ++steps_;
   }
@@ -201,33 +189,30 @@ class Solver {
 
   std::uint64_t stepsDone() const { return steps_; }
 
-  /// Current (most recently written) population field.  Under Esoteric
-  /// this is always the single buffer; after an odd number of steps it is
-  /// in the rotated layout — use population()/the macroscopic accessors,
-  /// which decode it, rather than indexing the raw field.
-  const Field& f() const {
-    return variant_ == KernelVariant::Esoteric ? f_[0] : f_[parity_];
-  }
-  Field& f() {
-    return variant_ == KernelVariant::Esoteric ? f_[0] : f_[parity_];
-  }
+  /// Current (most recently written) population field.  Under an
+  /// in-place backend this is always the single buffer; after an odd
+  /// number of steps it is in the rotated layout — use population()/the
+  /// macroscopic accessors, which decode it, rather than indexing raw.
+  const Field& f() const { return inPlace() ? f_[0] : f_[parity_]; }
+  Field& f() { return inPlace() ? f_[0] : f_[parity_]; }
   /// The other buffer of the A-B pair (scratch / previous step).
   Field& fOther() { return f_[1 - parity_]; }
   int parity() const { return parity_; }
   void setParity(int p) { parity_ = p; }
-  /// Restore step counter and A-B parity (checkpoint restart).  Esoteric
+  /// Restore step counter and A-B parity (checkpoint restart).  In-place
   /// checkpoints must be cut at an even phase (natural layout).
   void restoreState(std::uint64_t steps, int parity) {
     SWLB_ASSERT(parity == 0 || parity == 1);
-    SWLB_ASSERT(variant_ != KernelVariant::Esoteric || parity == 0);
+    SWLB_ASSERT(!inPlace() || parity == 0);
     steps_ = steps;
     parity_ = parity;
   }
 
-  /// Canonical post-stream population f_i(x) regardless of variant/phase:
-  /// after an esoteric even step, f_i*(x) lives at slot opp(i) of x + c_i.
+  /// Canonical post-stream population f_i(x) regardless of backend and
+  /// phase: after an in-place even step, f_i*(x) lives at slot opp(i) of
+  /// x + c_i (the Esoteric-Pull rotated-layout contract).
   Real population(int i, int x, int y, int z) const {
-    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+    if (rotated())
       return f_[0](D::opp(i), x + D::c[i][0], y + D::c[i][1], z + D::c[i][2]);
     return f()(i, x, y, z);
   }
@@ -235,7 +220,7 @@ class Solver {
   Real density(int x, int y, int z) const {
     Real rho;
     Vec3 u;
-    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+    if (rotated())
       cell_macroscopic<D>(EsotericPhase1View<D, S>(f_[0]), x, y, z, cfg_, rho,
                           u);
     else
@@ -245,7 +230,7 @@ class Solver {
   Vec3 velocity(int x, int y, int z) const {
     Real rho;
     Vec3 u;
-    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+    if (rotated())
       cell_macroscopic<D>(EsotericPhase1View<D, S>(f_[0]), x, y, z, cfg_, rho,
                           u);
     else
@@ -253,7 +238,7 @@ class Solver {
     return u;
   }
   void computeMacroscopic(ScalarField& rho, VectorField& u) const {
-    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+    if (rotated())
       compute_macroscopic<D>(EsotericPhase1View<D, S>(f_[0]), mask_, mats_,
                              cfg_, rho, u);
     else
@@ -261,20 +246,27 @@ class Solver {
   }
 
   Real totalMass() const {
-    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+    if (rotated())
       return total_mass<D>(EsotericPhase1View<D, S>(f_[0]), mask_, mats_);
     return total_mass<D>(f(), mask_, mats_);
   }
   Vec3 totalMomentum() const {
-    if (variant_ == KernelVariant::Esoteric && parity_ == 1)
+    if (rotated())
       return total_momentum<D>(EsotericPhase1View<D, S>(f_[0]), mask_, mats_);
     return total_momentum<D>(f(), mask_, mats_);
   }
 
  private:
-  /// Esoteric in-place step: even phase wraps forward, sweeps, and wraps
-  /// the rotated layout back; odd phase is purely local (no halo traffic).
-  void stepEsoteric() {
+  bool inPlace() const { return backend_->info().caps.inPlaceStreaming; }
+  /// True when the single in-place buffer is in the rotated (post-even)
+  /// layout and reads must decode through EsotericPhase1View.
+  bool rotated() const { return inPlace() && parity_ == 1; }
+
+  /// In-place step schedule: even phase wraps forward, sweeps, and wraps
+  /// the rotated layout back; odd phase is purely local (no halo
+  /// traffic).  The wrap choreography is part of the in-place contract
+  /// (DESIGN.md §11), so it stays in the solver; the backend only sweeps.
+  void stepInPlace() {
     const Box3 range = grid_.interior();
     if (parity_ == 0) {
       {
@@ -283,36 +275,25 @@ class Solver {
       }
       {
         obs::TraceScope kernelScope("compute.kernel");
-        stream_collide_esoteric_even_mt<D>(f_[0], mask_, mats_, cfg_, range,
-                                           hostThreads_);
+        backend_->stepInPlaceEven(f_[0], mask_, mats_, cfg_, range,
+                                  hostThreads_);
       }
       obs::TraceScope wrapScope("periodic_wrap");
       apply_periodic_reverse<D>(f_[0], periodic_);
     } else {
       obs::TraceScope kernelScope("compute.kernel");
-      stream_collide_esoteric_odd_mt<D>(f_[0], mask_, mats_, cfg_, range,
-                                        hostThreads_);
+      backend_->stepInPlaceOdd(f_[0], mask_, mats_, cfg_, range,
+                               hostThreads_);
     }
   }
 
-  /// The in-place scheme has no outflow rule (an extrapolating copy from a
-  /// neighbour would race with that neighbour's own in-place update).
-  void validateEsotericMask() const {
-    const Box3 range = grid_.interior();
-    for (int z = range.lo.z; z < range.hi.z; ++z)
-      for (int y = range.lo.y; y < range.hi.y; ++y)
-        for (int x = range.lo.x; x < range.hi.x; ++x)
-          if (!esoteric_supports(mats_[mask_(x, y, z)].cls))
-            throw Error(
-                "KernelVariant::Esoteric does not support Outflow cells "
-                "(in-place streaming has no extrapolation slot)");
-  }
   Grid grid_;
   CollisionConfig cfg_;
   Periodicity periodic_;
   Field f_[2];
   MaskField mask_;
   MaterialTable mats_;
+  std::unique_ptr<KernelBackend<D, S>> backend_;
   KernelVariant variant_ = KernelVariant::Fused;
   int hostThreads_ = 1;
   int parity_ = 0;

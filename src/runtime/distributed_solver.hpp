@@ -19,6 +19,7 @@
 #include <cmath>
 
 #include "coll/coll.hpp"
+#include "core/backends.hpp"
 #include "core/kernels.hpp"
 #include "core/macroscopic.hpp"
 #include "core/observables.hpp"
@@ -44,14 +45,22 @@ class DistributedSolver {
     HaloMode mode = HaloMode::Overlap;
     /// Process grid; {0,0,0} selects Decomposition::choose(comm.size()).
     Int3 procGrid{0, 0, 0};
-    /// Stream/collide implementation.  Fused, Simd, Generic and Esoteric
-    /// are supported distributed; TwoStep/Push are single-rank ablation
-    /// baselines and are rejected.  Esoteric frees the second buffer and
-    /// only communicates on even steps (halved exchange frequency); its
-    /// step always runs the sequential-style schedule regardless of
-    /// `mode`, because the in-place sweep cannot split into inner/shell
-    /// passes around an exchange that its own scatter must precede.
+    /// Stream/collide backend (enum spelling; see core/backend.hpp).
+    /// Backends without caps.distributed (twostep, push) are rejected at
+    /// construction.  In-place backends (esoteric) free the second
+    /// buffer and only communicate on even steps (halved exchange
+    /// frequency); their step always runs the sequential-style schedule
+    /// regardless of `mode`, because the in-place sweep cannot split
+    /// into inner/shell passes around an exchange that its own scatter
+    /// must precede.  Whole-block backends (!caps.subRange, swcpe) force
+    /// HaloMode::Sequential for the same reason.
     KernelVariant variant = KernelVariant::Fused;
+    /// Registry-name spelling of the backend; when non-empty it takes
+    /// precedence over `variant` (the tuner writes this field).
+    std::string backend;
+    /// Host threads for caps.usesHostThreads backends (<= 0 = one per
+    /// hardware core).
+    int hostThreads = 1;
   };
 
   DistributedSolver(Comm& comm, const Config& cfg)
@@ -68,13 +77,22 @@ class DistributedSolver {
         mask_(grid_, MaterialTable::kFluid) {
     if (decomp_.rankCount() != comm.size())
       throw Error("DistributedSolver: process grid does not match world size");
-    if (cfg_.variant == KernelVariant::TwoStep ||
-        cfg_.variant == KernelVariant::Push)
-      throw Error("DistributedSolver: TwoStep/Push are single-rank ablation "
-                  "variants");
+    const std::string name = cfg_.backend.empty()
+                                 ? kernel_variant_name(cfg_.variant)
+                                 : cfg_.backend;
+    backend_ = make_backend<D, S>(name);
+    cfg_.variant = kernel_variant_from_name(name);
+    const BackendCaps& caps = backend_->info().caps;
+    if (!caps.distributed)
+      throw Error("DistributedSolver: backend '" + name +
+                  "' is a single-rank ablation baseline (capability "
+                  "'distributed' is off)");
+    // Whole-block backends cannot run the overlap schedule's inner/shell
+    // split; drop to the sequential schedule instead of mis-slicing.
+    if (!caps.subRange) cfg_.mode = HaloMode::Sequential;
     f_[0].setShift(D::w);
     f_[1].setShift(D::w);
-    if (cfg_.variant == KernelVariant::Esoteric) f_[1] = Field();
+    if (caps.inPlaceStreaming) f_[1] = Field();
     obs::gaugeSet("solver.population_bytes",
                   static_cast<double>(populationBytes()));
   }
@@ -103,16 +121,8 @@ class DistributedSolver {
                    MaterialTable::kSolid);
     halo_.exchangeMask(comm_, mask_);
     maskFinal_ = true;
-    if (cfg_.variant == KernelVariant::Esoteric) {
-      const Box3 range = grid_.interior();
-      for (int z = range.lo.z; z < range.hi.z; ++z)
-        for (int y = range.lo.y; y < range.hi.y; ++y)
-          for (int x = range.lo.x; x < range.hi.x; ++x)
-            if (!esoteric_supports(mats_[mask_(x, y, z)].cls))
-              throw Error(
-                  "KernelVariant::Esoteric does not support Outflow cells "
-                  "(in-place streaming has no extrapolation slot)");
-    }
+    // Capability validation: in-place backends reject Outflow masks here.
+    backend_->init(grid_, mask_, mats_);
   }
 
   /// Equilibrium initialization from a *global*-coordinate field function.
@@ -148,8 +158,8 @@ class DistributedSolver {
   void step() {
     obs::TraceScope stepScope("step");
     SWLB_ASSERT(maskFinal_);
-    if (cfg_.variant == KernelVariant::Esoteric) {
-      stepEsoteric();
+    if (inPlace()) {
+      stepInPlace();
       parity_ = 1 - parity_;
       ++steps_;
       return;
@@ -211,19 +221,20 @@ class DistributedSolver {
   std::uint64_t stepsDone() const { return steps_; }
   int parity() const { return parity_; }
   /// Restore step counter and A-B parity (group checkpoint restart).
-  /// Esoteric checkpoints must be cut at an even phase (natural layout).
+  /// In-place checkpoints must be cut at an even phase (natural layout).
   void restoreState(std::uint64_t steps, int parity) {
     SWLB_ASSERT(parity == 0 || parity == 1);
-    SWLB_ASSERT(cfg_.variant != KernelVariant::Esoteric || parity == 0);
+    SWLB_ASSERT(!inPlace() || parity == 0);
     steps_ = steps;
     parity_ = parity;
   }
-  const Field& f() const {
-    return cfg_.variant == KernelVariant::Esoteric ? f_[0] : f_[parity_];
-  }
-  Field& f() {
-    return cfg_.variant == KernelVariant::Esoteric ? f_[0] : f_[parity_];
-  }
+  const Field& f() const { return inPlace() ? f_[0] : f_[parity_]; }
+  Field& f() { return inPlace() ? f_[0] : f_[parity_]; }
+  const KernelBackend<D, S>& backend() const { return *backend_; }
+  const std::string& backendName() const { return backend_->info().name; }
+  /// Effective halo schedule (may differ from the configured one when
+  /// the backend forces Sequential — see Config::variant docs).
+  HaloMode haloMode() const { return cfg_.mode; }
 
   /// Bytes held in population storage (one lattice under Esoteric).
   std::size_t populationBytes() const {
@@ -365,34 +376,35 @@ class DistributedSolver {
 
  private:
   bool zWrapLocal() const { return cfg_.periodic.z; }
-  /// True when the single esoteric buffer is in the rotated (post-even)
+  bool inPlace() const { return backend_->info().caps.inPlaceStreaming; }
+  /// True when the single in-place buffer is in the rotated (post-even)
   /// layout and reads must go through EsotericPhase1View.
-  bool rotatedPhase() const {
-    return cfg_.variant == KernelVariant::Esoteric && parity_ == 1;
+  bool rotatedPhase() const { return inPlace() && parity_ == 1; }
+
+  /// One backend update of `range`.  No fallback: the backend was
+  /// resolved by name at construction and capability-checked, so
+  /// whatever it is runs — an unsupported combination already threw.
+  void runKernel(Field& src, Field& dst, const Box3& range) {
+    BackendStepArgs<D, S> args;
+    args.src = &src;
+    args.dst = &dst;
+    args.mask = &mask_;
+    args.mats = &mats_;
+    args.cfg = &cfg_.collision;
+    args.range = range;
+    args.periodic = Periodicity{false, false, zWrapLocal()};
+    args.threads = cfg_.hostThreads;
+    backend_->step(args);
   }
 
-  void runKernel(const Field& src, Field& dst, const Box3& range) {
-    switch (cfg_.variant) {
-      case KernelVariant::Generic:
-        stream_collide_generic<D>(src, dst, mask_, mats_, cfg_.collision,
-                                  range);
-        break;
-      case KernelVariant::Simd:
-        stream_collide_simd<D>(src, dst, mask_, mats_, cfg_.collision, range);
-        break;
-      default:
-        stream_collide_fused<D>(src, dst, mask_, mats_, cfg_.collision, range);
-        break;
-    }
-  }
-
-  /// In-place esoteric step.  Even phase: local z wrap, forward exchange
-  /// (the gather pulls from the halo exactly like the fused kernel), one
-  /// whole-interior in-place sweep, then the *reverse* exchange + local
-  /// reverse z wrap fold the outward scatter back to its owners.  Odd
-  /// phase: fully local — no communication at all, halving the exchange
-  /// frequency relative to the two-lattice schedule.
-  void stepEsoteric() {
+  /// In-place (Esoteric-Pull) step.  Even phase: local z wrap, forward
+  /// exchange (the gather pulls from the halo exactly like the fused
+  /// kernel), one whole-interior in-place sweep, then the *reverse*
+  /// exchange + local reverse z wrap fold the outward scatter back to
+  /// its owners.  Odd phase: fully local — no communication at all,
+  /// halving the exchange frequency relative to the two-lattice
+  /// schedule.
+  void stepInPlace() {
     Field& buf = f_[0];
     if (parity_ == 0) {
       {
@@ -405,8 +417,8 @@ class DistributedSolver {
       }
       {
         obs::TraceScope computeScope("compute.interior");
-        stream_collide_esoteric_even<D>(buf, mask_, mats_, cfg_.collision,
-                                        grid_.interior());
+        backend_->stepInPlaceEven(buf, mask_, mats_, cfg_.collision,
+                                  grid_.interior(), cfg_.hostThreads);
       }
       {
         obs::TraceScope haloScope("halo.exchange");
@@ -416,8 +428,8 @@ class DistributedSolver {
       apply_periodic_reverse<D>(buf, Periodicity{false, false, zWrapLocal()});
     } else {
       obs::TraceScope computeScope("compute.interior");
-      stream_collide_esoteric_odd<D>(buf, mask_, mats_, cfg_.collision,
-                                     grid_.interior());
+      backend_->stepInPlaceOdd(buf, mask_, mats_, cfg_.collision,
+                               grid_.interior(), cfg_.hostThreads);
     }
   }
 
@@ -447,6 +459,7 @@ class DistributedSolver {
   Field f_[2];
   MaskField mask_;
   MaterialTable mats_;
+  std::unique_ptr<KernelBackend<D, S>> backend_;
   int parity_ = 0;
   std::uint64_t steps_ = 0;
   bool maskFinal_ = false;

@@ -27,6 +27,7 @@
 #include <optional>
 
 #include "coll/coll.hpp"
+#include "core/backends.hpp"
 #include "core/kernels.hpp"
 #include "core/solver.hpp"
 #include "obs/context.hpp"
@@ -120,6 +121,18 @@ class PatchSolver {
     double rebalanceThreshold = 1.10;
     /// EMA smoothing of the per-patch step-time measurements.
     double emaAlpha = 0.3;
+    /// Default stream/collide backend for every patch (registry name,
+    /// core/backend.hpp).  In-place backends are rejected: patch ghost
+    /// exchange needs the two-lattice A-B contract.
+    std::string backend = "fused";
+    /// Per-patch overrides (patch id -> backend name), the tuner's
+    /// heterogeneous mixed-backend plan.  Every rank must pass the same
+    /// map (validated on all ranks; migration re-creates the patch's
+    /// backend on the receiver from this same table).
+    std::map<int, std::string> patchBackends;
+    /// Host threads for caps.usesHostThreads backends (<= 0 = one per
+    /// hardware core).
+    int hostThreads = 1;
   };
 
   PatchSolver(Comm& comm, const Config& cfg)
@@ -161,6 +174,17 @@ class PatchSolver {
   /// only in the trivial sense — every rank derives the same assignment
   /// from the replicated mask, no messages.
   void finalizeMask() {
+    // Validate the backend plan on *every* rank (owners and not), so a
+    // bad name or capability conflict fails identically everywhere
+    // instead of desynchronizing the collectives below.
+    validateBackendName(cfg_.backend);
+    for (const auto& [id, name] : cfg_.patchBackends) {
+      if (id < 0 || id >= layout_.patchCount())
+        throw Error("PatchSolver: patchBackends names patch " +
+                    std::to_string(id) + " but the layout has " +
+                    std::to_string(layout_.patchCount()) + " patches");
+      validateBackendName(name);
+    }
     std::vector<double> w;
     if (cfg_.assignment == Assignment::FluidWeighted) {
       w = layout_.fluidWeights(globalMask_, mats_);
@@ -227,8 +251,16 @@ class PatchSolver {
       obs::TraceScope computeScope("patch.compute");
       for (auto& [id, p] : patches_) {
         const auto t0 = std::chrono::steady_clock::now();
-        stream_collide_fused<D>(p.f[parity_], p.f[1 - parity_], p.mask,
-                                mats_, cfg_.collision, p.grid.interior());
+        BackendStepArgs<D, S> args;
+        args.src = &p.f[parity_];
+        args.dst = &p.f[1 - parity_];
+        args.mask = &p.mask;
+        args.mats = &mats_;
+        args.cfg = &cfg_.collision;
+        args.range = p.grid.interior();
+        args.periodic = Periodicity{false, false, cfg_.periodic.z};
+        args.threads = cfg_.hostThreads;
+        p.backend->step(args);
         const double dt =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           t0)
@@ -267,6 +299,12 @@ class PatchSolver {
   std::uint64_t stepsDone() const { return steps_; }
   int parity() const { return parity_; }
   const std::vector<int>& owners() const { return owners_; }
+  /// Backend name patch `id` runs under (the per-patch override, else the
+  /// default) — identical on every rank, owned or not.
+  const std::string& patchBackendName(int id) const {
+    const auto it = cfg_.patchBackends.find(id);
+    return it != cfg_.patchBackends.end() ? it->second : cfg_.backend;
+  }
   /// Patch ids owned by this rank, ascending.
   std::vector<int> ownedPatches() const {
     std::vector<int> ids;
@@ -359,6 +397,9 @@ class PatchSolver {
     std::vector<HaloExchange::Link> links;
     std::vector<std::vector<std::uint8_t>> sendBufs, recvBufs;
     std::vector<Request> pending;
+    /// This patch's kernel backend instance (rebuilt from the replicated
+    /// Config plan on migration — backend state never travels).
+    std::unique_ptr<KernelBackend<D, S>> backend;
     double ema = 0;  // measured step-seconds EMA (travels on migration)
     bool emaInit = false;
 
@@ -412,7 +453,25 @@ class PatchSolver {
     p.sendBufs.resize(p.links.size());
     p.recvBufs.resize(p.links.size());
     p.pending.resize(p.links.size());
+    p.backend = make_backend<D, S>(patchBackendName(id));
+    p.backend->init(grid, p.mask, mats_);
     return p;
+  }
+
+  /// Reject names the patch runtime cannot drive — explicitly, with the
+  /// capability that failed, never by substituting another backend.
+  void validateBackendName(const std::string& name) const {
+    const BackendInfo* info = find_backend_info(name);
+    if (!info || !BackendRegistry<D, S>::instance().has(name))
+      (void)make_backend<D, S>(name);  // throws the registered-list error
+    if (info->caps.inPlaceStreaming)
+      throw Error("PatchSolver: backend '" + name +
+                  "' streams in place (capability 'inPlaceStreaming'); "
+                  "patch ghost exchange needs the two-lattice A-B contract");
+    if (!info->caps.distributed)
+      throw Error("PatchSolver: backend '" + name +
+                  "' is a single-rank ablation baseline (capability "
+                  "'distributed' is off)");
   }
 
   void exchangeGhosts() {
@@ -432,7 +491,10 @@ class PatchSolver {
                         buf.size());
       }
     }
-    // Pack + send inter-rank strips (HaloExchange pack order: q, z, y, x).
+    // Pack + send inter-rank strips.  The sender's backend serializes in
+    // the HaloExchange pack order (q, z, y, x) — the packHalo/unpackHalo
+    // contract both ends agree on even when the two patches run
+    // different backends.
     for (auto& [id, p] : patches_) {
       const Field& src = p.f[parity_];
       for (std::size_t li = 0; li < p.links.size(); ++li) {
@@ -442,22 +504,15 @@ class PatchSolver {
         auto& buf = p.sendBufs[li];
         buf.resize(static_cast<std::size_t>(l.sendBox.volume()) * q *
                    sizeof(S));
-        S* out = reinterpret_cast<S*>(buf.data());
-        std::size_t k = 0;
-        const Box3& b = l.sendBox;
-        for (int qq = 0; qq < q; ++qq)
-          for (int z = b.lo.z; z < b.hi.z; ++z)
-            for (int y = b.lo.y; y < b.hi.y; ++y)
-              for (int x = b.lo.x; x < b.hi.x; ++x)
-                out[k++] = src.raw(qq, x, y, z);
+        p.backend->packHalo(src, l.sendBox, reinterpret_cast<S*>(buf.data()));
         comm_.isend(peerRank, ghostTag(l.peer, l.sendTag), buf.data(),
                     buf.size());
       }
     }
-    // Intra-rank faces: copy the owned peer's send strip straight into our
-    // halo (the mirrored link's sendBox has identical extents).  Reads
-    // touch interior columns only, writes touch halo cells only, so copy
-    // order between links cannot interfere.
+    // Intra-rank faces: pack the owned peer's send strip (mirrored link,
+    // identical extents) through its backend and unpack into our halo
+    // through ours.  Reads touch interior columns only, writes touch halo
+    // cells only, so order between links cannot interfere.
     for (auto& [id, p] : patches_) {
       Field& dst = p.f[parity_];
       for (const auto& l : p.links) {
@@ -470,17 +525,11 @@ class PatchSolver {
             break;
           }
         SWLB_ASSERT(ml && ml->peer == id);
-        const Field& src = peer.f[parity_];
-        const Box3& sb = ml->sendBox;
-        const Box3& rb = l.recvBox;
-        const Int3 ext{sb.hi.x - sb.lo.x, sb.hi.y - sb.lo.y,
-                       sb.hi.z - sb.lo.z};
-        for (int qq = 0; qq < q; ++qq)
-          for (int z = 0; z < ext.z; ++z)
-            for (int y = 0; y < ext.y; ++y)
-              for (int x = 0; x < ext.x; ++x)
-                dst.raw(qq, rb.lo.x + x, rb.lo.y + y, rb.lo.z + z) =
-                    src.raw(qq, sb.lo.x + x, sb.lo.y + y, sb.lo.z + z);
+        localStrip_.resize(static_cast<std::size_t>(ml->sendBox.volume()) *
+                           static_cast<std::size_t>(q));
+        peer.backend->packHalo(peer.f[parity_], ml->sendBox,
+                               localStrip_.data());
+        p.backend->unpackHalo(dst, l.recvBox, localStrip_.data());
       }
     }
     // Wait for and unpack the inter-rank strips.
@@ -490,14 +539,9 @@ class PatchSolver {
         const auto& l = p.links[li];
         if (owners_[static_cast<std::size_t>(l.peer)] == me) continue;
         p.pending[li].wait();
-        const S* in = reinterpret_cast<const S*>(p.recvBufs[li].data());
-        std::size_t k = 0;
-        const Box3& b = l.recvBox;
-        for (int qq = 0; qq < q; ++qq)
-          for (int z = b.lo.z; z < b.hi.z; ++z)
-            for (int y = b.lo.y; y < b.hi.y; ++y)
-              for (int x = b.lo.x; x < b.hi.x; ++x)
-                dst.raw(qq, x, y, z) = in[k++];
+        p.backend->unpackHalo(
+            dst, l.recvBox,
+            reinterpret_cast<const S*>(p.recvBufs[li].data()));
       }
     }
   }
@@ -564,6 +608,7 @@ class PatchSolver {
   MaterialTable mats_;
   std::vector<int> owners_;
   std::map<int, PatchState> patches_;  // owned patches, ascending id
+  std::vector<S> localStrip_;  // scratch for intra-rank ghost copies
   int parity_ = 0;
   std::uint64_t steps_ = 0;
   bool maskFinal_ = false;

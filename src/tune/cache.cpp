@@ -258,13 +258,37 @@ TuningPlan planFromJson(const JsonValue& obj) {
   p.ringThresholdBytes =
       static_cast<std::size_t>(numberField(obj, "ring_threshold_bytes"));
   p.chunkX = static_cast<int>(numberField(obj, "chunk_x"));
-  // Tolerant read: plans written before the kernel-variant knob existed
-  // have no such field and mean "fused".
+  // Tolerant read: "backend" is the current spelling; plans written when
+  // the knob was called the kernel variant carry "kernel_variant" with
+  // the same value set; older plans have neither and mean "fused".
+  const auto be = obj.object.find("backend");
   const auto kv = obj.object.find("kernel_variant");
-  if (kv != obj.object.end()) {
+  if (be != obj.object.end()) {
+    if (be->second.type != JsonValue::Type::String)
+      throw Error("tuning cache: \"backend\" is not a string");
+    p.backend = be->second.str;
+  } else if (kv != obj.object.end()) {
     if (kv->second.type != JsonValue::Type::String)
       throw Error("tuning cache: \"kernel_variant\" is not a string");
-    p.kernelVariant = kv->second.str;
+    p.backend = kv->second.str;
+  }
+  // Tolerant read: the per-patch backend map postdates every older
+  // schema revision and defaults to empty (every patch runs `backend`).
+  const auto pb = obj.object.find("patch_backends");
+  if (pb != obj.object.end()) {
+    if (pb->second.type != JsonValue::Type::Object)
+      throw Error("tuning cache: \"patch_backends\" is not an object");
+    for (const auto& [k, v] : pb->second.object) {
+      if (v.type != JsonValue::Type::String)
+        throw Error("tuning cache: patch_backends[\"" + k +
+                    "\"] is not a string");
+      try {
+        p.patchBackends[std::stoi(k)] = v.str;
+      } catch (const std::exception&) {
+        throw Error("tuning cache: patch_backends key \"" + k +
+                    "\" is not a patch id");
+      }
+    }
   }
   // Tolerant read: plans written before the patch knob existed mean one
   // block per rank.
@@ -308,9 +332,13 @@ std::string TuningKey::toString() const {
 std::string to_json(const TuningPlan& plan) {
   // Keys in lexicographic order, matching the map-backed sections, so the
   // whole document is byte-stable for identical contents.
+  // "kernel_variant" repeats the backend value: binaries from before the
+  // backend layer tolerant-read that key, so a new cache file still
+  // applies there (and new readers prefer "backend").
   std::ostringstream os;
   os << "{\"advised_quant_error\": " << numStr(plan.advisedQuantError)
-     << ", \"chunk_x\": " << plan.chunkX << ", \"evidence\": {";
+     << ", \"backend\": \"" << escape(plan.backend)
+     << "\", \"chunk_x\": " << plan.chunkX << ", \"evidence\": {";
   bool first = true;
   for (const auto& [k, v] : plan.evidence) {
     if (!first) os << ", ";
@@ -318,8 +346,15 @@ std::string to_json(const TuningPlan& plan) {
     os << '"' << escape(k) << "\": " << numStr(v);
   }
   os << "}, \"halo_mode\": \"" << halo_mode_name(plan.haloMode)
-     << "\", \"kernel_variant\": \"" << escape(plan.kernelVariant)
-     << "\", \"patches_per_rank\": " << plan.patchesPerRank
+     << "\", \"kernel_variant\": \"" << escape(plan.backend)
+     << "\", \"patch_backends\": {";
+  first = true;
+  for (const auto& [id, name] : plan.patchBackends) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << id << "\": \"" << escape(name) << '"';
+  }
+  os << "}, \"patches_per_rank\": " << plan.patchesPerRank
      << ", \"precision\": \"" << escape(plan.precision)
      << "\", \"precision_advice\": \"" << escape(plan.precisionAdvice)
      << "\", \"ring_threshold_bytes\": " << plan.ringThresholdBytes

@@ -134,37 +134,49 @@ double haloTrial(runtime::HaloMode mode, const Int3& extent, int ranks,
   return meanStep;
 }
 
-// ---- wall-clock kernel-variant trials ----------------------------------
-// Single-rank proxy runs of the host stream/collide variants.  Evidence +
-// pick; not deterministic — guarded by variantTrialSteps > 0 (the plan's
+// ---- wall-clock backend trials -----------------------------------------
+// Single-rank proxy runs of the registered host backends.  Evidence +
+// pick; not deterministic — guarded by backendTrialSteps > 0 (the plan's
 // default stays "fused").
 
 template <class D, class S>
-double variantTrial(KernelVariant v, const Int3& extent, int steps) {
-  obs::TraceScope scope("tune.trial.kernel");
+double backendTrial(const std::string& name, const Int3& extent, int steps) {
+  obs::TraceScope scope("tune.trial.backend");
   const Grid g(extent.x, extent.y, extent.z);
   Solver<D, S> solver(g, CollisionConfig{}, Periodicity{true, true, true});
   solver.collision().omega = 1.5;
-  solver.setVariant(v);
+  solver.setBackend(name);
+  // The thread-team backend exists to use the whole host; trial it that
+  // way (<= 0 resolves to one lane per hardware core).  Other backends
+  // keep the serial default so the ladder compares single-thread rates.
+  if (name == "threads") solver.setHostThreads(0);
   solver.finalizeMask();
   solver.initUniform(1.0, {0.02, 0, 0});
   solver.run(2);  // warm-up
   const double mlups = solver.runMeasured(static_cast<std::uint64_t>(steps));
-  obs::count("tune.trials.kernel");
+  obs::count("tune.trials.backend");
   return mlups;
 }
 
-double runVariantTrial(const TuningInput& in, KernelVariant v,
+double runBackendTrial(const TuningInput& in, const std::string& name,
                        const Int3& extent, int steps) {
   const bool d3 = in.lattice == "D3Q19";
   if (in.precision == "f64")
-    return d3 ? variantTrial<D3Q19, double>(v, extent, steps)
-              : variantTrial<D2Q9, double>(v, extent, steps);
+    return d3 ? backendTrial<D3Q19, double>(name, extent, steps)
+              : backendTrial<D2Q9, double>(name, extent, steps);
   if (in.precision == "f32")
-    return d3 ? variantTrial<D3Q19, float>(v, extent, steps)
-              : variantTrial<D2Q9, float>(v, extent, steps);
-  return d3 ? variantTrial<D3Q19, f16>(v, extent, steps)
-            : variantTrial<D2Q9, f16>(v, extent, steps);
+    return d3 ? backendTrial<D3Q19, float>(name, extent, steps)
+              : backendTrial<D2Q9, float>(name, extent, steps);
+  return d3 ? backendTrial<D3Q19, f16>(name, extent, steps)
+            : backendTrial<D2Q9, f16>(name, extent, steps);
+}
+
+/// Catalog index of a backend name (gauge encoding; -1 when unknown).
+double backendGaugeValue(const std::string& name) {
+  const auto& catalog = backend_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i)
+    if (catalog[i].name == name) return static_cast<double>(i);
+  return -1;
 }
 
 /// Shrink the domain until each rank's block is at most `cellsPerRank`
@@ -365,28 +377,27 @@ TuningPlan Tuner::plan(const TuningInput& in) const {
     }
   }
 
-  // ---- host kernel variant: wall-clock trial ladder --------------------
-  // fused vs simd vs esoteric on a single-rank proxy block.  The pick is
-  // MLUPS-argmax with ties (within 1%) kept on "fused"; without trials the
-  // default "fused" stands, keeping plan() deterministic.
-  if (cfg_.variantTrialSteps > 0) {
+  // ---- host backend: wall-clock trial ladder ---------------------------
+  // The registered host ladder (fused, simd, esoteric, threads) on a
+  // single-rank proxy block.  The pick is MLUPS-argmax with ties (within
+  // 1%) kept on "fused"; without trials the default "fused" stands,
+  // keeping plan() deterministic.
+  std::map<std::string, double> backendMlups;
+  if (cfg_.backendTrialSteps > 0) {
     Int3 proxy = proxyExtent(in.extent, 1, cfg_.trialCellsPerRank);
     if (in.lattice == "D2Q9") proxy.z = 1;
-    const std::pair<KernelVariant, const char*> ladder[] = {
-        {KernelVariant::Fused, "fused"},
-        {KernelVariant::Simd, "simd"},
-        {KernelVariant::Esoteric, "esoteric"},
-    };
+    const char* ladder[] = {"fused", "simd", "esoteric", "threads"};
     double fusedMlups = 0, pickMlups = 0;
-    for (const auto& [v, name] : ladder) {
+    for (const char* name : ladder) {
       const double mlups =
-          runVariantTrial(in, v, proxy, cfg_.variantTrialSteps);
-      plan.evidence[std::string("trial.kernel.") + name + "_mlups"] = mlups;
-      if (v == KernelVariant::Fused) {
+          runBackendTrial(in, name, proxy, cfg_.backendTrialSteps);
+      backendMlups[name] = mlups;
+      plan.evidence[std::string("trial.backend.") + name + "_mlups"] = mlups;
+      if (std::string(name) == "fused") {
         fusedMlups = pickMlups = mlups;
       } else if (mlups > pickMlups && mlups > fusedMlups * 1.01) {
         pickMlups = mlups;
-        plan.kernelVariant = name;
+        plan.backend = name;
       }
     }
     plan.source = "measured";
@@ -394,11 +405,39 @@ TuningPlan Tuner::plan(const TuningInput& in) const {
 
   plan.patchesPerRank = std::max(1, cfg_.patchesPerRank);
 
+  // ---- per-patch backend map -------------------------------------------
+  // With measured rates and per-patch cell counts in hand, predict each
+  // patch's step seconds per candidate as cells / (rate * 1e6) + the
+  // catalog's fixed per-step overhead, and record the argmin.  Candidates
+  // are the two-lattice backends the patch runtime accepts (in-place
+  // backends are rejected there); small patches land on serial backends
+  // because the thread team's fork/join overhead dominates them.
+  if (!in.patchCells.empty() && !backendMlups.empty()) {
+    const char* candidates[] = {"fused", "simd", "threads"};
+    for (std::size_t pid = 0; pid < in.patchCells.size(); ++pid) {
+      std::string bestName = "fused";
+      double bestS = 0;
+      bool first = true;
+      for (const char* name : candidates) {
+        const auto it = backendMlups.find(name);
+        if (it == backendMlups.end() || it->second <= 0) continue;
+        const double s = in.patchCells[pid] / (it->second * 1e6) +
+                         find_backend_info(name)->hints.stepOverheadSeconds;
+        if (first || s < bestS) {
+          bestName = name;
+          bestS = s;
+          first = false;
+        }
+      }
+      if (bestName != plan.backend)
+        plan.patchBackends[static_cast<int>(pid)] = bestName;
+    }
+    plan.evidence["patchmap.overrides"] =
+        static_cast<double>(plan.patchBackends.size());
+  }
+
   obs::count("tune.plans");
-  obs::gaugeSet("tune.kernel_variant",
-                plan.kernelVariant == "esoteric" ? 2
-                : plan.kernelVariant == "simd"   ? 1
-                                                 : 0);
+  obs::gaugeSet("tune.backend", backendGaugeValue(plan.backend));
   obs::gaugeSet("tune.chunk_x", plan.chunkX);
   obs::gaugeSet("tune.patches_per_rank", plan.patchesPerRank);
   obs::gaugeSet("tune.ring_threshold_bytes",
@@ -428,18 +467,26 @@ void apply(const TuningPlan& plan, runtime::HaloMode& mode) {
 }
 
 void apply(const TuningPlan& plan, KernelVariant& variant) {
-  if (plan.kernelVariant == "fused")
-    variant = KernelVariant::Fused;
-  else if (plan.kernelVariant == "simd")
-    variant = KernelVariant::Simd;
-  else if (plan.kernelVariant == "esoteric")
-    variant = KernelVariant::Esoteric;
-  // Unknown names (newer plan files) keep the caller's current value.
+  // Uncatalogued names (newer plan files) keep the caller's current value.
+  if (find_backend_info(plan.backend))
+    variant = kernel_variant_from_name(plan.backend);
   obs::count("tune.plan.applied");
-  obs::gaugeSet("tune.kernel_variant",
-                plan.kernelVariant == "esoteric" ? 2
-                : plan.kernelVariant == "simd"   ? 1
-                                                 : 0);
+  obs::gaugeSet("tune.backend", backendGaugeValue(plan.backend));
+}
+
+void apply(const TuningPlan& plan, std::string& backend) {
+  if (find_backend_info(plan.backend)) backend = plan.backend;
+  obs::count("tune.plan.applied");
+  obs::gaugeSet("tune.backend", backendGaugeValue(plan.backend));
+}
+
+void apply(const TuningPlan& plan, std::map<int, std::string>& patchBackends) {
+  patchBackends.clear();
+  for (const auto& [id, name] : plan.patchBackends)
+    if (find_backend_info(name)) patchBackends[id] = name;
+  obs::count("tune.plan.applied");
+  obs::gaugeSet("tune.patch_backends",
+                static_cast<double>(patchBackends.size()));
 }
 
 void apply(const TuningPlan& plan, coll::CollConfig& cfg) {
@@ -459,7 +506,8 @@ std::string summary(const TuningPlan& plan) {
   std::ostringstream os;
   os << "halo=" << halo_mode_name(plan.haloMode)
      << " ring_threshold=" << plan.ringThresholdBytes << "B"
-     << " chunk_x=" << plan.chunkX << " kernel=" << plan.kernelVariant
+     << " chunk_x=" << plan.chunkX << " backend=" << plan.backend
+     << " patch_overrides=" << plan.patchBackends.size()
      << " patches_per_rank=" << plan.patchesPerRank
      << " precision=" << plan.precision << " source=" << plan.source;
   return os.str();

@@ -40,6 +40,13 @@ struct TuningInput {
   int ranks = 1;                  ///< world size (>= 1)
   std::string precision = "f64";  ///< storage tag: "f64" | "f32" | "f16"
   sw::MachineSpec machine = sw::MachineSpec::sw26010();
+  /// Interior cell count per patch (index = patch id) when the run uses
+  /// the patch-aware runtime.  Non-empty + backendTrialSteps > 0 makes
+  /// the tuner emit a per-patch backend map: measured backend rates and
+  /// the catalog's stepOverheadSeconds predict each patch's step time,
+  /// and the argmin backend is recorded per patch
+  /// (TuningPlan::patchBackends).  Empty skips the map.
+  std::vector<double> patchCells;
 
   TuningKey key() const { return {lattice, extent, ranks, precision}; }
 };
@@ -61,10 +68,11 @@ struct TunerConfig {
   /// Cells per rank above which wall-clock trials run on a proportionally
   /// shrunk proxy domain instead of the full one.
   std::size_t trialCellsPerRank = 32768;
-  /// Steps per wall-clock kernel-variant trial (fused vs simd vs esoteric
-  /// on a single-rank proxy).  0 (default) skips the ladder and keeps the
-  /// plan's "fused" default — and the search byte-deterministic.
-  int variantTrialSteps = 0;
+  /// Steps per wall-clock backend trial (the registry ladder — fused,
+  /// simd, esoteric, threads — on a single-rank proxy).  0 (default)
+  /// skips the ladder and keeps the plan's "fused" default — and the
+  /// search byte-deterministic.
+  int backendTrialSteps = 0;
   /// Patch granularity recorded in the plan for the patch-aware runtime
   /// (runtime/patches): patches per rank handed to PatchSolver::Config.
   /// Pure pass-through today (the balance win depends on the mask, which
@@ -103,9 +111,18 @@ class Tuner {
 
 /// DistributedSolver: halo scheduling (write into Config::mode).
 void apply(const TuningPlan& plan, runtime::HaloMode& mode);
-/// Solver/DistributedSolver: stream/collide variant.  Unknown names keep
-/// the current value (forward compatibility with newer plan files).
+/// Solver/DistributedSolver: stream/collide backend by enum.  Names that
+/// are not catalogued (newer plan files) keep the current value (forward
+/// compatibility).
 void apply(const TuningPlan& plan, KernelVariant& variant);
+/// Same knob by registry name (Solver::setBackend / Config::backend /
+/// PatchSolver::Config::backend).  Uncatalogued names keep the current
+/// value.
+void apply(const TuningPlan& plan, std::string& backend);
+/// PatchSolver: the per-patch backend map (Config::patchBackends).
+/// Entries whose backend name is not catalogued are dropped; catalogued
+/// entries overwrite the map wholesale.
+void apply(const TuningPlan& plan, std::map<int, std::string>& patchBackends);
 /// coll::Collectives: ring/tree size threshold.
 void apply(const TuningPlan& plan, coll::CollConfig& cfg);
 /// sw kernels: LDM chunk width (clamped to >= 1).

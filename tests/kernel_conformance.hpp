@@ -95,17 +95,18 @@ void expectEquivalent(const Solver<D, SA>& a, const Solver<D, SB>& b,
                     << "," << wz << "), tol=" << tol;
 }
 
-/// Drive `variant` in lockstep with the fused reference for `steps` steps
-/// of the same scenario/init, comparing canonical populations after every
-/// step (so odd/rotated phases of in-place variants are covered too).
-/// SREF/SSUT may differ to probe reduced-precision quantization bounds.
+/// Drive backend `name` in lockstep with the fused reference for `steps`
+/// steps of the same scenario/init, comparing canonical populations after
+/// every step (so odd/rotated phases of in-place backends are covered
+/// too).  SREF/SSUT may differ to probe reduced-precision quantization
+/// bounds.
 template <class D, class SREF, class SSUT>
-void runLockstep(const Scenario& sc, KernelVariant variant, int steps,
+void runLockstep(const Scenario& sc, const std::string& name, int steps,
                  double tol) {
-  SCOPED_TRACE(sc.name + " variant=" + kernel_variant_name(variant));
+  SCOPED_TRACE(sc.name + " backend=" + name);
   Solver<D, SREF> ref = makeSolver<D, SREF>(sc);
   Solver<D, SSUT> sut = makeSolver<D, SSUT>(sc);
-  sut.setVariant(variant);
+  sut.setBackend(name);
   ref.finalizeMask();
   sut.finalizeMask();
   initSmooth(ref);
@@ -114,25 +115,64 @@ void runLockstep(const Scenario& sc, KernelVariant variant, int steps,
     ref.step();
     sut.step();
     expectEquivalent<D>(ref, sut, tol,
-                        sc.name + "/" + kernel_variant_name(variant) +
-                            " step " + std::to_string(s + 1));
+                        sc.name + "/" + name + " step " +
+                            std::to_string(s + 1));
     if (::testing::Test::HasFailure()) return;  // first bad step suffices
   }
+}
+
+template <class D, class SREF, class SSUT>
+void runLockstep(const Scenario& sc, KernelVariant variant, int steps,
+                 double tol) {
+  runLockstep<D, SREF, SSUT>(sc, kernel_variant_name(variant), steps, tol);
 }
 
 /// Closed-box mass conservation: total fluid mass after `steps` equals the
 /// initial mass to within accumulated f64 rounding.
 template <class D, class S>
-void expectMassConserved(const Scenario& sc, KernelVariant variant,
+void expectMassConserved(const Scenario& sc, const std::string& name,
                          int steps) {
-  SCOPED_TRACE(sc.name + " mass variant=" + kernel_variant_name(variant));
+  SCOPED_TRACE(sc.name + " mass backend=" + name);
   Solver<D, S> s = makeSolver<D, S>(sc);
-  s.setVariant(variant);
+  s.setBackend(name);
   s.finalizeMask();
   initSmooth(s);
   const Real m0 = s.totalMass();
   for (int i = 0; i < steps; ++i) s.step();
   EXPECT_NEAR(s.totalMass() / m0, 1.0, 1e-12);
+}
+
+template <class D, class S>
+void expectMassConserved(const Scenario& sc, KernelVariant variant,
+                         int steps) {
+  expectMassConserved<D, S>(sc, kernel_variant_name(variant), steps);
+}
+
+/// Registry-driven conformance: run every backend registered for (D, S)
+/// through `sc`, holding each to exactly what its capability flags
+/// promise — bit-identity to fused where caps.bitIdentical, a
+/// quantization bound otherwise; lockstep trajectories only where
+/// caps.stepConformant (push-style backends are checked via closed-box
+/// mass conservation instead); Outflow scenarios skipped where
+/// caps.supportsOutflow is off.  A backend added to the registry is
+/// covered here with no test changes — and one whose flags overpromise
+/// fails here.
+template <class D, class S>
+void runRegisteredBackends(const Scenario& sc, int steps) {
+  for (const std::string& name : backend_names<D, S>()) {
+    if (name == "fused") continue;  // the reference itself
+    const BackendInfo& info = *find_backend_info(name);
+    if (sc.hasOutflow && !info.caps.supportsOutflow) continue;
+    if (!info.caps.stepConformant) {
+      if (!sc.periodic.x && !sc.periodic.y && !sc.periodic.z)
+        expectMassConserved<D, S>(sc, name, steps);
+      continue;
+    }
+    const double tol =
+        info.caps.bitIdentical ? 0.0
+                               : 64.0 * StorageTraits<S>::kEpsilon * steps;
+    runLockstep<D, S, S>(sc, name, steps, tol);
+  }
 }
 
 }  // namespace swlb::conformance

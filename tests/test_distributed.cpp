@@ -376,5 +376,86 @@ TEST(DistributedSolverApi, RejectsMismatchedProcessGrid) {
                Error);
 }
 
+TEST(DistributedSolverApi, RejectsNonDistributedBackends) {
+  // twostep and push advertise caps.distributed = false (their streaming
+  // traffic isn't compatible with the one-layer halo contract).  The old
+  // KernelVariant switch silently fell back to fused here; the backend
+  // layer must refuse instead.
+  for (const char* name : {"twostep", "push"}) {
+    SCOPED_TRACE(name);
+    World world(2);
+    EXPECT_THROW(world.run([&](Comm& c) {
+      typename DistributedSolver<D3Q19>::Config cfg;
+      cfg.global = {8, 8, 4};
+      cfg.backend = name;
+      DistributedSolver<D3Q19> solver(c, cfg);
+    }),
+                 Error);
+  }
+}
+
+TEST(DistributedSolverApi, SubRangeLessBackendForcesSequentialHalo) {
+  // swcpe updates the whole block per call (caps.subRange = false), so an
+  // Overlap request must degrade to the Sequential schedule explicitly
+  // rather than mis-running the inner/shell split.
+  World world(2);
+  world.run([](Comm& c) {
+    typename DistributedSolver<D2Q9>::Config cfg;
+    cfg.global = {8, 8, 1};
+    cfg.backend = "swcpe";
+    cfg.mode = HaloMode::Overlap;
+    cfg.periodic = {true, true, false};
+    DistributedSolver<D2Q9> solver(c, cfg);
+    EXPECT_EQ(solver.haloMode(), HaloMode::Sequential);
+    EXPECT_EQ(solver.backendName(), "swcpe");
+  });
+}
+
+TEST(DistributedKernelVariants, ThreadsBackendMatchesFusedAcrossRanks) {
+  // Mixed parallelism: 2 ranks x thread-team backend inside each rank
+  // must still reproduce the single-block fused trajectory bit-for-bit.
+  const Int3 global{10, 8, 4};
+  const int steps = 6;
+  CollisionConfig col;
+  col.omega = 1.4;
+  const Periodicity per{true, true, true};
+  Solver<D3Q19> ref(Grid(global.x, global.y, global.z), col, per);
+  ref.finalizeMask();
+  auto init = [&](int x, int y, int z, Real& rho, Vec3& u) {
+    const int gx = ((x % global.x) + global.x) % global.x;
+    const int gy = ((y % global.y) + global.y) % global.y;
+    const int gz = ((z % global.z) + global.z) % global.z;
+    rho = 1.0 + 0.01 * std::sin(0.6 * gx) * std::cos(0.4 * gy + 0.2 * gz);
+    u = {0.015 * std::cos(0.5 * gy), 0.01 * std::sin(0.3 * gx), 0.005};
+  };
+  ref.initField(init);
+  ref.run(steps);
+
+  World world(2);
+  world.run([&](Comm& c) {
+    typename DistributedSolver<D3Q19>::Config cfg;
+    cfg.global = global;
+    cfg.collision = col;
+    cfg.periodic = per;
+    cfg.backend = "threads";
+    cfg.hostThreads = 2;
+    cfg.procGrid = {2, 1, 1};
+    DistributedSolver<D3Q19> solver(c, cfg);
+    solver.finalizeMask();
+    solver.initField(init);
+    solver.run(steps);
+    PopulationField gathered = solver.gatherPopulations(0);
+    if (c.rank() == 0) {
+      long long bad = 0;
+      for (int q = 0; q < D3Q19::Q; ++q)
+        for (int z = 0; z < global.z; ++z)
+          for (int y = 0; y < global.y; ++y)
+            for (int x = 0; x < global.x; ++x)
+              if (gathered(q, x, y, z) != ref.f()(q, x, y, z)) ++bad;
+      EXPECT_EQ(bad, 0);
+    }
+  });
+}
+
 }  // namespace
 }  // namespace swlb::runtime

@@ -236,6 +236,92 @@ TEST(KernelConformance, ThreadCountParity) {
   }
 }
 
+// ---- registry-driven coverage ------------------------------------------
+// Everything registered for a (lattice, storage) pair is held to exactly
+// what its capability flags promise; a backend added to the registry is
+// covered with no test edits, and one whose flags overpromise fails here.
+// This sweep is what pins "threads" and "swcpe" — the hand-written lists
+// above predate the registry and keep the narrow bounds documented.
+
+TEST(KernelConformance, RegisteredBackendsConformD3Q19) {
+  for (const Scenario& sc : scenarios(false))
+    conformance::runRegisteredBackends<D3Q19, double>(sc, kSteps);
+}
+
+TEST(KernelConformance, RegisteredBackendsConformD2Q9) {
+  for (const Scenario& sc : scenarios(true))
+    conformance::runRegisteredBackends<D2Q9, double>(sc, kSteps);
+}
+
+TEST(KernelConformance, ThreadsBackendBitIdenticalAtAnyTeamSize) {
+  // The thread-team backend splits the same z-slabs as the fused mt
+  // driver, so every team size — serial fallback (1), a small team (2),
+  // and one lane per hardware core (0 resolves to hardware_concurrency)
+  // — must be bit-identical to single-thread fused.
+  for (int threads : {1, 2, 0}) {
+    for (const Scenario& sc : scenarios(false)) {
+      SCOPED_TRACE("team=" + std::to_string(threads));
+      Solver<D3Q19, double> ref = makeSolver<D3Q19, double>(sc);
+      Solver<D3Q19, double> sut = makeSolver<D3Q19, double>(sc);
+      sut.setBackend("threads");
+      sut.setHostThreads(threads);
+      ref.finalizeMask();
+      sut.finalizeMask();
+      initSmooth(ref);
+      initSmooth(sut);
+      for (int s = 0; s < 4; ++s) {
+        ref.step();
+        sut.step();
+      }
+      expectEquivalent<D3Q19>(ref, sut, 0,
+                              sc.name + "/threads team=" +
+                                  std::to_string(threads));
+    }
+  }
+}
+
+// ---- explicit capability rejection (no silent fallbacks) ---------------
+
+TEST(KernelConformance, UnknownBackendNameThrowsWithRegisteredList) {
+  Scenario sc = scenarios(false)[0];
+  Solver<D3Q19, double> s = makeSolver<D3Q19, double>(sc);
+  try {
+    s.setBackend("warp");
+    FAIL() << "expected Error for unknown backend name";
+  } catch (const Error& e) {
+    // The message must enumerate what IS registered so the caller can fix
+    // a typo without reading source.
+    EXPECT_NE(std::string(e.what()).find("fused"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("warp"), std::string::npos);
+  }
+}
+
+TEST(KernelConformance, SwCpeNotRegisteredForWideLattices) {
+  // The CPE emulator only instantiates for the paper's lattices
+  // (D2Q9/D3Q19); asking for it on D3Q15 must be an explicit refusal,
+  // not a silent fall-back to another kernel.
+  const Grid g(5, 5, 3);
+  CollisionConfig cc;
+  cc.omega = 1.7;
+  Solver<D3Q15, double> s(g, cc, Periodicity{true, true, true});
+  EXPECT_THROW(s.setBackend("swcpe"), Error);
+  EXPECT_TRUE((BackendRegistry<D3Q19, double>::instance().has("swcpe")));
+  EXPECT_FALSE((BackendRegistry<D3Q15, double>::instance().has("swcpe")));
+}
+
+TEST(KernelConformance, CatalogAndRegistryAgree) {
+  // Every registered backend has a catalog row (name, summary, caps) and
+  // vice versa for the lattices it claims; find_backend_info is how docs
+  // and the tuner reason about capabilities, so the two must not drift.
+  for (const std::string& name : backend_names<D3Q19, double>()) {
+    const BackendInfo* info = find_backend_info(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_FALSE(info->summary.empty()) << name;
+    auto b = make_backend<D3Q19, double>(name);
+    EXPECT_EQ(b->info().name, name);
+  }
+}
+
 TEST(KernelConformance, EsotericRejectsOutflow) {
   Scenario sc = scenarios(false)[5];  // inlet_outflow
   Solver<D3Q19, double> s = makeSolver<D3Q19, double>(sc);

@@ -79,7 +79,10 @@ Solver<D3Q19> makeReference(const Scenario& sc) {
 void expectPatchRunMatchesMonolithic(const Scenario& sc, int ranks,
                                      const Int3& patchGrid, int steps,
                                      int migrateAt = 0,
-                                     std::uint64_t rebalanceEvery = 0) {
+                                     std::uint64_t rebalanceEvery = 0,
+                                     const std::string& backend = "fused",
+                                     std::map<int, std::string>
+                                         patchBackends = {}) {
   SCOPED_TRACE(sc.name + " ranks=" + std::to_string(ranks) + " patches=" +
                std::to_string(patchGrid.x) + "x" +
                std::to_string(patchGrid.y));
@@ -94,6 +97,8 @@ void expectPatchRunMatchesMonolithic(const Scenario& sc, int ranks,
     cfg.patchGrid = patchGrid;
     cfg.rebalanceEvery = rebalanceEvery;
     cfg.rebalanceThreshold = 1.0001;  // hair trigger for the measured path
+    cfg.backend = backend;
+    cfg.patchBackends = patchBackends;
     PatchSolver<D3Q19> solver(c, cfg);
     const Grid g(sc.extent.x, sc.extent.y, sc.extent.z);
     if (sc.paint) sc.paint(solver.globalMask(), solver.materials(), g);
@@ -349,6 +354,65 @@ TEST(PatchSolver, FluidWeightedAssignmentSkipsSolidHeavyImbalance) {
         EXPECT_GE(counts[static_cast<size_t>(r)], 1);
     }
   });
+}
+
+// ---- per-patch backend plans -------------------------------------------
+
+TEST(PatchSolver, HeterogeneousPatchBackendsMatchMonolithic) {
+  // The tuner's mixed plan: default simd with per-patch overrides to
+  // fused, threads, and swcpe.  All four are bit-identical kernels, so a
+  // heterogeneous run must still match the monolithic fused reference
+  // exactly — including across patch faces where the sender's backend
+  // packs the strip and a *different* receiver backend unpacks it, and
+  // across a forced migration that rebuilds a patch's backend on its new
+  // owner from the replicated plan.
+  std::map<int, std::string> plan{{0, "fused"}, {2, "threads"}, {3, "swcpe"}};
+  for (const Scenario& sc : patchScenarios())
+    expectPatchRunMatchesMonolithic(sc, 2, {2, 2, 1}, 6, /*migrateAt=*/3, 0,
+                                    "simd", plan);
+}
+
+TEST(PatchSolver, PatchBackendNameResolvesOverrides) {
+  World world(1);
+  world.run([](Comm& c) {
+    typename PatchSolver<D3Q19>::Config cfg;
+    cfg.global = {8, 8, 2};
+    cfg.patchGrid = {2, 2, 1};
+    cfg.backend = "simd";
+    cfg.patchBackends = {{1, "threads"}};
+    PatchSolver<D3Q19> solver(c, cfg);
+    solver.finalizeMask();
+    EXPECT_EQ(solver.patchBackendName(0), "simd");
+    EXPECT_EQ(solver.patchBackendName(1), "threads");
+  });
+}
+
+TEST(PatchSolver, RejectsInPlaceBackend) {
+  // Esoteric streams in place; patch ghost exchange needs the two-lattice
+  // A-B contract.  The refusal must be explicit, not a silent fallback.
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& c) {
+    typename PatchSolver<D3Q19>::Config cfg;
+    cfg.global = {8, 8, 2};
+    cfg.patchGrid = {2, 2, 1};
+    cfg.backend = "esoteric";
+    PatchSolver<D3Q19> solver(c, cfg);
+    solver.finalizeMask();
+  }),
+               Error);
+}
+
+TEST(PatchSolver, RejectsBackendPlanNamingMissingPatch) {
+  World world(1);
+  EXPECT_THROW(world.run([](Comm& c) {
+    typename PatchSolver<D3Q19>::Config cfg;
+    cfg.global = {8, 8, 2};
+    cfg.patchGrid = {2, 2, 1};
+    cfg.patchBackends = {{7, "simd"}};  // layout has patches 0..3
+    PatchSolver<D3Q19> solver(c, cfg);
+    solver.finalizeMask();
+  }),
+               Error);
 }
 
 }  // namespace

@@ -51,9 +51,10 @@ TEST(Tuner, PlanRespectsKnobRanges) {
   EXPECT_LE(p.chunkX, static_cast<int>(cap->second));
   EXPECT_GE(p.ringThresholdBytes, std::size_t{1});
   EXPECT_EQ(p.precision, "f64");
-  // Without kernel trials the model has no evidence to deviate from the
+  // Without backend trials the model has no evidence to deviate from the
   // production default.
-  EXPECT_EQ(p.kernelVariant, "fused");
+  EXPECT_EQ(p.backend, "fused");
+  EXPECT_TRUE(p.patchBackends.empty());
   // The emulator ladder left its evidence behind (auditable plans).
   EXPECT_NE(p.evidence.count("model.halo.fraction"), 0u);
   EXPECT_NE(p.evidence.count("model.coll.crossover_bytes"), 0u);
@@ -95,38 +96,76 @@ TEST(Tuner, AppliesPlanToSubsystemConfigs) {
   EXPECT_EQ(scfg.chunkX, p.chunkX);
 }
 
-TEST(Tuner, AppliesKernelVariantToSolverKnob) {
+TEST(Tuner, AppliesBackendToSolverKnobs) {
   TuningPlan p = Tuner().plan(cavityInput());
   KernelVariant v = KernelVariant::Generic;
   apply(p, v);  // "fused" plan overrides whatever the caller had
   EXPECT_EQ(v, KernelVariant::Fused);
-  p.kernelVariant = "esoteric";
+  p.backend = "esoteric";
   apply(p, v);
   EXPECT_EQ(v, KernelVariant::Esoteric);
-  p.kernelVariant = "simd";
+  p.backend = "threads";
   apply(p, v);
-  EXPECT_EQ(v, KernelVariant::Simd);
-  // Unknown names (from a newer cache schema) leave the caller's value.
-  p.kernelVariant = "warp-speculative";
+  EXPECT_EQ(v, KernelVariant::Threads);
+  // The registry-name overload drives the string-typed configs.  (Qualified
+  // calls: a std::string argument would otherwise drag std::apply into the
+  // ADL overload set, which hard-errors on non-tuple arguments.)
+  std::string name = "generic";
+  swlb::tune::apply(p, name);
+  EXPECT_EQ(name, "threads");
+  // Uncatalogued names (from a newer cache schema) leave the caller's
+  // values untouched.
+  p.backend = "warp-speculative";
   apply(p, v);
-  EXPECT_EQ(v, KernelVariant::Simd);
+  swlb::tune::apply(p, name);
+  EXPECT_EQ(v, KernelVariant::Threads);
+  EXPECT_EQ(name, "threads");
 }
 
-TEST(Tuner, KernelVariantTrialsPickFromMeasuredLadder) {
+TEST(Tuner, AppliesPatchBackendMap) {
+  TuningPlan p = Tuner().plan(cavityInput());
+  p.patchBackends = {{0, "simd"}, {3, "threads"}, {5, "warp-speculative"}};
+  std::map<int, std::string> m = {{9, "stale"}};
+  swlb::tune::apply(p, m);
+  // Catalogued entries replace the map wholesale; unknown names drop.
+  const std::map<int, std::string> want = {{0, "simd"}, {3, "threads"}};
+  EXPECT_EQ(m, want);
+}
+
+TEST(Tuner, BackendTrialsPickFromMeasuredLadder) {
   TunerConfig cfg;
-  cfg.variantTrialSteps = 2;
+  cfg.backendTrialSteps = 2;
   cfg.trialCellsPerRank = 1 << 12;  // keep the proxy lattice tiny
   TuningInput in = cavityInput();
   in.ranks = 1;
   const TuningPlan p = Tuner(cfg).plan(in);
   EXPECT_EQ(p.source, "measured");
-  EXPECT_TRUE(p.kernelVariant == "fused" || p.kernelVariant == "simd" ||
-              p.kernelVariant == "esoteric")
-      << p.kernelVariant;
+  EXPECT_NE(find_backend_info(p.backend), nullptr) << p.backend;
   // The trial ladder leaves auditable MLUPS evidence for every rung.
-  EXPECT_NE(p.evidence.count("trial.kernel.fused_mlups"), 0u);
-  EXPECT_NE(p.evidence.count("trial.kernel.simd_mlups"), 0u);
-  EXPECT_NE(p.evidence.count("trial.kernel.esoteric_mlups"), 0u);
+  EXPECT_NE(p.evidence.count("trial.backend.fused_mlups"), 0u);
+  EXPECT_NE(p.evidence.count("trial.backend.simd_mlups"), 0u);
+  EXPECT_NE(p.evidence.count("trial.backend.esoteric_mlups"), 0u);
+  EXPECT_NE(p.evidence.count("trial.backend.threads_mlups"), 0u);
+}
+
+TEST(Tuner, PatchCellsYieldPerPatchBackendMap) {
+  TunerConfig cfg;
+  cfg.backendTrialSteps = 2;
+  cfg.trialCellsPerRank = 1 << 12;
+  TuningInput in = cavityInput();
+  in.ranks = 1;
+  // A tiny patch and a huge one: the predicted-seconds argmin may differ
+  // per patch, but every mapped name must be catalogued and every patch
+  // id covered by default-or-override.
+  in.patchCells = {64.0, 4.0e6};
+  const TuningPlan p = Tuner(cfg).plan(in);
+  EXPECT_NE(p.evidence.count("patchmap.overrides"), 0u);
+  for (const auto& [id, name] : p.patchBackends) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 2);
+    EXPECT_NE(find_backend_info(name), nullptr) << name;
+    EXPECT_NE(name, p.backend);  // overrides only record deviations
+  }
 }
 
 // --------------------------------------------------------------- cache
@@ -149,10 +188,11 @@ TEST(TuningCache, RoundTripsThroughDisk) {
   fs::remove(path);
 }
 
-TEST(TuningCache, KernelVariantSurvivesRoundTrip) {
+TEST(TuningCache, BackendSurvivesRoundTrip) {
   const TuningInput in = cavityInput();
   TuningPlan p = Tuner().plan(in);
-  p.kernelVariant = "esoteric";
+  p.backend = "esoteric";
+  p.patchBackends = {{1, "simd"}, {4, "threads"}};
   TuningCache cache;
   cache.store(in.key(), p);
   const std::string path = tmpPath("swlb_tune_variant.json");
@@ -160,7 +200,41 @@ TEST(TuningCache, KernelVariantSurvivesRoundTrip) {
   const TuningCache loaded = TuningCache::load(path);
   const auto hit = loaded.lookup(in.key());
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->kernelVariant, "esoteric");
+  EXPECT_EQ(hit->backend, "esoteric");
+  EXPECT_EQ(hit->patchBackends, p.patchBackends);
+  EXPECT_EQ(*hit, p);
+  fs::remove(path);
+}
+
+TEST(TuningCache, LegacyKernelVariantFieldReadsAsBackend) {
+  // A cache written by a pre-backend-layer binary names the knob
+  // "kernel_variant" and has no "backend"/"patch_backends" keys; the
+  // tolerant reader maps it onto TuningPlan::backend.
+  const TuningInput in = cavityInput();
+  TuningPlan p = Tuner().plan(in);
+  p.backend = "simd";
+  TuningCache cache;
+  cache.store(in.key(), p);
+  std::string json = cache.toString();
+  const std::string be = "\"backend\": \"simd\", ";
+  auto pos = json.find(be);
+  ASSERT_NE(pos, std::string::npos);
+  json.erase(pos, be.size());
+  const std::string pb = "\"patch_backends\": {}, ";
+  pos = json.find(pb);
+  ASSERT_NE(pos, std::string::npos);
+  json.erase(pos, pb.size());
+
+  const std::string path = tmpPath("swlb_tune_legacy_kv.json");
+  {
+    std::ofstream out(path);
+    out << json;
+  }
+  const TuningCache loaded = TuningCache::load(path);
+  const auto hit = loaded.lookup(in.key());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->backend, "simd");
+  EXPECT_TRUE(hit->patchBackends.empty());
   EXPECT_EQ(*hit, p);
   fs::remove(path);
 }
